@@ -1,0 +1,134 @@
+// google-benchmark micro suite: component throughput of the building
+// blocks the simulations lean on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/playlist.h"
+#include "core/splicer.h"
+#include "net/fair_share.h"
+#include "p2p/wire.h"
+#include "sim/simulator.h"
+#include "video/encoder.h"
+#include "video/mp4.h"
+
+namespace {
+
+using namespace vsplice;
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.after(Duration::micros(static_cast<std::int64_t>(i % 977)),
+                [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleFire)->Arg(1000)->Arg(10000);
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng{1};
+  double acc = 0;
+  for (auto _ : state) {
+    acc += rng.next_double();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNextDouble);
+
+void BM_MaxMinAllocation(benchmark::State& state) {
+  const auto flows_n = static_cast<std::size_t>(state.range(0));
+  Rng rng{3};
+  std::vector<net::FlowSpec> flows;
+  std::vector<Rate> capacity;
+  const std::size_t links = 40;
+  for (std::size_t l = 0; l < links; ++l) {
+    capacity.push_back(Rate::kilobytes_per_second(rng.uniform(64, 1024)));
+  }
+  for (std::size_t f = 0; f < flows_n; ++f) {
+    net::FlowSpec spec;
+    spec.path = {net::LinkId{static_cast<std::uint32_t>(rng.index(links))},
+                 net::LinkId{static_cast<std::uint32_t>(rng.index(links))}};
+    flows.push_back(spec);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::max_min_allocation(flows, capacity));
+  }
+}
+BENCHMARK(BM_MaxMinAllocation)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_EncodePaperVideo(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video::make_paper_video(1));
+  }
+}
+BENCHMARK(BM_EncodePaperVideo);
+
+void BM_SpliceDuration(benchmark::State& state) {
+  const video::VideoStream stream = video::make_paper_video(1);
+  const core::DurationSplicer splicer{Duration::seconds(4)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splicer.splice(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.frame_count()));
+}
+BENCHMARK(BM_SpliceDuration);
+
+void BM_SpliceGop(benchmark::State& state) {
+  const video::VideoStream stream = video::make_paper_video(1);
+  const core::GopSplicer splicer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splicer.splice(stream));
+  }
+}
+BENCHMARK(BM_SpliceGop);
+
+void BM_Mp4WriteParse(benchmark::State& state) {
+  const video::VideoStream stream = video::make_paper_video(1);
+  video::Mp4WriteOptions options;
+  options.include_payload = false;
+  for (auto _ : state) {
+    const auto bytes = video::write_mp4(stream, options);
+    benchmark::DoNotOptimize(video::read_mp4(bytes));
+  }
+}
+BENCHMARK(BM_Mp4WriteParse);
+
+void BM_PlaylistRoundTrip(benchmark::State& state) {
+  const video::VideoStream stream = video::make_paper_video(1);
+  const core::SegmentIndex index =
+      core::DurationSplicer{Duration::seconds(2)}.splice(stream);
+  const core::Playlist playlist =
+      core::playlist_from_index(index, "video.mp4");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::parse_playlist(core::write_playlist(playlist)));
+  }
+}
+BENCHMARK(BM_PlaylistRoundTrip);
+
+void BM_WireCodec(benchmark::State& state) {
+  p2p::Bitfield have{64};
+  for (std::size_t i = 0; i < 64; i += 2) have.set(i);
+  const std::vector<p2p::Message> messages{
+      p2p::HandshakeMsg{1, 7, 64}, p2p::BitfieldMsg{have},
+      p2p::HaveMsg{13}, p2p::RequestMsg{3, 1'000'000, 500'000},
+      p2p::PieceMsg{3, 500'000}};
+  for (auto _ : state) {
+    for (const p2p::Message& msg : messages) {
+      benchmark::DoNotOptimize(p2p::decode(p2p::encode(msg)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(messages.size()));
+}
+BENCHMARK(BM_WireCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

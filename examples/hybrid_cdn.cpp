@@ -1,0 +1,83 @@
+// Hybrid CDN delivery (Section IV): stream the paper's video from a CDN
+// origin one request at a time, comparing fixed per-segment requests with
+// the adaptive W <= B*T request sizing.
+//
+//   ./hybrid_cdn [bandwidth_kBps]
+
+#include <cstdio>
+
+#include "cdn/cdn.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/segment_sizing.h"
+#include "core/splicer.h"
+#include "video/encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace vsplice;
+
+  const double kBps =
+      argc > 1 ? parse_double(argv[1]).value_or(256) : 256;
+
+  std::printf("Section IV bound: W_max = B*T\n");
+  for (double t : {2.0, 4.0, 8.0}) {
+    const Bytes w = core::max_stall_free_segment_size(
+        Rate::kilobytes_per_second(kBps), Duration::seconds(t));
+    std::printf("  B = %.0f kB/s, T = %.0f s  ->  W_max = %s (%.1f s of "
+                "video at 1 Mbps)\n",
+                kBps, t, format_bytes(w).c_str(),
+                static_cast<double>(w) / 125'000.0);
+  }
+
+  const video::VideoStream stream = video::make_paper_video();
+  const core::SegmentIndex index =
+      core::make_splicer("1s")->splice(stream);
+
+  Table table{{"Client", "Requests", "Mean req", "Stalls", "Stall s",
+               "Startup s", "Completion s"}};
+  for (const bool adaptive : {false, true}) {
+    sim::Simulator sim;
+    net::Network network{sim};
+    Rng rng{5};
+
+    net::NodeSpec origin_spec;
+    origin_spec.uplink = Rate::kilobytes_per_second(50'000);
+    origin_spec.downlink = Rate::kilobytes_per_second(50'000);
+    origin_spec.one_way_delay = Duration::millis(10);
+    origin_spec.loss = 0.01;
+    cdn::CdnServer origin{network, network.add_node(origin_spec)};
+
+    net::NodeSpec client_spec;
+    client_spec.uplink = Rate::kilobytes_per_second(kBps);
+    client_spec.downlink = Rate::kilobytes_per_second(kBps);
+    client_spec.one_way_delay = Duration::millis(40);
+    client_spec.loss = 0.01;
+    const net::NodeId client_node = network.add_node(client_spec);
+
+    cdn::CdnClientConfig config;
+    config.adaptive_sizing = adaptive;
+    config.bandwidth_hint = Rate::kilobytes_per_second(kBps);
+    config.estimate_bandwidth = true;  // learn B from transfers
+    cdn::CdnClient client{network, rng, client_node, origin, index,
+                          config};
+    client.start();
+    sim.run();
+
+    const auto& m = client.metrics();
+    table.add_row(
+        {adaptive ? "adaptive W<=B*T" : "per-segment",
+         std::to_string(client.requests_made()),
+         format_bytes(client.mean_request_size()),
+         std::to_string(m.stall_count),
+         format_double(m.total_stall_duration.as_seconds(), 2),
+         format_double(m.startup_time.as_seconds(), 2),
+         format_double(m.completion_time.as_seconds(), 1)});
+  }
+  std::printf("\nCDN streaming of the 1s playlist at %.0f kB/s:\n%s",
+              kBps, table.to_string().c_str());
+  std::printf("\nthe adaptive client coalesces consecutive playlist "
+              "segments into byte-range requests capped by W <= B*T — "
+              "fewer round trips and less per-request slow-start without "
+              "risking the deadline.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Quickstart: encode a synthetic video, splice it two ways, stream it
+// through a small P2P swarm on a simulated star network, and print the
+// QoE metrics the paper reports.
+//
+//   ./quickstart [bandwidth_kBps] [splicer] [policy]
+//   e.g. ./quickstart 256 4s adaptive
+//        ./quickstart 128 gop fixed:4
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/playlist.h"
+#include "core/splicer.h"
+#include "experiments/paper_setup.h"
+#include "video/encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace vsplice;
+
+  double bandwidth_kBps = 256;
+  std::string splicer_spec = "4s";
+  std::string policy_spec = "adaptive";
+  if (argc > 1) bandwidth_kBps = parse_double(argv[1]).value_or(256);
+  if (argc > 2) splicer_spec = argv[2];
+  if (argc > 3) policy_spec = argv[3];
+
+  // 1. The content: a 2-minute, 1 Mbps synthetic MPEG-4 video.
+  const video::VideoStream stream = video::make_paper_video();
+  std::printf("video: %.1f s, %.2f MB, %zu GOPs (%.2f..%.2f s), %.0f kb/s\n",
+              stream.duration().as_seconds(),
+              static_cast<double>(stream.byte_size()) / 1e6,
+              stream.gop_count(), stream.shortest_gop().as_seconds(),
+              stream.longest_gop().as_seconds(),
+              stream.average_bitrate().megabits_per_second() * 1000);
+
+  // 2. Splicing: compare the chosen technique against GOP splicing.
+  const auto splicer = core::make_splicer(splicer_spec);
+  const core::SegmentIndex index = splicer->splice(stream);
+  const core::SegmentIndex gop_index = core::GopSplicer{}.splice(stream);
+  std::printf("%-10s %4zu segments, %5.2f MB total, %4.1f%% overhead, "
+              "sizes %s..%s\n",
+              index.splicer_name().c_str(), index.count(),
+              static_cast<double>(index.total_size()) / 1e6,
+              index.overhead_ratio() * 100,
+              format_bytes(index.smallest_segment()).c_str(),
+              format_bytes(index.largest_segment()).c_str());
+  std::printf("%-10s %4zu segments, %5.2f MB total, %4.1f%% overhead, "
+              "sizes %s..%s\n",
+              gop_index.splicer_name().c_str(), gop_index.count(),
+              static_cast<double>(gop_index.total_size()) / 1e6,
+              gop_index.overhead_ratio() * 100,
+              format_bytes(gop_index.smallest_segment()).c_str(),
+              format_bytes(gop_index.largest_segment()).c_str());
+
+  // 3. The playlist the seeder would publish (first lines).
+  const std::string playlist = core::write_playlist(
+      core::playlist_from_index(index, "video.mp4"));
+  std::printf("\nplaylist (%zu bytes), first entries:\n", playlist.size());
+  int lines = 0;
+  for (const std::string& line : split(playlist, '\n')) {
+    std::printf("  %s\n", line.c_str());
+    if (++lines >= 9) break;
+  }
+
+  // 4. Stream it through the paper's 20-node swarm.
+  experiments::ScenarioConfig config;
+  config.splicer = splicer_spec;
+  config.policy = policy_spec;
+  config.bandwidth = Rate::kilobytes_per_second(bandwidth_kBps);
+  std::printf("\nstreaming through a %zu-node swarm at %.0f kB/s "
+              "(splicer=%s, policy=%s)...\n",
+              config.nodes, bandwidth_kBps, splicer_spec.c_str(),
+              policy_spec.c_str());
+  const experiments::ScenarioResult result =
+      experiments::run_scenario(config);
+
+  std::printf("\nper-swarm results (%zu viewers, %zu finished, "
+              "simulated %.1f s):\n",
+              result.viewer_count, result.finished_viewers,
+              result.wall_time.as_seconds());
+  std::printf("  total stalls:        %.0f (%.2f per viewer)\n",
+              result.total_stalls, result.mean_stalls);
+  std::printf("  total stall time:    %.1f s (%.2f s per viewer)\n",
+              result.total_stall_seconds, result.mean_stall_seconds);
+  std::printf("  mean startup time:   %.2f s\n",
+              result.mean_startup_seconds);
+  std::printf("  transport: %llu served / %llu choked (seeder %llu/%llu) "
+              "/ %llu aborted, seeder up %.1f MB, peers up %.1f MB, "
+              "delivered %.1f MB\n",
+              static_cast<unsigned long long>(result.requests_served),
+              static_cast<unsigned long long>(result.requests_choked),
+              static_cast<unsigned long long>(result.seeder_served),
+              static_cast<unsigned long long>(result.seeder_choked),
+              static_cast<unsigned long long>(result.pieces_aborted),
+              static_cast<double>(result.seeder_uploaded) / 1e6,
+              static_cast<double>(result.peers_uploaded) / 1e6,
+              result.network_bytes_delivered / 1e6);
+
+  std::printf("\nfirst three viewers:\n");
+  for (std::size_t i = 0; i < result.viewers.size() && i < 3; ++i) {
+    std::printf("  viewer %zu: %s\n", i + 1,
+                result.viewers[i].summary().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Splicing explorer: inspect how any splicing technique cuts a video —
+// per-segment table, size/duration distributions, playlist output.
+//
+//   ./splicing_explorer [splicer] [video_seconds] [seed]
+//   e.g. ./splicing_explorer gop
+//        ./splicing_explorer 4s 300 7
+//        ./splicing_explorer block:1000000
+
+#include <cstdio>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/playlist.h"
+#include "core/splicer.h"
+#include "video/encoder.h"
+#include "video/mp4.h"
+
+int main(int argc, char** argv) {
+  using namespace vsplice;
+
+  std::string spec = argc > 1 ? argv[1] : "gop";
+  const double seconds =
+      argc > 2 ? parse_double(argv[2]).value_or(120) : 120;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(
+                     parse_int(argv[3]).value_or(2015))
+               : 2015;
+
+  // Encode: the fixed paper video for 120 s, otherwise a random script.
+  video::VideoStream stream = [&] {
+    if (seconds == 120) return video::make_paper_video(seed);
+    Rng rng{seed};
+    const video::SyntheticEncoder encoder{video::EncoderParams{}};
+    return encoder.encode(
+        video::random_scene_script(Duration::seconds(seconds), rng), seed);
+  }();
+
+  std::printf("video: %.1f s, %s, %zu GOPs, %.0f kb/s\n",
+              stream.duration().as_seconds(),
+              format_bytes(stream.byte_size()).c_str(), stream.gop_count(),
+              stream.average_bitrate().megabits_per_second() * 1000);
+
+  const auto mp4 = video::write_mp4(stream);
+  std::printf("as MP4: %s (boxes:", format_bytes(
+                  static_cast<Bytes>(mp4.size())).c_str());
+  for (const auto& box : video::probe_boxes(mp4)) {
+    std::printf(" %s[%llu]", box.type.c_str(),
+                static_cast<unsigned long long>(box.size));
+  }
+  std::printf(")\n\n");
+
+  const auto splicer = core::make_splicer(spec);
+  const core::SegmentIndex index = splicer->splice(stream);
+
+  std::printf("splicer '%s': %zu segments, %s transfer bytes, "
+              "%.1f%% overhead\n\n",
+              index.splicer_name().c_str(), index.count(),
+              format_bytes(index.total_size()).c_str(),
+              index.overhead_ratio() * 100);
+
+  Table table{{"Seg", "Start s", "Dur s", "Size kB", "Overhead kB",
+               "Frames", "Keyed"}};
+  const std::size_t show = std::min<std::size_t>(index.count(), 12);
+  for (std::size_t i = 0; i < show; ++i) {
+    const core::Segment& seg = index.at(i);
+    table.add_row({std::to_string(seg.index),
+                   format_double(seg.start.as_seconds(), 2),
+                   format_double(seg.duration.as_seconds(), 2),
+                   format_double(static_cast<double>(seg.size) / 1e3, 1),
+                   format_double(static_cast<double>(seg.overhead) / 1e3, 1),
+                   std::to_string(seg.frame_count),
+                   seg.independently_playable ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (index.count() > show) {
+    std::printf("... (%zu more segments)\n", index.count() - show);
+  }
+
+  std::printf("\nsegment size distribution (kB):\n");
+  Histogram sizes{0.0, 200.0, 10};
+  for (const core::Segment& seg : index.segments()) {
+    sizes.add(static_cast<double>(seg.size) / 1e3);
+  }
+  std::printf("%s", sizes.to_string().c_str());
+
+  std::printf("\nsegment duration distribution (s):\n");
+  Histogram durations{0.0, 2.0, 9};
+  for (const core::Segment& seg : index.segments()) {
+    durations.add(seg.duration.as_seconds());
+  }
+  std::printf("%s", durations.to_string().c_str());
+
+  const std::string playlist = core::write_playlist(
+      core::playlist_from_index(index, "video.mp4"));
+  std::printf("\nHLS playlist: %zu bytes; head:\n", playlist.size());
+  int lines = 0;
+  for (const std::string& line : split(playlist, '\n')) {
+    std::printf("  %s\n", line.c_str());
+    if (++lines >= 8) break;
+  }
+  return 0;
+}

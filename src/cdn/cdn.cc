@@ -1,0 +1,120 @@
+#include "cdn/cdn.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vsplice::cdn {
+
+CdnServer::CdnServer(net::Network& network, net::NodeId node)
+    : node_{node} {
+  require(node.value < network.node_count(), "CDN node not in the network");
+}
+
+void CdnServer::record_request(Bytes bytes) {
+  ++requests_;
+  bytes_ += bytes;
+}
+
+CdnClient::CdnClient(net::Network& network, Rng& rng, net::NodeId node,
+                     CdnServer& server, const core::SegmentIndex& index,
+                     CdnClientConfig config)
+    : net_{network},
+      rng_{rng},
+      node_{node},
+      server_{server},
+      index_{index},
+      config_{config},
+      player_{network.simulator(), index, config.player},
+      estimator_{config.bandwidth_hint} {
+  require(config_.min_request > 0, "min_request must be positive");
+  require(config_.bandwidth_hint > Rate::zero(),
+          "bandwidth hint must be positive");
+}
+
+void CdnClient::start() {
+  require(!started_, "CDN client already started");
+  started_ = true;
+  player_.start_session();
+  conn_ = std::make_unique<net::Connection>(net_, rng_, node_,
+                                            server_.node());
+  conn_->connect([this] { request_next(); });
+}
+
+Bytes CdnClient::mean_request_size() const {
+  if (requests_ == 0) return 0;
+  return bytes_requested_ / static_cast<Bytes>(requests_);
+}
+
+std::size_t CdnClient::segments_for_next_request() const {
+  const std::size_t next = player_.buffer().frontier();
+  if (!config_.adaptive_sizing) return 1;
+
+  const Rate bandwidth = config_.estimate_bandwidth
+                             ? estimator_.estimate()
+                             : config_.bandwidth_hint;
+  const Bytes budget = core::recommend_segment_size(
+      bandwidth, player_.buffered_ahead(), config_.max_request,
+      config_.min_request);
+
+  // Coalesce whole segments while they fit the budget; always take at
+  // least one so progress never stops.
+  std::size_t count = 1;
+  Bytes total = index_.at(next).size;
+  while (next + count < index_.count()) {
+    const Bytes with_next = total + index_.at(next + count).size;
+    if (with_next > budget) break;
+    total = with_next;
+    ++count;
+  }
+  return count;
+}
+
+void CdnClient::request_next() {
+  if (request_in_flight_ || player_.buffer().complete()) return;
+  const std::size_t first = player_.buffer().frontier();
+  const std::size_t count = segments_for_next_request();
+
+  Bytes total = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    total += index_.at(first + k).size;
+  }
+  request_in_flight_ = true;
+  ++requests_;
+  bytes_requested_ += total;
+  server_.record_request(total);
+
+  const TimePoint started = net_.simulator().now();
+  conn_->fetch(
+      config_.request_bytes, total,
+      [this, first, count, started](
+          const net::Connection::FetchResult& result) {
+        request_in_flight_ = false;
+        auto& metrics = player_.metrics();
+        metrics.bytes_downloaded += result.bytes_delivered;
+        if (result.aborted) {
+          metrics.bytes_wasted += result.bytes_delivered;
+          return;  // client shutting down
+        }
+        estimator_.record(result.bytes_delivered,
+                          net_.simulator().now() - started);
+        for (std::size_t k = 0; k < count; ++k) {
+          player_.on_segment_downloaded(first + k);
+        }
+        if (!config_.persistent_connection) {
+          // Model connection-per-request clients: drop and re-dial. The
+          // old connection is replaced on the next tick so it is not
+          // destroyed from inside its own callback.
+          net_.simulator().after(Duration::zero(), [this] {
+            conn_ = std::make_unique<net::Connection>(net_, rng_, node_,
+                                                      server_.node());
+            conn_->connect([this] { request_next(); });
+          });
+          return;
+        }
+        request_next();
+      });
+}
+
+}  // namespace vsplice::cdn

@@ -1,0 +1,111 @@
+// Hybrid CDN delivery (Section IV).
+//
+// Many P2P streaming services pair the swarm with a CDN origin. When the
+// CDN serves segments one at a time over a persistent connection, the
+// stall-free bound becomes W <= B*T, and the client can *adapt the
+// segment size* it requests: coalesce consecutive playlist segments into
+// one byte-range request as large as the bound allows — maximizing
+// throughput (fewer request round trips, less slow start) while keeping
+// the per-request burden bounded.
+//
+// CdnServer is an origin with a fat uplink and no choking; CdnClient is a
+// sequential one-request-at-a-time streaming client with optional
+// adaptive request sizing built on core::recommend_segment_size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/bandwidth_estimator.h"
+#include "core/segment.h"
+#include "core/segment_sizing.h"
+#include "net/connection.h"
+#include "net/network.h"
+#include "streaming/player.h"
+
+namespace vsplice::cdn {
+
+/// Passive origin host: owns the node, counts what it serves. Transfers
+/// are client-driven request/response exchanges.
+class CdnServer {
+ public:
+  CdnServer(net::Network& network, net::NodeId node);
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+  [[nodiscard]] Bytes bytes_served() const { return bytes_; }
+
+  void record_request(Bytes bytes);
+
+ private:
+  net::NodeId node_;
+  std::uint64_t requests_ = 0;
+  Bytes bytes_ = 0;
+};
+
+struct CdnClientConfig {
+  streaming::PlayerConfig player;
+  /// Adapt the per-request size to W <= B*T by coalescing consecutive
+  /// segments; false = one playlist segment per request.
+  bool adaptive_sizing = false;
+  /// The B of the bound. Also seeds the estimator.
+  Rate bandwidth_hint = Rate::kilobytes_per_second(256);
+  /// Learn B from completed transfers instead of trusting the hint.
+  bool estimate_bandwidth = false;
+  /// Never shrink a request below this (avoids degenerate tiny ranges).
+  Bytes min_request = 64 * 1024;
+  /// Cap on any single request (the "don't overload the server" side of
+  /// Section IV); 0 = uncapped.
+  Bytes max_request = 0;
+  /// HTTP request size.
+  Bytes request_bytes = 256;
+  /// Reuse one connection (HTTP keep-alive) instead of reconnecting per
+  /// request.
+  bool persistent_connection = true;
+};
+
+class CdnClient {
+ public:
+  CdnClient(net::Network& network, Rng& rng, net::NodeId node,
+            CdnServer& server, const core::SegmentIndex& index,
+            CdnClientConfig config);
+  CdnClient(const CdnClient&) = delete;
+  CdnClient& operator=(const CdnClient&) = delete;
+
+  /// Starts the streaming session now.
+  void start();
+
+  [[nodiscard]] const streaming::Player& player() const { return player_; }
+  [[nodiscard]] const streaming::QoeMetrics& metrics() const {
+    return player_.metrics();
+  }
+  [[nodiscard]] bool finished() const { return player_.finished(); }
+
+  [[nodiscard]] std::uint64_t requests_made() const { return requests_; }
+  /// Mean coalesced request size actually used.
+  [[nodiscard]] Bytes mean_request_size() const;
+
+ private:
+  void request_next();
+  /// How many consecutive segments (>= 1) to coalesce into the next
+  /// request under the W <= B*T bound.
+  [[nodiscard]] std::size_t segments_for_next_request() const;
+
+  net::Network& net_;
+  Rng& rng_;
+  net::NodeId node_;
+  CdnServer& server_;
+  const core::SegmentIndex& index_;
+  CdnClientConfig config_;
+  streaming::Player player_;
+  core::BandwidthEstimator estimator_;
+  std::unique_ptr<net::Connection> conn_;
+  bool started_ = false;
+  bool request_in_flight_ = false;
+  std::uint64_t requests_ = 0;
+  Bytes bytes_requested_ = 0;
+};
+
+}  // namespace vsplice::cdn

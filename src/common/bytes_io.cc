@@ -1,0 +1,121 @@
+#include "common/bytes_io.h"
+
+#include "common/error.h"
+
+namespace vsplice {
+
+ByteWriter::ByteWriter(std::size_t expected_size) {
+  buf_.reserve(expected_size);
+}
+
+void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::put_fourcc(std::string_view code) {
+  require(code.size() == 4, "fourcc must be exactly 4 bytes: '" +
+                                std::string{code} + "'");
+  put_string(code);
+}
+
+void ByteWriter::put_zeros(std::size_t n) {
+  buf_.insert(buf_.end(), n, std::uint8_t{0});
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  require(offset + 4 <= buf_.size(), "patch_u32 out of range");
+  buf_[offset] = static_cast<std::uint8_t>(v >> 24);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw ParseError{"byte stream truncated: need " + std::to_string(n) +
+                     " bytes at offset " + std::to_string(pos_) +
+                     " but only " + std::to_string(data_.size() - pos_) +
+                     " remain"};
+  }
+}
+
+std::uint8_t ByteReader::get_u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  need(2);
+  const auto v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) |
+      static_cast<std::uint16_t>(data_[pos_ + 1]));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v = (v << 8) | static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const std::uint64_t hi = get_u32();
+  const std::uint64_t lo = get_u32();
+  return (hi << 32) | lo;
+}
+
+std::vector<std::uint8_t> ByteReader::get_bytes(std::size_t n) {
+  need(n);
+  std::vector<std::uint8_t> out{data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n)};
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::get_string(std::size_t n) {
+  need(n);
+  std::string out{reinterpret_cast<const char*>(data_.data()) + pos_, n};
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::skip(std::size_t n) {
+  need(n);
+  pos_ += n;
+}
+
+ByteReader ByteReader::sub_reader(std::size_t n) {
+  need(n);
+  ByteReader sub{data_.subspan(pos_, n)};
+  pos_ += n;
+  return sub;
+}
+
+}  // namespace vsplice

@@ -1,0 +1,86 @@
+// Byte-buffer reader/writer with network (big-endian) byte order.
+//
+// Shared by the ISO-BMFF (MP4) container code and the P2P wire protocol,
+// both of which are big-endian formats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsplice {
+
+/// Appends big-endian encoded values to a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  /// Reserve `expected_size` bytes up front.
+  explicit ByteWriter(std::size_t expected_size);
+
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i16(std::int16_t v) { put_u16(static_cast<std::uint16_t>(v)); }
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  void put_string(std::string_view s);
+  /// Four-character code, e.g. "moov". Must be exactly 4 bytes.
+  void put_fourcc(std::string_view code);
+  /// Append `n` zero bytes.
+  void put_zeros(std::size_t n);
+
+  /// Overwrite 4 bytes at `offset` (already written) with `v`; used to
+  /// back-patch box sizes once a box body is complete.
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads big-endian values from a byte span. Throws ParseError on
+/// overrun, so callers never silently read garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint16_t get_u16();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::int32_t get_i32() {
+    return static_cast<std::int32_t>(get_u32());
+  }
+  [[nodiscard]] std::int64_t get_i64() {
+    return static_cast<std::int64_t>(get_u64());
+  }
+  [[nodiscard]] std::vector<std::uint8_t> get_bytes(std::size_t n);
+  [[nodiscard]] std::string get_string(std::size_t n);
+  [[nodiscard]] std::string get_fourcc() { return get_string(4); }
+  void skip(std::size_t n);
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+  /// A sub-reader over the next `n` bytes; advances this reader past them.
+  [[nodiscard]] ByteReader sub_reader(std::size_t n);
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vsplice

@@ -1,0 +1,43 @@
+// Exception types and precondition checking used across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vsplice {
+
+/// Base class for all vsplice errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A caller violated an API precondition (bad argument, bad state).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed external data (MP4 bitstream, playlist, wire message).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violated; indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument{message};
+}
+
+/// Throws InternalError with `message` unless `condition` holds.
+inline void check_invariant(bool condition, const std::string& message) {
+  if (!condition) throw InternalError{message};
+}
+
+}  // namespace vsplice

@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vsplice {
+
+Histogram::Histogram(double lo, double bucket_width, std::size_t buckets)
+    : lo_{lo}, width_{bucket_width}, counts_(buckets, 0) {
+  require(bucket_width > 0.0, "histogram bucket width must be positive");
+  require(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const double idx = std::floor((x - lo_) / width_);
+  if (idx >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+std::size_t Histogram::count_in_bucket(std::size_t i) const {
+  require(i < counts_.size(), "histogram bucket index out of range");
+  return counts_[i];
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  require(i < counts_.size(), "histogram bucket index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_high(std::size_t i) const {
+  return bucket_low(i) + width_;
+}
+
+std::string Histogram::to_string(std::size_t max_bar_width) const {
+  std::size_t peak = std::max<std::size_t>(underflow_, overflow_);
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+
+  std::ostringstream out;
+  auto bar = [&](std::size_t count) {
+    const auto w = static_cast<std::size_t>(std::llround(
+        static_cast<double>(count) / static_cast<double>(peak) *
+        static_cast<double>(max_bar_width)));
+    return std::string(w, '#');
+  };
+  char label[64];
+  if (underflow_ > 0)
+    out << "       < " << lo_ << "  " << underflow_ << "  "
+        << bar(underflow_) << '\n';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    std::snprintf(label, sizeof label, "[%8.3g, %8.3g)", bucket_low(i),
+                  bucket_high(i));
+    out << label << "  " << counts_[i] << "  " << bar(counts_[i]) << '\n';
+  }
+  if (overflow_ > 0)
+    out << "      >= " << bucket_low(counts_.size() - 1) + width_ << "  "
+        << overflow_ << "  " << bar(overflow_) << '\n';
+  return out.str();
+}
+
+}  // namespace vsplice

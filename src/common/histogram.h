@@ -1,0 +1,40 @@
+// Fixed-width-bucket histogram for distribution summaries (stall lengths,
+// segment sizes, GOP durations).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vsplice {
+
+class Histogram {
+ public:
+  /// Buckets of `bucket_width` starting at `lo`; values below `lo` land
+  /// in an underflow bucket, values at or above `lo + buckets*width` in an
+  /// overflow bucket.
+  Histogram(double lo, double bucket_width, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t total_count() const { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bucket(std::size_t i) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] double bucket_low(std::size_t i) const;
+  [[nodiscard]] double bucket_high(std::size_t i) const;
+
+  /// ASCII rendering, one line per non-empty bucket with a '#' bar.
+  [[nodiscard]] std::string to_string(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vsplice

@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace vsplice {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Off:
+      return "off";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", to_string(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace vsplice

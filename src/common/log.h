@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// Simulations are run thousands of times inside benchmark sweeps, so the
+// default level is Warn; examples raise it to Info/Debug to narrate what
+// the swarm is doing. Not thread-safe by design — the simulator is
+// single-threaded (discrete-event), so there is nothing to synchronize.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vsplice {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr: "[level] component: message".
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_{level}, component_{std::move(component)} {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, out_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+#define VSPLICE_LOG(level, component)                      \
+  if (::vsplice::log_level() <= (level))                   \
+  ::vsplice::detail::LogLine { (level), (component) }
+
+#define VSPLICE_DEBUG(component) \
+  VSPLICE_LOG(::vsplice::LogLevel::Debug, component)
+#define VSPLICE_INFO(component) \
+  VSPLICE_LOG(::vsplice::LogLevel::Info, component)
+#define VSPLICE_WARN(component) \
+  VSPLICE_LOG(::vsplice::LogLevel::Warn, component)
+#define VSPLICE_ERROR(component) \
+  VSPLICE_LOG(::vsplice::LogLevel::Error, component)
+
+}  // namespace vsplice

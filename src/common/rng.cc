@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vsplice {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // All-zero state is the one forbidden state of xoshiro; seed 0 through
+  // splitmix64 cannot produce it, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "uniform_int: lo must be <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "uniform: lo must be <= hi");
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  require(mean > 0.0, "exponential: mean must be positive");
+  // 1 - u is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Rng::normal(double mu, double sigma) {
+  require(sigma >= 0.0, "normal: sigma must be non-negative");
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mu + sigma * spare_normal_;
+  }
+  double u1 = next_double();
+  while (u1 == 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return mu + sigma * r * std::cos(theta);
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  require(mean > 0.0, "lognormal_mean_cv: mean must be positive");
+  require(cv > 0.0, "lognormal_mean_cv: cv must be positive");
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+std::size_t Rng::index(std::size_t n) {
+  require(n > 0, "index: n must be positive");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::fork() { return Rng{next_u64()}; }
+
+}  // namespace vsplice

@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vsplice {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double OnlineStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n_total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n_total);
+  mean_ += delta * static_cast<double>(other.n_) /
+           static_cast<double>(n_total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ = n_total;
+}
+
+void Percentiles::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+std::optional<double> Percentiles::percentile(double p) const {
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100]");
+  if (samples_.empty()) return std::nullopt;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank =
+      p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+long long rounded_average(const std::vector<double>& runs) {
+  return std::llround(mean_of(runs));
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+}  // namespace vsplice

@@ -1,0 +1,64 @@
+// Small statistics toolkit: online moments, percentiles, and the paper's
+// "ran three times and took the rounded average" aggregation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace vsplice {
+
+/// Numerically stable online mean/variance (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Collects samples and answers percentile queries (linear interpolation
+/// between closest ranks, the common "type 7" definition).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// p in [0, 100]. Returns nullopt when empty.
+  [[nodiscard]] std::optional<double> percentile(double p) const;
+  [[nodiscard]] std::optional<double> median() const {
+    return percentile(50.0);
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Mean of the samples rounded to the nearest integer — the aggregation
+/// the paper applies to its three runs per data point ("took the rounded
+/// average").
+[[nodiscard]] long long rounded_average(const std::vector<double>& runs);
+
+/// Plain mean; 0 for an empty vector.
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+}  // namespace vsplice

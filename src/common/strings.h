@@ -1,0 +1,31 @@
+// Small string utilities used by the playlist (m3u8) parser and CLI tools.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsplice {
+
+/// Splits on a single-character delimiter; adjacent delimiters produce
+/// empty fields (like str.split in most languages).
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits into at most two pieces at the first occurrence of `delim`.
+[[nodiscard]] std::optional<std::pair<std::string, std::string>> split_once(
+    std::string_view s, char delim);
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Strict decimal parse of the whole string; nullopt on any junk.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s);
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Joins with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace vsplice

@@ -1,0 +1,38 @@
+// Column-aligned plain-text tables, used by the benchmark harnesses to
+// print the same rows/series the paper's figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vsplice {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows: first cell is the label, the rest are
+  /// formatted with `decimals` fraction digits.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int decimals = 0);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as comma-separated values (for spreadsheet import).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of fraction digits.
+[[nodiscard]] std::string format_double(double v, int decimals);
+
+}  // namespace vsplice

@@ -1,0 +1,62 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vsplice {
+
+namespace {
+
+std::string printf_string(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const {
+  if (is_infinite()) return "inf";
+  const double s = as_seconds();
+  if (std::abs(s) >= 1.0) return printf_string("%.3fs", s);
+  if (std::abs(s) >= 1e-3) return printf_string("%.3fms", s * 1e3);
+  return printf_string("%.0fus", s * 1e6);
+}
+
+std::string TimePoint::to_string() const {
+  if (is_infinite()) return "t=inf";
+  return "t=" + printf_string("%.6fs", as_seconds());
+}
+
+Bytes Rate::bytes_over(Duration d) const {
+  if (d.is_negative() || bps_ <= 0.0) return 0;
+  if (is_infinite()) return std::numeric_limits<Bytes>::max();
+  return static_cast<Bytes>(std::floor(bps_ * d.as_seconds()));
+}
+
+Duration Rate::time_to_send(Bytes n) const {
+  if (n <= 0) return Duration::zero();
+  if (bps_ <= 0.0) return Duration::infinity();
+  if (is_infinite()) return Duration::zero();
+  const double s = static_cast<double>(n) / bps_;
+  // Round up to the next microsecond so that after waiting the returned
+  // duration the flow has definitely moved at least n bytes.
+  return Duration::micros(
+      static_cast<std::int64_t>(std::ceil(s * 1e6)));
+}
+
+std::string Rate::to_string() const {
+  if (is_infinite()) return "inf B/s";
+  if (bps_ >= 1e6) return printf_string("%.2f MB/s", bps_ / 1e6);
+  if (bps_ >= 1e3) return printf_string("%.1f kB/s", bps_ / 1e3);
+  return printf_string("%.0f B/s", bps_);
+}
+
+std::string format_bytes(Bytes n) {
+  const double v = static_cast<double>(n);
+  if (n >= 10'000'000) return printf_string("%.2f MB", v / 1e6);
+  if (n >= 10'000) return printf_string("%.1f kB", v / 1e3);
+  return printf_string("%.0f B", v);
+}
+
+}  // namespace vsplice

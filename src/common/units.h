@@ -1,0 +1,220 @@
+// Strong types for simulated time, data sizes and data rates.
+//
+// The discrete-event simulator keeps time as integer microseconds so that
+// event ordering is exact and runs are bit-reproducible across platforms.
+// Rates are kept as double bytes-per-second; the conversion helpers below
+// are the only place where rate*time arithmetic happens, so rounding policy
+// lives in exactly one spot.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vsplice {
+
+/// Number of bytes. Signed so that subtraction is safe in intermediate
+/// arithmetic; negative byte counts are always a logic error at API
+/// boundaries and are asserted there.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes operator""_B(unsigned long long v) {
+  return static_cast<Bytes>(v);
+}
+inline constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v * 1024);
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v * 1024 * 1024);
+}
+/// Decimal kilobytes, the unit the paper uses ("128 kB/s").
+inline constexpr Bytes operator""_kB(unsigned long long v) {
+  return static_cast<Bytes>(v * 1000);
+}
+inline constexpr Bytes operator""_MB(unsigned long long v) {
+  return static_cast<Bytes>(v * 1000 * 1000);
+}
+
+/// A span of simulated time with microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) {
+    return Duration{us};
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) {
+    return Duration{ms * 1000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(std::llround(s * 1e6))};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double m) {
+    return seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(us_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double as_millis() const {
+    return static_cast<double>(us_) * 1e-3;
+  }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return us_ == std::numeric_limits<std::int64_t>::max();
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return us_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return us_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration{us_ + other.us_};
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration{us_ - other.us_};
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(
+        std::llround(static_cast<double>(us_) * k))};
+  }
+  constexpr Duration operator/(double k) const { return *this * (1.0 / k); }
+  [[nodiscard]] constexpr double operator/(Duration other) const {
+    return static_cast<double>(us_) / static_cast<double>(other.us_);
+  }
+  constexpr Duration& operator+=(Duration other) {
+    us_ += other.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    us_ -= other.us_;
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute point on the simulated timeline. Time zero is the start of
+/// the simulation.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint from_micros(std::int64_t us) {
+    return TimePoint{us};
+  }
+  [[nodiscard]] static constexpr TimePoint from_seconds(double s) {
+    return TimePoint{Duration::seconds(s).count_micros()};
+  }
+  [[nodiscard]] static constexpr TimePoint infinity() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(us_) * 1e-6;
+  }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return us_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{us_ + d.count_micros()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{us_ - d.count_micros()};
+  }
+  [[nodiscard]] constexpr Duration operator-(TimePoint other) const {
+    return Duration::micros(us_ - other.us_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    us_ += d.count_micros();
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// A data rate in bytes per second.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  [[nodiscard]] static constexpr Rate bytes_per_second(double v) {
+    return Rate{v};
+  }
+  [[nodiscard]] static constexpr Rate kilobytes_per_second(double v) {
+    return Rate{v * 1000.0};
+  }
+  [[nodiscard]] static constexpr Rate megabits_per_second(double v) {
+    return Rate{v * 1e6 / 8.0};
+  }
+  [[nodiscard]] static constexpr Rate zero() { return Rate{0.0}; }
+  [[nodiscard]] static constexpr Rate infinity() {
+    return Rate{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double bytes_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double kilobytes_per_second() const {
+    return bps_ / 1000.0;
+  }
+  [[nodiscard]] constexpr double megabits_per_second() const {
+    return bps_ * 8.0 / 1e6;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0.0; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return bps_ == std::numeric_limits<double>::infinity();
+  }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  constexpr Rate operator+(Rate other) const { return Rate{bps_ + other.bps_}; }
+  constexpr Rate operator-(Rate other) const { return Rate{bps_ - other.bps_}; }
+  constexpr Rate operator*(double k) const { return Rate{bps_ * k}; }
+  constexpr Rate operator/(double k) const { return Rate{bps_ / k}; }
+  [[nodiscard]] constexpr double operator/(Rate other) const {
+    return bps_ / other.bps_;
+  }
+  constexpr Rate& operator+=(Rate other) {
+    bps_ += other.bps_;
+    return *this;
+  }
+  constexpr Rate& operator-=(Rate other) {
+    bps_ -= other.bps_;
+    return *this;
+  }
+
+  /// Bytes transferred at this rate over `d` (floor, never negative).
+  [[nodiscard]] Bytes bytes_over(Duration d) const;
+
+  /// Time to move `n` bytes at this rate. Infinite for a zero rate; zero
+  /// bytes always take zero time.
+  [[nodiscard]] Duration time_to_send(Bytes n) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Rate(double bps) : bps_{bps} {}
+  double bps_ = 0.0;
+};
+
+[[nodiscard]] std::string format_bytes(Bytes n);
+
+}  // namespace vsplice

@@ -1,0 +1,26 @@
+#include "core/bandwidth_estimator.h"
+
+#include "common/error.h"
+
+namespace vsplice::core {
+
+BandwidthEstimator::BandwidthEstimator(Rate initial, double alpha)
+    : estimate_{initial}, alpha_{alpha} {
+  require(initial >= Rate::zero(), "initial estimate cannot be negative");
+  require(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+void BandwidthEstimator::record(Bytes bytes, Duration elapsed) {
+  require(bytes >= 0, "cannot record negative bytes");
+  if (elapsed < Duration::millis(1)) return;
+  const Rate sample = Rate::bytes_per_second(
+      static_cast<double>(bytes) / elapsed.as_seconds());
+  if (samples_ == 0) {
+    estimate_ = sample;
+  } else {
+    estimate_ = estimate_ * (1.0 - alpha_) + sample * alpha_;
+  }
+  ++samples_;
+}
+
+}  // namespace vsplice::core

@@ -1,0 +1,39 @@
+// Peer bandwidth estimation.
+//
+// Equation (1) needs the available bandwidth B. The paper simulates B on
+// GENI (the links are shaped, so B is known) and cites Libswift-style
+// estimation from packet timing for the real world. This estimator
+// supports both: seed it with the known rate, or let it learn from
+// completed transfers via an exponentially weighted moving average.
+#pragma once
+
+#include "common/units.h"
+
+namespace vsplice::core {
+
+class BandwidthEstimator {
+ public:
+  /// `initial` is used until the first sample arrives. `alpha` is the
+  /// EWMA weight of a new sample, in (0, 1].
+  explicit BandwidthEstimator(Rate initial, double alpha = 0.3);
+
+  /// Records a completed transfer of `bytes` over `elapsed`. Transfers
+  /// shorter than 1 ms are ignored (their rate is all noise).
+  void record(Bytes bytes, Duration elapsed);
+
+  /// Records an aggregate observation: total bytes moved by several
+  /// concurrent transfers over a wall-clock window.
+  void record_window(Bytes bytes, Duration window) {
+    record(bytes, window);
+  }
+
+  [[nodiscard]] Rate estimate() const { return estimate_; }
+  [[nodiscard]] std::size_t sample_count() const { return samples_; }
+
+ private:
+  Rate estimate_;
+  double alpha_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace vsplice::core

@@ -1,0 +1,121 @@
+#include "core/extraction.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "video/mp4.h"
+
+namespace vsplice::core {
+
+namespace {
+
+/// Locates the mdat payload within the serialized file.
+std::span<const std::uint8_t> mdat_payload(
+    std::span<const std::uint8_t> mp4) {
+  for (const video::Mp4BoxInfo& box : video::probe_boxes(mp4)) {
+    if (box.type == "mdat") {
+      return mp4.subspan(static_cast<std::size_t>(box.offset) + 8,
+                         static_cast<std::size_t>(box.size) - 8);
+    }
+  }
+  throw InvalidArgument{"MP4 has no mdat box"};
+}
+
+/// Display-order frame sizes (the mdat layout: GOP after GOP).
+std::vector<Bytes> frame_sizes(const video::VideoStream& stream) {
+  std::vector<Bytes> sizes;
+  sizes.reserve(stream.frame_count());
+  for (const video::Gop& gop : stream.gops()) {
+    for (const video::Frame& frame : gop.frames()) {
+      sizes.push_back(frame.size);
+    }
+  }
+  return sizes;
+}
+
+/// Whether the splicer replaced the segment's first source frame with a
+/// re-encoded I-frame (duration-style splicing cutting mid-GOP).
+bool has_synthetic_keyframe(const video::VideoStream& stream,
+                            const Segment& segment) {
+  if (!segment.independently_playable) return false;  // raw block cut
+  const auto timeline = stream.timeline();
+  require(segment.first_frame < timeline.size(),
+          "segment refers to frames beyond the stream");
+  return !timeline[segment.first_frame].frame.is_keyframe();
+}
+
+}  // namespace
+
+MediaRange media_range_of(const video::VideoStream& stream,
+                          const SegmentIndex& index, std::size_t segment) {
+  const Segment& seg = index.at(segment);
+  const std::vector<Bytes> sizes = frame_sizes(stream);
+  require(seg.first_frame + seg.frame_count <= sizes.size(),
+          "segment index does not match this stream");
+  MediaRange range;
+  for (std::size_t f = 0; f < seg.first_frame; ++f) {
+    range.offset += sizes[f];
+  }
+  for (std::size_t f = 0; f < seg.frame_count; ++f) {
+    range.length += sizes[seg.first_frame + f];
+  }
+  check_invariant(range.length == seg.media_size,
+                  "frame sizes disagree with the segment's media size");
+  return range;
+}
+
+SegmentPayload extract_segment(std::span<const std::uint8_t> mp4,
+                               const video::VideoStream& stream,
+                               const SegmentIndex& index,
+                               std::size_t segment) {
+  const Segment& seg = index.at(segment);
+  const auto payload = mdat_payload(mp4);
+  require(static_cast<Bytes>(payload.size()) == stream.byte_size(),
+          "MP4 payload size does not match the stream");
+  const MediaRange range = media_range_of(stream, index, segment);
+
+  SegmentPayload out;
+  out.bytes.reserve(static_cast<std::size_t>(seg.size));
+
+  Bytes media_skip = 0;  // source bytes replaced by the synthetic prefix
+  if (has_synthetic_keyframe(stream, seg)) {
+    const Bytes replaced =
+        stream.timeline()[seg.first_frame].frame.size;
+    out.synthetic_prefix = seg.overhead + replaced;
+    media_skip = replaced;
+    // Deterministic stand-in for the re-encoded I-frame's bytes.
+    Rng rng{0x5EEDu ^ static_cast<std::uint64_t>(segment)};
+    for (Bytes b = 0; b < out.synthetic_prefix; ++b) {
+      out.bytes.push_back(
+          static_cast<std::uint8_t>(rng.next_u64() & 0xFF));
+    }
+  }
+
+  const auto media = payload.subspan(
+      static_cast<std::size_t>(range.offset + media_skip),
+      static_cast<std::size_t>(range.length - media_skip));
+  out.bytes.insert(out.bytes.end(), media.begin(), media.end());
+  check_invariant(static_cast<Bytes>(out.bytes.size()) == seg.size,
+                  "extracted payload size disagrees with the segment");
+  return out;
+}
+
+bool reassembles_exactly(std::span<const std::uint8_t> mp4,
+                         const video::VideoStream& stream,
+                         const SegmentIndex& index) {
+  const auto payload = mdat_payload(mp4);
+  std::vector<std::uint8_t> rebuilt;
+  rebuilt.reserve(payload.size());
+  for (std::size_t s = 0; s < index.count(); ++s) {
+    const MediaRange range = media_range_of(stream, index, s);
+    const auto media =
+        payload.subspan(static_cast<std::size_t>(range.offset),
+                        static_cast<std::size_t>(range.length));
+    rebuilt.insert(rebuilt.end(), media.begin(), media.end());
+  }
+  return rebuilt.size() == payload.size() &&
+         std::equal(rebuilt.begin(), rebuilt.end(), payload.begin());
+}
+
+}  // namespace vsplice::core

@@ -1,0 +1,54 @@
+// Byte-accurate segment extraction from the seeder's MP4 file.
+//
+// The seeder stores one MP4 and serves spliced byte ranges of its media
+// payload (HLS single-file VoD with #EXT-X-BYTERANGE). A segment's media
+// bytes are the contiguous run of its source frames inside mdat; for
+// duration-spliced segments that start mid-GOP the transfer additionally
+// carries the re-encoded leading I-frame, which does not exist in the
+// source file and is synthesized deterministically here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "core/segment.h"
+#include "video/video_stream.h"
+
+namespace vsplice::core {
+
+struct SegmentPayload {
+  /// Exactly segment.size bytes: synthetic I-frame prefix (if any)
+  /// followed by the source media bytes.
+  std::vector<std::uint8_t> bytes;
+  /// Length of the synthesized prefix (== segment.overhead + the size of
+  /// the replaced source frame when the cut fell mid-GOP, else 0).
+  Bytes synthetic_prefix = 0;
+};
+
+/// Byte range of `segment`'s source media within the MP4's mdat payload
+/// (offset relative to the first payload byte, not the file start).
+struct MediaRange {
+  Bytes offset = 0;
+  Bytes length = 0;
+};
+[[nodiscard]] MediaRange media_range_of(const video::VideoStream& stream,
+                                        const SegmentIndex& index,
+                                        std::size_t segment);
+
+/// Extracts one segment's transfer payload from a serialized MP4 of
+/// `stream`. Throws InvalidArgument if index/stream/file disagree.
+[[nodiscard]] SegmentPayload extract_segment(
+    std::span<const std::uint8_t> mp4, const video::VideoStream& stream,
+    const SegmentIndex& index, std::size_t segment);
+
+/// Reassembles every segment's *source media* (dropping synthetic
+/// prefixes and restoring replaced frames) and returns true when the
+/// result is byte-identical to the MP4's mdat payload — the invariant
+/// that lets any peer rebuild the original file from its segments.
+[[nodiscard]] bool reassembles_exactly(std::span<const std::uint8_t> mp4,
+                                       const video::VideoStream& stream,
+                                       const SegmentIndex& index);
+
+}  // namespace vsplice::core

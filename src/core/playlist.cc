@@ -1,0 +1,153 @@
+#include "core/playlist.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace vsplice::core {
+
+Duration Playlist::total_duration() const {
+  Duration total = Duration::zero();
+  for (const PlaylistEntry& e : entries) total += e.duration;
+  return total;
+}
+
+Playlist playlist_from_index(const SegmentIndex& index,
+                             const std::string& media_uri) {
+  Playlist playlist;
+  Duration longest = Duration::zero();
+  Bytes offset = 0;
+  for (const Segment& seg : index.segments()) {
+    PlaylistEntry entry;
+    entry.duration = seg.duration;
+    entry.size = seg.size;
+    entry.offset = offset;
+    entry.uri = media_uri;
+    offset += seg.size;
+    longest = std::max(longest, seg.duration);
+    playlist.entries.push_back(std::move(entry));
+  }
+  // HLS: target duration is the max segment duration, rounded up.
+  playlist.target_duration =
+      Duration::seconds(std::ceil(longest.as_seconds()));
+  return playlist;
+}
+
+std::string write_playlist(const Playlist& playlist) {
+  require(!playlist.entries.empty(), "cannot write an empty playlist");
+  std::ostringstream out;
+  out << "#EXTM3U\n";
+  out << "#EXT-X-VERSION:" << playlist.version << '\n';
+  out << "#EXT-X-TARGETDURATION:"
+      << static_cast<long long>(
+             std::ceil(playlist.target_duration.as_seconds()))
+      << '\n';
+  out << "#EXT-X-MEDIA-SEQUENCE:0\n";
+  out << "#EXT-X-PLAYLIST-TYPE:VOD\n";
+  for (const PlaylistEntry& entry : playlist.entries) {
+    out << "#EXTINF:" << format_double(entry.duration.as_seconds(), 5)
+        << ",\n";
+    out << "#EXT-X-BYTERANGE:" << entry.size << '@' << entry.offset << '\n';
+    out << entry.uri << '\n';
+  }
+  if (playlist.endlist) out << "#EXT-X-ENDLIST\n";
+  return out.str();
+}
+
+Playlist parse_playlist(const std::string& text) {
+  Playlist playlist;
+  playlist.endlist = false;
+
+  Duration pending_duration = Duration::zero();
+  bool has_duration = false;
+  Bytes pending_size = 0;
+  Bytes pending_offset = 0;
+  bool has_range = false;
+  bool saw_header = false;
+
+  for (const std::string& raw_line : split(text, '\n')) {
+    const std::string_view line = trim(raw_line);
+    if (line.empty()) continue;
+    if (line == "#EXTM3U") {
+      saw_header = true;
+    } else if (starts_with(line, "#EXT-X-VERSION:")) {
+      const auto v = parse_int(line.substr(15));
+      if (!v) throw ParseError{"bad #EXT-X-VERSION line"};
+      playlist.version = static_cast<int>(*v);
+    } else if (starts_with(line, "#EXT-X-TARGETDURATION:")) {
+      const auto v = parse_double(line.substr(22));
+      if (!v || *v < 0) throw ParseError{"bad #EXT-X-TARGETDURATION line"};
+      playlist.target_duration = Duration::seconds(*v);
+    } else if (starts_with(line, "#EXTINF:")) {
+      auto body = line.substr(8);
+      // "#EXTINF:<duration>,[title]"
+      const auto comma = body.find(',');
+      if (comma != std::string_view::npos) body = body.substr(0, comma);
+      const auto v = parse_double(body);
+      if (!v || *v <= 0) throw ParseError{"bad #EXTINF duration"};
+      pending_duration = Duration::seconds(*v);
+      has_duration = true;
+    } else if (starts_with(line, "#EXT-X-BYTERANGE:")) {
+      const auto split_at = split_once(line.substr(17), '@');
+      if (!split_at) throw ParseError{"#EXT-X-BYTERANGE needs size@offset"};
+      const auto size = parse_int(split_at->first);
+      const auto offset = parse_int(split_at->second);
+      if (!size || *size <= 0 || !offset || *offset < 0) {
+        throw ParseError{"bad #EXT-X-BYTERANGE values"};
+      }
+      pending_size = static_cast<Bytes>(*size);
+      pending_offset = static_cast<Bytes>(*offset);
+      has_range = true;
+    } else if (line == "#EXT-X-ENDLIST") {
+      playlist.endlist = true;
+    } else if (starts_with(line, "#")) {
+      // Unknown tags are ignored per the HLS spec.
+    } else {
+      // A URI line closes the pending entry.
+      if (!has_duration) {
+        throw ParseError{"playlist URI without a preceding #EXTINF"};
+      }
+      PlaylistEntry entry;
+      entry.duration = pending_duration;
+      entry.uri = std::string{line};
+      if (has_range) {
+        entry.size = pending_size;
+        entry.offset = pending_offset;
+      }
+      playlist.entries.push_back(std::move(entry));
+      has_duration = false;
+      has_range = false;
+    }
+  }
+  if (!saw_header) throw ParseError{"missing #EXTM3U header"};
+  if (playlist.entries.empty()) throw ParseError{"playlist has no entries"};
+  return playlist;
+}
+
+SegmentIndex index_from_playlist(const Playlist& playlist,
+                                 const std::string& name) {
+  std::vector<Segment> segments;
+  segments.reserve(playlist.entries.size());
+  Duration cursor = Duration::zero();
+  for (std::size_t i = 0; i < playlist.entries.size(); ++i) {
+    const PlaylistEntry& entry = playlist.entries[i];
+    require(entry.size > 0,
+            "playlist entry " + std::to_string(i) +
+                " lacks a byte range; cannot rebuild a segment index");
+    Segment seg;
+    seg.index = i;
+    seg.start = cursor;
+    seg.duration = entry.duration;
+    seg.size = entry.size;
+    seg.media_size = entry.size;
+    seg.overhead = 0;
+    cursor += entry.duration;
+    segments.push_back(seg);
+  }
+  return SegmentIndex{std::move(segments), name};
+}
+
+}  // namespace vsplice::core

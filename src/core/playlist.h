@@ -1,0 +1,50 @@
+// HLS media playlists (m3u8) for a spliced video.
+//
+// The seeder publishes its segment index as a standard HLS media
+// playlist: #EXTINF carries each segment's duration, #EXT-X-BYTERANGE its
+// byte range within the source file — exactly how a single-file HLS VoD
+// asset is served. parse_playlist round-trips what write_playlist emits
+// and accepts any playlist restricted to these tags.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/segment.h"
+
+namespace vsplice::core {
+
+struct PlaylistEntry {
+  Duration duration = Duration::zero();
+  Bytes size = 0;
+  Bytes offset = 0;  // byte offset in the media file
+  std::string uri;
+};
+
+struct Playlist {
+  int version = 7;
+  Duration target_duration = Duration::zero();
+  bool endlist = true;  // VoD playlists end with #EXT-X-ENDLIST
+  std::vector<PlaylistEntry> entries;
+
+  [[nodiscard]] Duration total_duration() const;
+};
+
+/// Builds a playlist from a segment index; byte offsets are cumulative
+/// segment sizes (one media file laid out segment after segment).
+[[nodiscard]] Playlist playlist_from_index(const SegmentIndex& index,
+                                           const std::string& media_uri);
+
+[[nodiscard]] std::string write_playlist(const Playlist& playlist);
+
+/// Throws ParseError on malformed input.
+[[nodiscard]] Playlist parse_playlist(const std::string& text);
+
+/// Rebuilds a segment index from a parsed playlist — what a client knows
+/// after fetching the m3u8: durations and transfer sizes, but not the
+/// seeder-side frame structure (media_size == size, overhead == 0).
+[[nodiscard]] SegmentIndex index_from_playlist(
+    const Playlist& playlist, const std::string& name = "playlist");
+
+}  // namespace vsplice::core

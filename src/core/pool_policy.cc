@@ -1,0 +1,51 @@
+#include "core/pool_policy.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace vsplice::core {
+
+AdaptivePooling::AdaptivePooling(int max_pool) : max_pool_{max_pool} {
+  require(max_pool_ >= 0, "max_pool must be non-negative (0 = unbounded)");
+}
+
+int AdaptivePooling::pool_size(Rate bandwidth, Duration buffered,
+                               Bytes segment_size) const {
+  require(segment_size > 0, "segment size must be positive");
+  require(!buffered.is_negative(), "buffered time cannot be negative");
+  // Equation (1): at startup / after a stall (T = 0) or when B*T < W the
+  // peer downloads exactly one segment.
+  const double budget_bytes =
+      bandwidth.bytes_per_second() * buffered.as_seconds();
+  const double k = std::floor(budget_bytes /
+                              static_cast<double>(segment_size));
+  int pool = k < 1.0 ? 1 : static_cast<int>(k);
+  if (max_pool_ > 0) pool = std::min(pool, max_pool_);
+  return pool;
+}
+
+std::string AdaptivePooling::name() const { return "adaptive"; }
+
+FixedPooling::FixedPooling(int pool) : pool_{pool} {
+  require(pool_ >= 1, "fixed pool size must be >= 1");
+}
+
+int FixedPooling::pool_size(Rate, Duration, Bytes) const { return pool_; }
+
+std::string FixedPooling::name() const {
+  return "fixed:" + std::to_string(pool_);
+}
+
+std::unique_ptr<PoolPolicy> make_pool_policy(const std::string& spec) {
+  if (spec == "adaptive") return std::make_unique<AdaptivePooling>();
+  if (starts_with(spec, "fixed:")) {
+    const auto k = parse_int(spec.substr(6));
+    require(k.has_value() && *k >= 1, "bad pool policy spec: " + spec);
+    return std::make_unique<FixedPooling>(static_cast<int>(*k));
+  }
+  throw InvalidArgument{"unknown pool policy spec: " + spec};
+}
+
+}  // namespace vsplice::core

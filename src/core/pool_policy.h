@@ -1,0 +1,71 @@
+// Downloading policies (Section III of the paper).
+//
+// A streaming peer keeps a pool of segments it downloads simultaneously.
+// The policy decides the pool size from the bandwidth estimate B, the
+// buffered playtime T, and the segment size W.
+//
+// AdaptivePooling is the paper's Equation (1):
+//
+//     k = max( floor(B * T / W), 1 )
+//
+// Rationale: the k in-flight segments share the bandwidth, so they all
+// complete within T seconds exactly when k*W <= B*T; any larger pool
+// risks the next-needed segment arriving after the buffer drains (a
+// stall), any smaller pool leaves bandwidth unused and hedges less
+// against peers leaving the swarm.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+
+namespace vsplice::core {
+
+class PoolPolicy {
+ public:
+  virtual ~PoolPolicy() = default;
+
+  /// Number of segments that should be in flight right now.
+  /// `bandwidth`  — estimated aggregate download bandwidth B;
+  /// `buffered`   — playable time T ahead of the playhead (0 at startup,
+  ///                after a stall, or when the buffer just ran dry);
+  /// `segment_size` — size W of the next segment(s) to fetch.
+  [[nodiscard]] virtual int pool_size(Rate bandwidth, Duration buffered,
+                                      Bytes segment_size) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Equation (1). `max_pool` is a safety ceiling (the formula itself is
+/// unbounded as T grows); 0 disables the ceiling.
+class AdaptivePooling final : public PoolPolicy {
+ public:
+  explicit AdaptivePooling(int max_pool = 0);
+
+  [[nodiscard]] int pool_size(Rate bandwidth, Duration buffered,
+                              Bytes segment_size) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int max_pool_;
+};
+
+/// The baseline in Figure 5: always k segments in flight.
+class FixedPooling final : public PoolPolicy {
+ public:
+  explicit FixedPooling(int pool);
+
+  [[nodiscard]] int pool_size(Rate bandwidth, Duration buffered,
+                              Bytes segment_size) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int pool_;
+};
+
+/// Factory for experiment configs: "adaptive" or "fixed:<k>".
+[[nodiscard]] std::unique_ptr<PoolPolicy> make_pool_policy(
+    const std::string& spec);
+
+}  // namespace vsplice::core

@@ -1,0 +1,61 @@
+#include "core/segment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vsplice::core {
+
+SegmentIndex::SegmentIndex(std::vector<Segment> segments,
+                           std::string splicer_name)
+    : segments_{std::move(segments)}, name_{std::move(splicer_name)} {
+  require(!segments_.empty(), "a segment index needs at least one segment");
+  Duration cursor = Duration::zero();
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& seg = segments_[i];
+    require(seg.index == i, "segment indices must be dense and ordered");
+    require(seg.start == cursor,
+            "segments must tile the timeline without gaps (segment " +
+                std::to_string(i) + ")");
+    require(seg.duration > Duration::zero(),
+            "segment durations must be positive");
+    require(seg.size > 0, "segment sizes must be positive");
+    require(seg.media_size > 0, "segment media sizes must be positive");
+    require(seg.overhead == seg.size - seg.media_size,
+            "segment overhead must equal size - media_size");
+    require(seg.overhead >= 0, "segment overhead cannot be negative");
+    cursor += seg.duration;
+    total_size_ += seg.size;
+    total_media_ += seg.media_size;
+    largest_ = std::max(largest_, seg.size);
+    smallest_ = i == 0 ? seg.size : std::min(smallest_, seg.size);
+  }
+  total_duration_ = cursor;
+}
+
+const Segment& SegmentIndex::at(std::size_t i) const {
+  require(i < segments_.size(), "segment index out of range");
+  return segments_[i];
+}
+
+double SegmentIndex::overhead_ratio() const {
+  return static_cast<double>(total_overhead()) /
+         static_cast<double>(total_media_);
+}
+
+Bytes SegmentIndex::mean_segment_size() const {
+  return total_size_ / static_cast<Bytes>(segments_.size());
+}
+
+std::size_t SegmentIndex::segment_at(Duration t) const {
+  if (t <= Duration::zero()) return 0;
+  // Binary search over start offsets.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Duration value, const Segment& seg) { return value < seg.start; });
+  const std::size_t idx =
+      static_cast<std::size_t>(std::distance(segments_.begin(), it));
+  return idx == 0 ? 0 : idx - 1;
+}
+
+}  // namespace vsplice::core

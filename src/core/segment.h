@@ -1,0 +1,81 @@
+// Segments: the unit of transfer and playback in HTTP-live-style P2P
+// streaming, produced by splicing a video.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vsplice::core {
+
+struct Segment {
+  /// Position in the stream, starting at 0.
+  std::size_t index = 0;
+  /// Presentation offset of the segment's first frame in the source.
+  Duration start = Duration::zero();
+  /// Playable duration.
+  Duration duration = Duration::zero();
+  /// Bytes a peer must transfer to obtain the segment (media bytes plus
+  /// any inserted I-frame overhead).
+  Bytes size = 0;
+  /// Bytes of the source media the segment covers.
+  Bytes media_size = 0;
+  /// size - media_size: the extra bytes of the I-frame the splicer had to
+  /// insert because the cut fell mid-GOP (zero for GOP-aligned cuts).
+  Bytes overhead = 0;
+  /// Display-order index of the first source frame and the frame count.
+  std::size_t first_frame = 0;
+  std::size_t frame_count = 0;
+  /// True when the segment begins with a keyframe (original or inserted)
+  /// and can therefore be decoded without its predecessor.
+  bool independently_playable = true;
+
+  [[nodiscard]] Duration end() const { return start + duration; }
+};
+
+/// The complete, validated result of splicing one video: contiguous,
+/// gap-free coverage of the source timeline.
+class SegmentIndex {
+ public:
+  /// `splicer_name` is recorded for reporting. Throws InvalidArgument if
+  /// the segments do not tile the timeline.
+  SegmentIndex(std::vector<Segment> segments, std::string splicer_name);
+
+  [[nodiscard]] std::size_t count() const { return segments_.size(); }
+  [[nodiscard]] const Segment& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] const std::string& splicer_name() const { return name_; }
+
+  [[nodiscard]] Duration total_duration() const { return total_duration_; }
+  /// Total transfer bytes (media + overhead).
+  [[nodiscard]] Bytes total_size() const { return total_size_; }
+  [[nodiscard]] Bytes total_media_size() const { return total_media_; }
+  [[nodiscard]] Bytes total_overhead() const {
+    return total_size_ - total_media_;
+  }
+  /// Overhead as a fraction of the original media bytes.
+  [[nodiscard]] double overhead_ratio() const;
+
+  [[nodiscard]] Bytes largest_segment() const { return largest_; }
+  [[nodiscard]] Bytes smallest_segment() const { return smallest_; }
+  [[nodiscard]] Bytes mean_segment_size() const;
+
+  /// Index of the segment containing presentation time `t` (clamped to
+  /// the last segment for t >= total duration).
+  [[nodiscard]] std::size_t segment_at(Duration t) const;
+
+ private:
+  std::vector<Segment> segments_;
+  std::string name_;
+  Duration total_duration_ = Duration::zero();
+  Bytes total_size_ = 0;
+  Bytes total_media_ = 0;
+  Bytes largest_ = 0;
+  Bytes smallest_ = 0;
+};
+
+}  // namespace vsplice::core

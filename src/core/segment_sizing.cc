@@ -1,0 +1,34 @@
+#include "core/segment_sizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vsplice::core {
+
+Bytes max_stall_free_segment_size(Rate bandwidth, Duration buffered) {
+  require(!buffered.is_negative(), "buffered time cannot be negative");
+  require(bandwidth >= Rate::zero(), "bandwidth cannot be negative");
+  return static_cast<Bytes>(std::floor(
+      bandwidth.bytes_per_second() * buffered.as_seconds()));
+}
+
+Duration max_stall_free_segment_duration(Rate bandwidth, Duration buffered,
+                                         Rate bitrate) {
+  require(bitrate > Rate::zero(), "bitrate must be positive");
+  const Bytes w = max_stall_free_segment_size(bandwidth, buffered);
+  return Duration::seconds(static_cast<double>(w) /
+                           bitrate.bytes_per_second());
+}
+
+Bytes recommend_segment_size(Rate bandwidth, Duration buffered,
+                             Bytes upload_cap, Bytes minimum) {
+  require(minimum >= 0, "minimum segment size cannot be negative");
+  require(upload_cap >= 0, "upload cap cannot be negative");
+  Bytes size = max_stall_free_segment_size(bandwidth, buffered);
+  if (upload_cap > 0) size = std::min(size, upload_cap);
+  return std::max(size, minimum);
+}
+
+}  // namespace vsplice::core

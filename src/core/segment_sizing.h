@@ -1,0 +1,33 @@
+// Segment sizing for hybrid CDN + P2P delivery (Section IV).
+//
+// When a CDN serves segments one at a time, Equation (1) degenerates to
+// k = 1 and the stall-free condition becomes W <= B*T: with T seconds of
+// video buffered and bandwidth B, the largest segment that can be
+// fetched without stalling is B*T bytes. Large segments maximize network
+// throughput (fewer connections, less slow-start) but raise the upload
+// burden on whoever serves them, so the practical size is the largest
+// value under the bound that also respects an upload-load ceiling.
+#pragma once
+
+#include "common/units.h"
+
+namespace vsplice::core {
+
+/// W_max = B*T: the largest stall-free segment when fetching one segment
+/// at a time. Zero when either input is zero.
+[[nodiscard]] Bytes max_stall_free_segment_size(Rate bandwidth,
+                                                Duration buffered);
+
+/// The same bound expressed as a segment duration at a given bitrate.
+[[nodiscard]] Duration max_stall_free_segment_duration(Rate bandwidth,
+                                                       Duration buffered,
+                                                       Rate bitrate);
+
+/// Chooses a practical segment size: the Section IV bound, additionally
+/// capped by `upload_cap` (the largest burst a serving peer should take;
+/// zero disables the cap) and floored at `minimum` so segments never
+/// degenerate to a handful of frames.
+[[nodiscard]] Bytes recommend_segment_size(Rate bandwidth, Duration buffered,
+                                           Bytes upload_cap, Bytes minimum);
+
+}  // namespace vsplice::core

@@ -1,0 +1,229 @@
+#include "core/splicer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace vsplice::core {
+
+namespace {
+
+/// Shared frame-walking core for the duration-driven splicers: closes a
+/// segment once it reaches the target duration supplied per segment, and
+/// models the mid-GOP cut by replacing the cut frame with a re-encoded
+/// I-frame sized like the enclosing GOP's keyframe.
+SegmentIndex cut_by_durations(
+    const video::VideoStream& stream,
+    const std::function<Duration(std::size_t)>& target_for_segment,
+    double i_frame_scale, std::string name) {
+  const auto frames = stream.timeline();
+  std::vector<Segment> segments;
+
+  Segment current;
+  bool current_cut_mid_gop = false;
+  Bytes replaced_frame_bytes = 0;
+  Bytes inserted_iframe_bytes = 0;
+
+  auto close_segment = [&] {
+    current.size = current.media_size - replaced_frame_bytes +
+                   inserted_iframe_bytes;
+    current.overhead = current.size - current.media_size;
+    current.independently_playable = true;  // original I or inserted I
+    (void)current_cut_mid_gop;
+    segments.push_back(current);
+  };
+
+  for (const video::TimedFrame& tf : frames) {
+    const bool is_first_frame_overall = tf.frame_index == 0;
+    const Duration target = target_for_segment(segments.size());
+    const bool segment_full =
+        !is_first_frame_overall && current.duration >= target;
+    if (is_first_frame_overall || segment_full) {
+      if (!is_first_frame_overall) close_segment();
+      current = Segment{};
+      current.index = segments.size();
+      current.start = tf.pts;
+      current.first_frame = tf.frame_index;
+      current_cut_mid_gop = !tf.frame.is_keyframe();
+      replaced_frame_bytes = 0;
+      inserted_iframe_bytes = 0;
+      if (current_cut_mid_gop) {
+        // The splicer re-encodes the cut frame as an I-frame sized like
+        // the enclosing GOP's keyframe.
+        const video::Gop& gop = stream.gops()[tf.gop_index];
+        replaced_frame_bytes = tf.frame.size;
+        inserted_iframe_bytes = std::max(
+            tf.frame.size,
+            static_cast<Bytes>(std::llround(
+                static_cast<double>(gop.keyframe().size) * i_frame_scale)));
+      }
+    }
+    current.duration += tf.frame.duration;
+    current.media_size += tf.frame.size;
+    ++current.frame_count;
+  }
+  close_segment();
+  return SegmentIndex{std::move(segments), std::move(name)};
+}
+
+}  // namespace
+
+GopSplicer::GopSplicer(std::size_t gops_per_segment)
+    : gops_per_segment_{gops_per_segment} {
+  require(gops_per_segment_ >= 1, "gops_per_segment must be >= 1");
+}
+
+SegmentIndex GopSplicer::splice(const video::VideoStream& stream) const {
+  std::vector<Segment> segments;
+  Duration cursor = Duration::zero();
+  std::size_t frame_cursor = 0;
+  const auto& gops = stream.gops();
+  for (std::size_t g = 0; g < gops.size(); g += gops_per_segment_) {
+    Segment seg;
+    seg.index = segments.size();
+    seg.start = cursor;
+    seg.first_frame = frame_cursor;
+    const std::size_t last = std::min(g + gops_per_segment_, gops.size());
+    for (std::size_t k = g; k < last; ++k) {
+      seg.duration += gops[k].duration();
+      seg.media_size += gops[k].byte_size();
+      seg.frame_count += gops[k].frame_count();
+    }
+    seg.size = seg.media_size;  // GOP-aligned: no overhead
+    seg.overhead = 0;
+    seg.independently_playable = true;
+    cursor += seg.duration;
+    frame_cursor += seg.frame_count;
+    segments.push_back(seg);
+  }
+  return SegmentIndex{std::move(segments), name()};
+}
+
+std::string GopSplicer::name() const {
+  return gops_per_segment_ == 1
+             ? "gop"
+             : "gop x" + std::to_string(gops_per_segment_);
+}
+
+DurationSplicer::DurationSplicer(Duration target, double i_frame_scale)
+    : target_{target}, i_frame_scale_{i_frame_scale} {
+  require(target_ > Duration::zero(),
+          "duration splicing target must be positive");
+  require(i_frame_scale_ > 0.0, "i_frame_scale must be positive");
+}
+
+SegmentIndex DurationSplicer::splice(
+    const video::VideoStream& stream) const {
+  return cut_by_durations(
+      stream, [this](std::size_t) { return target_; }, i_frame_scale_,
+      name());
+}
+
+std::string DurationSplicer::name() const {
+  const double s = target_.as_seconds();
+  if (s == std::floor(s)) {
+    return std::to_string(static_cast<long long>(s)) + "s";
+  }
+  return format_double(s, 2) + "s";
+}
+
+BlockSplicer::BlockSplicer(Bytes block_size) : block_size_{block_size} {
+  require(block_size_ > 0, "block size must be positive");
+}
+
+SegmentIndex BlockSplicer::splice(const video::VideoStream& stream) const {
+  const auto frames = stream.timeline();
+  std::vector<Segment> segments;
+  Segment current;
+  bool first_frame_is_key = true;
+
+  auto close_segment = [&] {
+    current.size = current.media_size;
+    current.overhead = 0;
+    current.independently_playable = first_frame_is_key;
+    segments.push_back(current);
+  };
+
+  for (const video::TimedFrame& tf : frames) {
+    const bool is_first = tf.frame_index == 0;
+    if (is_first || current.media_size >= block_size_) {
+      if (!is_first) close_segment();
+      current = Segment{};
+      current.index = segments.size();
+      current.start = tf.pts;
+      current.first_frame = tf.frame_index;
+      first_frame_is_key = tf.frame.is_keyframe();
+    }
+    current.duration += tf.frame.duration;
+    current.media_size += tf.frame.size;
+    ++current.frame_count;
+  }
+  close_segment();
+  return SegmentIndex{std::move(segments), name()};
+}
+
+std::string BlockSplicer::name() const {
+  return "block:" + std::to_string(block_size_);
+}
+
+AdaptiveSplicer::AdaptiveSplicer(Params params) : params_{params} {
+  require(params_.initial > Duration::zero(),
+          "adaptive splicer initial duration must be positive");
+  require(params_.growth >= 1.0, "adaptive splicer growth must be >= 1");
+  require(params_.max >= params_.initial,
+          "adaptive splicer max must be >= initial");
+  require(params_.expected_bandwidth > Rate::zero(),
+          "expected bandwidth must be positive");
+  require(params_.buffer_target > Duration::zero(),
+          "buffer target must be positive");
+}
+
+SegmentIndex AdaptiveSplicer::splice(
+    const video::VideoStream& stream) const {
+  // Section IV: when segments are fetched one at a time, the largest
+  // stall-free segment is W = B*T bytes; translate that into a duration
+  // ceiling at this stream's bitrate.
+  const double w_max_bytes = params_.expected_bandwidth.bytes_per_second() *
+                             params_.buffer_target.as_seconds();
+  const double bitrate = stream.average_bitrate().bytes_per_second();
+  const Duration sizing_cap = Duration::seconds(
+      std::max(params_.initial.as_seconds(), w_max_bytes / bitrate));
+  const Duration ceiling = std::min(params_.max, sizing_cap);
+
+  return cut_by_durations(
+      stream,
+      [this, ceiling](std::size_t segment_index) {
+        const double scaled =
+            params_.initial.as_seconds() *
+            std::pow(params_.growth, static_cast<double>(segment_index));
+        return std::min(ceiling, Duration::seconds(scaled));
+      },
+      /*i_frame_scale=*/1.0, name());
+}
+
+std::string AdaptiveSplicer::name() const { return "adaptive"; }
+
+std::unique_ptr<Splicer> make_splicer(const std::string& spec) {
+  if (spec == "gop") return std::make_unique<GopSplicer>();
+  if (spec == "adaptive") return std::make_unique<AdaptiveSplicer>(
+      AdaptiveSplicer::Params{});
+  if (starts_with(spec, "block:")) {
+    const auto bytes = parse_int(spec.substr(6));
+    require(bytes.has_value() && *bytes > 0,
+            "bad block splicer spec: " + spec);
+    return std::make_unique<BlockSplicer>(static_cast<Bytes>(*bytes));
+  }
+  if (!spec.empty() && spec.back() == 's') {
+    const auto seconds = parse_double(spec.substr(0, spec.size() - 1));
+    require(seconds.has_value() && *seconds > 0,
+            "bad duration splicer spec: " + spec);
+    return std::make_unique<DurationSplicer>(Duration::seconds(*seconds));
+  }
+  throw InvalidArgument{"unknown splicer spec: " + spec};
+}
+
+}  // namespace vsplice::core

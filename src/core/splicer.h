@@ -1,0 +1,116 @@
+// Splicing techniques (Section II of the paper).
+//
+// A splicer turns an encoded video into the segment index a seeder
+// publishes. Implemented techniques:
+//
+//  * GopSplicer — one segment per closed GOP (Section II-A). Zero byte
+//    overhead, but segment sizes track content: long static scenes make
+//    multi-second, megabyte segments; action scenes make tiny ones.
+//  * DurationSplicer — fixed-duration segments (Section II-B): the HLS
+//    approach used with 2/4/8-second targets in the evaluation. Frame
+//    accurate; every cut that lands mid-GOP replaces the cut frame with a
+//    freshly encoded I-frame, which is what inflates the total bytes.
+//  * BlockSplicer — fixed-byte blocks (the PPLive baseline from the
+//    related-work section, which slices into fixed-size blocks).
+//  * AdaptiveSplicer — the paper's future-work item ("an adaptive
+//    splicing technique"): a duration ladder that starts with short
+//    segments for fast startup and grows towards a ceiling derived from
+//    Section IV's stall-free bound W <= B*T.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+#include "core/segment.h"
+#include "video/video_stream.h"
+
+namespace vsplice::core {
+
+class Splicer {
+ public:
+  virtual ~Splicer() = default;
+
+  /// Slices the whole video into a validated segment index.
+  [[nodiscard]] virtual SegmentIndex splice(
+      const video::VideoStream& stream) const = 0;
+
+  /// Human-readable technique name ("gop", "4s", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class GopSplicer final : public Splicer {
+ public:
+  /// `gops_per_segment` > 1 coalesces consecutive GOPs (a common HLS
+  /// packager option); 1 reproduces the paper's GOP-based splicing.
+  explicit GopSplicer(std::size_t gops_per_segment = 1);
+
+  [[nodiscard]] SegmentIndex splice(
+      const video::VideoStream& stream) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t gops_per_segment_;
+};
+
+class DurationSplicer final : public Splicer {
+ public:
+  /// `target` is the nominal segment duration (the paper uses 2/4/8 s).
+  /// `i_frame_scale` scales the inserted I-frame relative to the source
+  /// GOP's keyframe (1.0 = same size).
+  explicit DurationSplicer(Duration target, double i_frame_scale = 1.0);
+
+  [[nodiscard]] SegmentIndex splice(
+      const video::VideoStream& stream) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Duration target() const { return target_; }
+
+ private:
+  Duration target_;
+  double i_frame_scale_;
+};
+
+class BlockSplicer final : public Splicer {
+ public:
+  explicit BlockSplicer(Bytes block_size);
+
+  [[nodiscard]] SegmentIndex splice(
+      const video::VideoStream& stream) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Bytes block_size_;
+};
+
+class AdaptiveSplicer final : public Splicer {
+ public:
+  struct Params {
+    /// First-segment duration (short -> fast startup).
+    Duration initial = Duration::seconds(2.0);
+    /// Duration growth factor applied segment after segment.
+    double growth = 1.5;
+    /// Hard ceiling on segment duration.
+    Duration max = Duration::seconds(8.0);
+    /// Expected peer bandwidth; with the buffer target below it bounds
+    /// the segment size via Section IV's W <= B*T.
+    Rate expected_bandwidth = Rate::kilobytes_per_second(256);
+    /// Buffer the client is expected to hold mid-stream.
+    Duration buffer_target = Duration::seconds(10.0);
+  };
+
+  explicit AdaptiveSplicer(Params params);
+
+  [[nodiscard]] SegmentIndex splice(
+      const video::VideoStream& stream) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Params params_;
+};
+
+/// Convenience factory used by experiment configs: "gop", "2s", "4s",
+/// "8s", "block:<bytes>", "adaptive".
+[[nodiscard]] std::unique_ptr<Splicer> make_splicer(const std::string& spec);
+
+}  // namespace vsplice::core

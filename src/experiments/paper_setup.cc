@@ -1,0 +1,182 @@
+#include "experiments/paper_setup.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/stats.h"
+#include "core/playlist.h"
+#include "core/pool_policy.h"
+#include "core/splicer.h"
+#include "net/network.h"
+#include "p2p/churn.h"
+#include "p2p/swarm.h"
+#include "sim/simulator.h"
+#include "video/encoder.h"
+
+namespace vsplice::experiments {
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  require(config.nodes >= 2, "need at least a seeder and one viewer");
+  require(config.pair_loss >= 0.0 && config.pair_loss < 1.0,
+          "pair loss must be in [0, 1)");
+
+  // --- Content: the fixed 2-minute 1 Mbps video, spliced per config.
+  const video::VideoStream stream =
+      video::make_paper_video(config.video_seed);
+  const auto splicer = core::make_splicer(config.splicer);
+  core::SegmentIndex index = splicer->splice(stream);
+  const std::string playlist_text =
+      core::write_playlist(core::playlist_from_index(index, "video.mp4"));
+
+  ScenarioResult result;
+  result.segment_count = index.count();
+  result.total_transfer_bytes = index.total_size();
+  result.media_bytes = index.total_media_size();
+  result.overhead_ratio = index.overhead_ratio();
+  result.largest_segment = index.largest_segment();
+  result.smallest_segment = index.smallest_segment();
+
+  // --- Network: star topology, per-node loss contribution chosen so the
+  // end-to-end loss between any two peers matches the configured value.
+  sim::Simulator sim;
+  net::Network network{sim};
+  const double node_loss = 1.0 - std::sqrt(1.0 - config.pair_loss);
+
+  net::NodeSpec seeder_spec;
+  seeder_spec.uplink = config.bandwidth;
+  seeder_spec.downlink = config.bandwidth;
+  seeder_spec.one_way_delay = config.seeder_delay;
+  seeder_spec.loss = node_loss;
+  const net::NodeId seeder_node = network.add_node(seeder_spec);
+
+  std::vector<net::NodeId> viewer_nodes;
+  for (std::size_t i = 1; i < config.nodes; ++i) {
+    net::NodeSpec spec;
+    spec.uplink = config.bandwidth;
+    spec.downlink = config.bandwidth;
+    spec.one_way_delay = config.peer_delay;
+    spec.loss = node_loss;
+    viewer_nodes.push_back(network.add_node(spec));
+  }
+
+  // --- Swarm.
+  Rng rng{config.seed};
+  p2p::Swarm swarm{network, rng, std::move(index), playlist_text};
+  p2p::PeerConfig peer_config;
+  peer_config.max_upload_slots = config.upload_slots;
+  swarm.add_seeder(seeder_node, peer_config);
+
+  const auto policy = std::shared_ptr<const core::PoolPolicy>(
+      core::make_pool_policy(config.policy));
+  std::vector<p2p::Leecher*> leechers;
+  for (net::NodeId node : viewer_nodes) {
+    p2p::LeecherConfig leecher_config;
+    leecher_config.policy = policy;
+    leecher_config.bandwidth_hint = config.bandwidth;
+    p2p::Leecher& leecher =
+        swarm.add_leecher(node, peer_config, leecher_config);
+    leechers.push_back(&leecher);
+  }
+
+  // Staggered joins (a flash crowd, but not a single lock-step instant).
+  for (p2p::Leecher* leecher : leechers) {
+    const Duration when = Duration::seconds(
+        rng.uniform(0.0, config.join_spread.as_seconds()));
+    sim.at(TimePoint::origin() + when, [leecher] { leecher->join(); });
+  }
+
+  std::unique_ptr<p2p::ChurnModel> churn;
+  if (config.churn) {
+    p2p::ChurnModel::Params params;
+    params.mean_lifetime = config.churn_mean_lifetime;
+    churn = std::make_unique<p2p::ChurnModel>(swarm, rng, params);
+    // Install once everyone has joined.
+    sim.at(TimePoint::origin() + config.join_spread + Duration::seconds(1),
+           [&churn] { churn->install(); });
+  }
+
+  // --- Run until every online viewer finished (checked at a coarse
+  // cadence) or the time limit.
+  const TimePoint deadline = TimePoint::origin() + config.time_limit;
+  while (sim.now() < deadline) {
+    const TimePoint next = sim.next_event_time();
+    if (next.is_infinite()) break;
+    if (next > deadline) {
+      sim.run_until(deadline);
+      break;
+    }
+    sim.run_until(std::min(next + Duration::seconds(1), deadline));
+    if (swarm.all_finished()) break;
+  }
+
+  // --- Collect.
+  OnlineStats stalls;
+  OnlineStats stall_seconds;
+  OnlineStats startup_seconds;
+  for (p2p::Leecher* leecher : leechers) {
+    if (!leecher->has_player()) {
+      // Never got past the playlist fetch within the time limit.
+      streaming::QoeMetrics empty;
+      result.viewers.push_back(empty);
+      stalls.add(0.0);
+      stall_seconds.add(0.0);
+      continue;
+    }
+    const streaming::QoeMetrics& m = leecher->metrics();
+    result.viewers.push_back(m);
+    stalls.add(static_cast<double>(m.stall_count));
+    stall_seconds.add(m.total_stall_duration.as_seconds());
+    if (m.started) startup_seconds.add(m.startup_time.as_seconds());
+    if (m.finished) ++result.finished_viewers;
+  }
+  result.viewer_count = leechers.size();
+  result.total_stalls = stalls.sum();
+  result.mean_stalls = stalls.mean();
+  result.total_stall_seconds = stall_seconds.sum();
+  result.mean_stall_seconds = stall_seconds.mean();
+  result.mean_startup_seconds = startup_seconds.mean();
+  result.wall_time = sim.now() - TimePoint::origin();
+  result.churn_departures = churn ? churn->departures() : 0;
+
+  const p2p::Peer* seeder_peer = swarm.find(seeder_node);
+  result.seeder_uploaded = seeder_peer->stats().bytes_uploaded;
+  result.requests_served = seeder_peer->stats().requests_served;
+  result.requests_choked = seeder_peer->stats().requests_choked;
+  result.seeder_served = seeder_peer->stats().requests_served;
+  result.seeder_choked = seeder_peer->stats().requests_choked;
+  for (p2p::Leecher* leecher : leechers) {
+    result.peers_uploaded += leecher->stats().bytes_uploaded;
+    result.requests_served += leecher->stats().requests_served;
+    result.requests_choked += leecher->stats().requests_choked;
+  }
+  result.pieces_aborted = swarm.stats().pieces_aborted;
+  result.network_bytes_delivered = network.stats().bytes_delivered;
+  return result;
+}
+
+RepeatedResult run_repeated(ScenarioConfig config, int repetitions) {
+  require(repetitions >= 1, "need at least one repetition");
+  RepeatedResult repeated;
+  std::vector<double> stalls;
+  std::vector<double> stall_seconds;
+  std::vector<double> startup;
+  std::vector<double> per_viewer;
+  for (int r = 0; r < repetitions; ++r) {
+    config.seed = static_cast<std::uint64_t>(r + 1) * std::uint64_t{1000003};
+    ScenarioResult run = run_scenario(config);
+    stalls.push_back(run.total_stalls);
+    stall_seconds.push_back(run.total_stall_seconds);
+    startup.push_back(run.mean_startup_seconds);
+    per_viewer.push_back(run.mean_stalls);
+    repeated.runs.push_back(std::move(run));
+  }
+  repeated.stalls = static_cast<double>(rounded_average(stalls));
+  repeated.stall_seconds = mean_of(stall_seconds);
+  repeated.startup_seconds = mean_of(startup);
+  repeated.mean_stalls_per_viewer = mean_of(per_viewer);
+  return repeated;
+}
+
+}  // namespace vsplice::experiments

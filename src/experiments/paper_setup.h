@@ -1,0 +1,110 @@
+// The paper's experimental setup as a reusable scenario (Section V):
+// twenty XEN VMs in a star topology, one seeder (co-hosting swarm
+// bootstrap), a 2-minute 1 Mbps MPEG-4 video, 50 ms peer latency, 500 ms
+// seeder latency for the startup experiment, 5 % loss, bandwidth swept
+// per figure, three runs with a rounded average.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/segment.h"
+#include "streaming/metrics.h"
+
+namespace vsplice::experiments {
+
+struct ScenarioConfig {
+  /// Splicing technique spec for core::make_splicer ("gop", "2s", ...).
+  std::string splicer = "4s";
+  /// Pool policy spec for core::make_pool_policy ("adaptive", "fixed:4").
+  std::string policy = "adaptive";
+  /// Access-link rate applied to every node, up and down (the swept
+  /// variable of every figure).
+  Rate bandwidth = Rate::kilobytes_per_second(256);
+  /// Node count including the seeder (paper: twenty).
+  std::size_t nodes = 20;
+  /// Per-node one-way delay contribution: two peers see twice this
+  /// (paper: 50 ms between peers -> 25 ms per node).
+  Duration peer_delay = Duration::millis(25);
+  /// The seeder's contribution (Figure 4 uses 500 ms seeder latency ->
+  /// 475 ms, so seeder<->peer is 500 ms one way).
+  Duration seeder_delay = Duration::millis(25);
+  /// End-to-end loss between any two peers (paper: 5 %).
+  double pair_loss = 0.05;
+  /// Leechers join uniformly over this window after t=0. Viewers of a
+  /// real service arrive spread out in time; near-simultaneous joins
+  /// lock every viewer onto the same hot segment and collapse swarm
+  /// utilization to the few peers that hold it.
+  Duration join_spread = Duration::seconds(45.0);
+  /// Upload slots per peer. Small on purpose: each upload shares the
+  /// peer's shaped uplink, so a couple of concurrent uploads already
+  /// halves per-transfer rate; excess demand is choked and redistributes
+  /// to idle holders.
+  int upload_slots = 2;
+  /// Give up after this much simulated time even if not all finished.
+  Duration time_limit = Duration::minutes(60.0);
+  /// Master seed (the run index of the three repetitions).
+  std::uint64_t seed = 1;
+  /// Video generation seed (fixed: every run streams the same video).
+  std::uint64_t video_seed = 2015;
+  /// Enable churn (off for the paper's figures).
+  bool churn = false;
+  Duration churn_mean_lifetime = Duration::seconds(90.0);
+};
+
+struct ScenarioResult {
+  /// Per-leecher QoE, in node order.
+  std::vector<streaming::QoeMetrics> viewers;
+
+  /// Aggregates over viewers (stall counts/durations include every
+  /// viewer; startup only those that started).
+  double total_stalls = 0;
+  double mean_stalls = 0;
+  double total_stall_seconds = 0;
+  double mean_stall_seconds = 0;
+  double mean_startup_seconds = 0;
+  std::size_t finished_viewers = 0;
+  std::size_t viewer_count = 0;
+
+  /// Splicing facts for the overhead analyses.
+  std::size_t segment_count = 0;
+  Bytes total_transfer_bytes = 0;
+  Bytes media_bytes = 0;
+  double overhead_ratio = 0;
+  Bytes largest_segment = 0;
+  Bytes smallest_segment = 0;
+
+  /// Simulated time at which the last viewer finished (or the limit).
+  Duration wall_time = Duration::zero();
+  std::size_t churn_departures = 0;
+
+  /// Transport/protocol diagnostics.
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_choked = 0;
+  std::uint64_t seeder_served = 0;
+  std::uint64_t seeder_choked = 0;
+  std::uint64_t pieces_aborted = 0;
+  Bytes seeder_uploaded = 0;
+  Bytes peers_uploaded = 0;
+  double network_bytes_delivered = 0;
+};
+
+/// Runs one full swarm simulation.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// The paper's aggregation: run `repetitions` seeds and average
+/// (Section VI-A: "ran the application three times for each bandwidth
+/// and took the rounded average").
+struct RepeatedResult {
+  double stalls = 0;         // rounded average of total stalls
+  double stall_seconds = 0;  // average total stall duration
+  double startup_seconds = 0;
+  double mean_stalls_per_viewer = 0;
+  std::vector<ScenarioResult> runs;
+};
+[[nodiscard]] RepeatedResult run_repeated(ScenarioConfig config,
+                                          int repetitions = 3);
+
+}  // namespace vsplice::experiments

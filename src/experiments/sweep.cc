@@ -1,0 +1,65 @@
+#include "experiments/sweep.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace vsplice::experiments {
+
+Table SweepResult::table(
+    const std::function<double(const RepeatedResult&)>& metric,
+    int decimals) const {
+  std::vector<std::string> headers{"Bandwidth"};
+  headers.insert(headers.end(), series_labels.begin(), series_labels.end());
+  Table table{headers};
+  for (std::size_t b = 0; b < bandwidths.size(); ++b) {
+    std::vector<double> row;
+    row.reserve(cells[b].size());
+    for (const SweepCell& cell : cells[b]) {
+      row.push_back(metric(cell.result));
+    }
+    table.add_numeric_row(bandwidth_label(bandwidths[b]), row, decimals);
+  }
+  return table;
+}
+
+const RepeatedResult& SweepResult::at(std::size_t bandwidth_index,
+                                      std::size_t series_index) const {
+  require(bandwidth_index < cells.size(), "bandwidth index out of range");
+  require(series_index < cells[bandwidth_index].size(),
+          "series index out of range");
+  return cells[bandwidth_index][series_index].result;
+}
+
+SweepResult run_sweep(const ScenarioConfig& base,
+                      const std::vector<Rate>& bandwidths,
+                      const std::vector<SweepSeries>& series,
+                      int repetitions) {
+  require(!bandwidths.empty(), "sweep needs at least one bandwidth");
+  require(!series.empty(), "sweep needs at least one series");
+  SweepResult result;
+  result.bandwidths = bandwidths;
+  for (const SweepSeries& s : series) {
+    result.series_labels.push_back(s.label);
+  }
+  for (Rate bandwidth : bandwidths) {
+    std::vector<SweepCell> row;
+    for (const SweepSeries& s : series) {
+      ScenarioConfig config = base;
+      config.bandwidth = bandwidth;
+      s.apply(config);
+      row.push_back(SweepCell{run_repeated(config, repetitions)});
+    }
+    result.cells.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::string bandwidth_label(Rate bandwidth) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f kB/s",
+                bandwidth.kilobytes_per_second());
+  return buf;
+}
+
+}  // namespace vsplice::experiments

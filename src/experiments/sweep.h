@@ -1,0 +1,51 @@
+// Bandwidth-sweep harness shared by the figure benchmarks: runs a grid of
+// (bandwidth x series) scenarios and renders paper-style tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "experiments/paper_setup.h"
+
+namespace vsplice::experiments {
+
+struct SweepSeries {
+  /// Column label, e.g. "GOP based" or "2 sec".
+  std::string label;
+  /// Mutates the base config for this series (sets splicer/policy/...).
+  std::function<void(ScenarioConfig&)> apply;
+};
+
+struct SweepCell {
+  RepeatedResult result;
+};
+
+struct SweepResult {
+  std::vector<Rate> bandwidths;
+  std::vector<std::string> series_labels;
+  /// cells[bandwidth_index][series_index]
+  std::vector<std::vector<SweepCell>> cells;
+
+  /// Renders one metric as a table: rows = bandwidths, columns = series.
+  [[nodiscard]] Table table(
+      const std::function<double(const RepeatedResult&)>& metric,
+      int decimals = 0) const;
+
+  [[nodiscard]] const RepeatedResult& at(std::size_t bandwidth_index,
+                                         std::size_t series_index) const;
+};
+
+/// Runs the grid. `base` supplies everything the series do not override;
+/// each cell repeats `repetitions` seeds per the paper.
+[[nodiscard]] SweepResult run_sweep(const ScenarioConfig& base,
+                                    const std::vector<Rate>& bandwidths,
+                                    const std::vector<SweepSeries>& series,
+                                    int repetitions = 3);
+
+/// Label helper: "128 kB/s".
+[[nodiscard]] std::string bandwidth_label(Rate bandwidth);
+
+}  // namespace vsplice::experiments

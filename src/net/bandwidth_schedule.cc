@@ -1,0 +1,35 @@
+#include "net/bandwidth_schedule.h"
+
+#include "common/error.h"
+
+namespace vsplice::net {
+
+void BandwidthSchedule::add_step(Duration at, Rate uplink, Rate downlink) {
+  require(!at.is_negative(), "schedule step offset must be non-negative");
+  require(steps_.empty() || steps_.back().at < at,
+          "schedule steps must have strictly increasing offsets");
+  steps_.push_back(Step{at, uplink, downlink});
+}
+
+std::pair<Rate, Rate> BandwidthSchedule::rates_at(Duration elapsed,
+                                                  Rate initial_up,
+                                                  Rate initial_down) const {
+  Rate up = initial_up;
+  Rate down = initial_down;
+  for (const Step& step : steps_) {
+    if (step.at > elapsed) break;
+    up = step.uplink;
+    down = step.downlink;
+  }
+  return {up, down};
+}
+
+void BandwidthSchedule::install(Network& network, NodeId node) const {
+  for (const Step& step : steps_) {
+    network.simulator().after(step.at, [&network, node, step] {
+      network.set_node_bandwidth(node, step.uplink, step.downlink);
+    });
+  }
+}
+
+}  // namespace vsplice::net

@@ -1,0 +1,41 @@
+// Piecewise-constant bandwidth schedule for a host's access link — the
+// paper's future-work item "available bandwidth changes over time".
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "net/network.h"
+#include "net/types.h"
+
+namespace vsplice::net {
+
+class BandwidthSchedule {
+ public:
+  struct Step {
+    Duration at = Duration::zero();  // offset from installation time
+    Rate uplink = Rate::infinity();
+    Rate downlink = Rate::infinity();
+  };
+
+  /// Appends a step; offsets must be strictly increasing.
+  void add_step(Duration at, Rate uplink, Rate downlink);
+
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+
+  /// The rates in force `elapsed` after installation, given the initial
+  /// rates; steps at exactly `elapsed` are considered applied.
+  [[nodiscard]] std::pair<Rate, Rate> rates_at(Duration elapsed,
+                                               Rate initial_up,
+                                               Rate initial_down) const;
+
+  /// Schedules set_node_bandwidth events on the network's simulator,
+  /// offsets relative to now.
+  void install(Network& network, NodeId node) const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace vsplice::net

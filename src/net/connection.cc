@@ -1,0 +1,205 @@
+#include "net/connection.h"
+
+#include "common/error.h"
+
+namespace vsplice::net {
+
+Connection::Connection(Network& network, Rng& rng, NodeId client,
+                       NodeId server)
+    : net_{network},
+      rng_{rng},
+      client_{client},
+      server_{server},
+      one_way_{network.one_way_delay(client, server)},
+      rtt_{network.rtt(client, server)},
+      loss_{network.path_loss(client, server)},
+      cwnd_{network.tcp(), rtt_, loss_} {
+  id_ = net_.register_connection(this);
+  require(client != server, "connection endpoints must differ");
+  require(rtt_ > Duration::zero(),
+          "connection requires a positive path RTT");
+}
+
+Connection::~Connection() {
+  close();
+  net_.unregister_connection(id_);
+}
+
+void Connection::connect(std::function<void()> on_established) {
+  require(state_ == State::Fresh, "connect() on a non-fresh connection");
+  require(static_cast<bool>(on_established),
+          "connect needs an on_established callback");
+  state_ = State::Connecting;
+  const Duration d =
+      handshake_delay(net_.tcp(), rtt_, loss_, rng_);
+  connect_event_ = net_.simulator().after(
+      d, [this, cb = std::move(on_established)] {
+        connect_event_ = sim::kInvalidEventId;
+        state_ = State::Established;
+        last_activity_ = net_.simulator().now();
+        cb();
+      });
+}
+
+void Connection::send_message(NodeId sender, Bytes size,
+                              std::function<void()> on_delivered) {
+  require(established(), "send_message on a non-established connection");
+  require(sender == client_ || sender == server_,
+          "sender is not an endpoint of this connection");
+  require(size >= 0, "message size must be non-negative");
+  require(static_cast<bool>(on_delivered),
+          "send_message needs a delivery callback");
+  const Duration d = packet_delay(net_.tcp(), one_way_, loss_, rng_);
+  last_activity_ = net_.simulator().now();
+  // Self-removing tracked event so close() can drop pending deliveries.
+  auto holder = std::make_shared<sim::EventId>(sim::kInvalidEventId);
+  const sim::EventId id = net_.simulator().after(
+      d, [this, holder, cb = std::move(on_delivered)] {
+        message_events_.erase(*holder);
+        cb();
+      });
+  *holder = id;
+  message_events_.insert(id);
+}
+
+void Connection::fetch(Bytes request_size, Bytes response_size,
+                       std::function<void(const FetchResult&)> on_done) {
+  require(established(), "fetch on a non-established connection");
+  require(!fetch_.has_value(), "a fetch is already in flight");
+  require(request_size >= 0 && response_size >= 0,
+          "fetch sizes must be non-negative");
+  require(static_cast<bool>(on_done), "fetch needs an on_done callback");
+
+  const TimePoint now = net_.simulator().now();
+  if (now - last_activity_ > net_.tcp().retransmission_timeout) {
+    // Congestion window validation: restart slow start after idleness.
+    cwnd_.reset_after_idle();
+  }
+  last_activity_ = now;
+
+  fetch_.emplace();
+  fetch_->started = now;
+  fetch_->size = response_size;
+  fetch_->on_done = std::move(on_done);
+
+  // Request packet travels client -> server first.
+  const Duration request_delay =
+      packet_delay(net_.tcp(), one_way_, loss_, rng_);
+  (void)request_size;  // fits in one packet for every protocol message here
+  fetch_->request_event = net_.simulator().after(request_delay, [this] {
+    fetch_->request_event = sim::kInvalidEventId;
+    start_response_flow();
+  });
+}
+
+void Connection::push(Bytes size,
+                      std::function<void(const FetchResult&)> on_done) {
+  require(established(), "push on a non-established connection");
+  require(!fetch_.has_value(), "a transfer is already in flight");
+  require(size >= 0, "push size must be non-negative");
+  require(static_cast<bool>(on_done), "push needs an on_done callback");
+
+  const TimePoint now = net_.simulator().now();
+  if (now - last_activity_ > net_.tcp().retransmission_timeout) {
+    cwnd_.reset_after_idle();
+  }
+  last_activity_ = now;
+
+  fetch_.emplace();
+  fetch_->started = now;
+  fetch_->size = size;
+  fetch_->on_done = std::move(on_done);
+  start_response_flow();
+}
+
+void Connection::start_response_flow() {
+  FlowCallbacks callbacks;
+  callbacks.on_complete = [this] {
+    fetch_->flow = FlowId{};
+    finish_fetch(/*aborted=*/false, fetch_->size);
+  };
+  callbacks.on_abort = [this](Bytes delivered) {
+    if (!fetch_.has_value()) return;  // aborted by close() itself
+    fetch_->flow = FlowId{};
+    finish_fetch(/*aborted=*/true, delivered);
+  };
+  fetch_->flow = net_.start_flow(server_, client_, fetch_->size,
+                                 cwnd_.rate(), std::move(callbacks));
+  schedule_ramp();
+}
+
+void Connection::schedule_ramp() {
+  if (cwnd_.at_ceiling()) return;
+  fetch_->ramp_event = net_.simulator().after(rtt_, [this] {
+    fetch_->ramp_event = sim::kInvalidEventId;
+    cwnd_.on_round_trip();
+    if (fetch_->flow.valid()) net_.set_flow_cap(fetch_->flow, cwnd_.rate());
+    schedule_ramp();
+  });
+}
+
+Rate Connection::transfer_rate() const {
+  if (!fetch_.has_value() || !fetch_->flow.valid()) return Rate::zero();
+  return net_.flow_rate(fetch_->flow);
+}
+
+void Connection::cancel_tracked_events() {
+  auto& sim = net_.simulator();
+  if (connect_event_ != sim::kInvalidEventId) {
+    sim.cancel(connect_event_);
+    connect_event_ = sim::kInvalidEventId;
+  }
+  for (sim::EventId id : message_events_) sim.cancel(id);
+  message_events_.clear();
+}
+
+void Connection::finish_fetch(bool aborted, Bytes delivered) {
+  check_invariant(fetch_.has_value(), "finish_fetch without a fetch");
+  auto& sim = net_.simulator();
+  if (fetch_->ramp_event != sim::kInvalidEventId) {
+    sim.cancel(fetch_->ramp_event);
+  }
+  if (fetch_->request_event != sim::kInvalidEventId) {
+    sim.cancel(fetch_->request_event);
+  }
+  FetchResult result;
+  result.bytes_delivered = delivered;
+  result.elapsed = sim.now() - fetch_->started;
+  result.aborted = aborted;
+  auto on_done = std::move(fetch_->on_done);
+  fetch_.reset();
+  last_activity_ = sim.now();
+  on_done(result);
+}
+
+void Connection::close() {
+  if (state_ == State::Closed) return;
+  state_ = State::Closed;
+  cancel_tracked_events();
+  if (fetch_.has_value()) {
+    // Detach the flow first so its on_abort sees no active fetch, then
+    // report the abort to the caller ourselves.
+    const FlowId flow = fetch_->flow;
+    auto& sim = net_.simulator();
+    if (fetch_->ramp_event != sim::kInvalidEventId)
+      sim.cancel(fetch_->ramp_event);
+    if (fetch_->request_event != sim::kInvalidEventId)
+      sim.cancel(fetch_->request_event);
+    auto on_done = std::move(fetch_->on_done);
+    const TimePoint started = fetch_->started;
+    const Bytes size = fetch_->size;
+    fetch_.reset();
+    Bytes delivered = 0;
+    if (flow.valid() && net_.flow_active(flow)) {
+      delivered = size - net_.flow_remaining(flow);
+      net_.abort_flow(flow);
+    }
+    FetchResult result;
+    result.bytes_delivered = delivered;
+    result.elapsed = sim.now() - started;
+    result.aborted = true;
+    if (on_done) on_done(result);
+  }
+}
+
+}  // namespace vsplice::net

@@ -1,0 +1,121 @@
+// A TCP-like connection between two hosts of the fluid network.
+//
+// Adds the TCP behaviours the fluid layer cannot see: the 3-way handshake
+// before any data moves, per-packet retransmission delays for control
+// messages, and a slow-start congestion window whose current value caps
+// the rate of the in-flight response flow (ramped once per RTT until the
+// Mathis ceiling). A connection left idle longer than the RTO restarts
+// from the initial window, so "one connection per segment" and
+// "persistent connection" genuinely behave differently — the effect the
+// paper's 2-second-segment results hinge on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "net/tcp_model.h"
+#include "net/types.h"
+
+namespace vsplice::net {
+
+class Connection {
+ public:
+  struct FetchResult {
+    Bytes bytes_delivered = 0;
+    Duration elapsed = Duration::zero();
+    bool aborted = false;
+  };
+
+  enum class State { Fresh, Connecting, Established, Closed };
+
+  /// `rng` must outlive the connection (it is the run's master stream or
+  /// a peer's fork of it).
+  Connection(Network& network, Rng& rng, NodeId client, NodeId server);
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  ~Connection();
+
+  /// Performs the handshake, then invokes `on_established`.
+  void connect(std::function<void()> on_established);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool established() const {
+    return state_ == State::Established;
+  }
+
+  /// Delivers a small control message to the other side after the path's
+  /// packet delay (including loss retransmissions). Direction is chosen
+  /// by the sender argument. The callback is cancelled if the connection
+  /// closes first.
+  void send_message(NodeId sender, Bytes size,
+                    std::function<void()> on_delivered);
+
+  /// Request/response exchange: a small request packet client->server,
+  /// then a `response_size` fluid flow server->client, slow-start capped.
+  /// Only one fetch may be in flight per connection.
+  void fetch(Bytes request_size, Bytes response_size,
+             std::function<void(const FetchResult&)> on_done);
+
+  /// Server-initiated transfer of `size` bytes to the client (the PIECE
+  /// payload after a granted request): same slow-start-capped flow as
+  /// fetch, but without the request leg. Shares the in-flight slot with
+  /// fetch.
+  void push(Bytes size, std::function<void(const FetchResult&)> on_done);
+
+  [[nodiscard]] bool fetch_in_progress() const {
+    return fetch_.has_value();
+  }
+
+  /// Current rate of the in-flight response flow (zero when none).
+  [[nodiscard]] Rate transfer_rate() const;
+
+  /// Aborts everything in flight; pending callbacks are dropped, an
+  /// active fetch completes with aborted=true.
+  void close();
+
+  [[nodiscard]] NodeId client() const { return client_; }
+  [[nodiscard]] NodeId server() const { return server_; }
+  [[nodiscard]] Duration rtt() const { return rtt_; }
+  [[nodiscard]] double loss() const { return loss_; }
+
+  /// Stable handle in the network's connection registry; valid until the
+  /// connection is destroyed.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  struct ActiveFetch {
+    FlowId flow;
+    TimePoint started;
+    Bytes size = 0;
+    std::function<void(const FetchResult&)> on_done;
+    sim::EventId ramp_event = sim::kInvalidEventId;
+    sim::EventId request_event = sim::kInvalidEventId;
+  };
+
+  void start_response_flow();
+  void schedule_ramp();
+  void cancel_tracked_events();
+  void finish_fetch(bool aborted, Bytes delivered);
+
+  Network& net_;
+  Rng& rng_;
+  std::uint64_t id_ = 0;
+  NodeId client_;
+  NodeId server_;
+  Duration one_way_;
+  Duration rtt_;
+  double loss_;
+  State state_ = State::Fresh;
+  CongestionWindow cwnd_;
+  TimePoint last_activity_ = TimePoint::origin();
+  std::optional<ActiveFetch> fetch_;
+  sim::EventId connect_event_ = sim::kInvalidEventId;
+  std::unordered_set<sim::EventId> message_events_;
+};
+
+}  // namespace vsplice::net

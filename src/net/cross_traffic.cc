@@ -1,0 +1,60 @@
+#include "net/cross_traffic.h"
+
+#include "common/error.h"
+
+namespace vsplice::net {
+
+CrossTraffic::CrossTraffic(Network& network, Rng& rng, NodeId src,
+                           NodeId dst, Params params)
+    : net_{network}, rng_{rng}, src_{src}, dst_{dst}, params_{params} {
+  require(params.burst_size > 0, "cross traffic burst size must be > 0");
+  require(params.mean_gap > Duration::zero(),
+          "cross traffic mean gap must be > 0");
+}
+
+CrossTraffic::~CrossTraffic() { stop(); }
+
+void CrossTraffic::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next_burst();
+}
+
+void CrossTraffic::stop() {
+  running_ = false;
+  if (gap_event_ != sim::kInvalidEventId) {
+    net_.simulator().cancel(gap_event_);
+    gap_event_ = sim::kInvalidEventId;
+  }
+  if (active_flow_.valid() && net_.flow_active(active_flow_)) {
+    net_.abort_flow(active_flow_);
+  }
+  active_flow_ = FlowId{};
+}
+
+void CrossTraffic::schedule_next_burst() {
+  const Duration gap =
+      Duration::seconds(rng_.exponential(params_.mean_gap.as_seconds()));
+  gap_event_ = net_.simulator().after(gap, [this] {
+    gap_event_ = sim::kInvalidEventId;
+    launch_burst();
+  });
+}
+
+void CrossTraffic::launch_burst() {
+  FlowCallbacks callbacks;
+  callbacks.on_complete = [this] {
+    active_flow_ = FlowId{};
+    ++bursts_completed_;
+    bytes_transferred_ += params_.burst_size;
+    if (running_) schedule_next_burst();
+  };
+  callbacks.on_abort = [this](Bytes delivered) {
+    active_flow_ = FlowId{};
+    bytes_transferred_ += delivered;
+  };
+  active_flow_ = net_.start_flow(src_, dst_, params_.burst_size,
+                                 params_.burst_cap, std::move(callbacks));
+}
+
+}  // namespace vsplice::net

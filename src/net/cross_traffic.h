@@ -1,0 +1,62 @@
+// Background cross-traffic generator (the paper's future-work item on
+// "competing flows and high congestion environment").
+//
+// Emits an on/off sequence of bulk transfers between two hosts: a burst
+// of `burst_size` bytes, then an exponential think time, then the next
+// burst. Bursts share links max-min fairly with the swarm's flows, so
+// enabling cross traffic squeezes streaming throughput exactly the way a
+// competing TCP download would.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "net/types.h"
+
+namespace vsplice::net {
+
+class CrossTraffic {
+ public:
+  struct Params {
+    Bytes burst_size = 4_MiB;
+    Duration mean_gap = Duration::seconds(2.0);
+    /// Per-burst TCP-style rate cap; infinity = unconstrained.
+    Rate burst_cap = Rate::infinity();
+  };
+
+  CrossTraffic(Network& network, Rng& rng, NodeId src, NodeId dst,
+               Params params);
+  CrossTraffic(const CrossTraffic&) = delete;
+  CrossTraffic& operator=(const CrossTraffic&) = delete;
+  ~CrossTraffic();
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t bursts_completed() const {
+    return bursts_completed_;
+  }
+  [[nodiscard]] Bytes bytes_transferred() const {
+    return bytes_transferred_;
+  }
+
+ private:
+  void schedule_next_burst();
+  void launch_burst();
+
+  Network& net_;
+  Rng& rng_;
+  NodeId src_;
+  NodeId dst_;
+  Params params_;
+  bool running_ = false;
+  std::uint64_t bursts_completed_ = 0;
+  Bytes bytes_transferred_ = 0;
+  sim::EventId gap_event_ = sim::kInvalidEventId;
+  FlowId active_flow_{};
+};
+
+}  // namespace vsplice::net

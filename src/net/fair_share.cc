@@ -1,0 +1,130 @@
+#include "net/fair_share.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vsplice::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Relative slack when comparing shares, to absorb floating-point noise.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+std::vector<Rate> max_min_allocation(
+    const std::vector<FlowSpec>& flows,
+    const std::vector<Rate>& link_capacity) {
+  const std::size_t n = flows.size();
+  const std::size_t links = link_capacity.size();
+
+  std::vector<double> remaining(links);
+  for (std::size_t l = 0; l < links; ++l) {
+    const Rate c = link_capacity[l];
+    require(c >= Rate::zero(), "link capacity must be non-negative");
+    remaining[l] = c.is_infinite() ? kInf : c.bytes_per_second();
+  }
+
+  std::vector<std::size_t> active_on_link(links, 0);
+  for (const auto& flow : flows) {
+    for (LinkId l : flow.path) {
+      require(l.value < links, "flow path references unknown link");
+      ++active_on_link[l.value];
+    }
+  }
+
+  std::vector<double> alloc(n, 0.0);
+  std::vector<bool> fixed(n, false);
+  std::size_t active = n;
+
+  auto fix_flow = [&](std::size_t f, double rate) {
+    alloc[f] = rate;
+    fixed[f] = true;
+    --active;
+    for (LinkId l : flows[f].path) {
+      --active_on_link[l.value];
+      if (remaining[l.value] != kInf) {
+        remaining[l.value] = std::max(0.0, remaining[l.value] - rate);
+      }
+    }
+  };
+
+  while (active > 0) {
+    // Equal share offered by the currently most constrained link.
+    double min_link_share = kInf;
+    for (std::size_t l = 0; l < links; ++l) {
+      if (active_on_link[l] == 0) continue;
+      const double share =
+          remaining[l] / static_cast<double>(active_on_link[l]);
+      min_link_share = std::min(min_link_share, share);
+    }
+
+    // Smallest cap among still-active flows.
+    double min_cap = kInf;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (fixed[f]) continue;
+      const double cap =
+          flows[f].cap.is_infinite() ? kInf : flows[f].cap.bytes_per_second();
+      min_cap = std::min(min_cap, cap);
+    }
+
+    const double level = std::min(min_link_share, min_cap);
+
+    if (level == kInf) {
+      // No finite constraint binds the remaining flows.
+      for (std::size_t f = 0; f < n; ++f) {
+        if (!fixed[f]) fix_flow(f, kInf);
+      }
+      break;
+    }
+
+    const double threshold = level * (1.0 + kEps) + 1e-12;
+
+    // First settle flows whose own cap binds at (or below) this level:
+    // they take less than their equal share, freeing capacity for others.
+    bool fixed_by_cap = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (fixed[f]) continue;
+      const double cap =
+          flows[f].cap.is_infinite() ? kInf : flows[f].cap.bytes_per_second();
+      if (cap <= threshold) {
+        fix_flow(f, cap);
+        fixed_by_cap = true;
+      }
+    }
+    if (fixed_by_cap) continue;
+
+    // Otherwise the level came from a bottleneck link: freeze every flow
+    // crossing a link whose share equals the level.
+    std::vector<bool> is_bottleneck(links, false);
+    for (std::size_t l = 0; l < links; ++l) {
+      if (active_on_link[l] == 0) continue;
+      const double share =
+          remaining[l] / static_cast<double>(active_on_link[l]);
+      if (share <= threshold) is_bottleneck[l] = true;
+    }
+    bool fixed_any = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (fixed[f]) continue;
+      const bool crosses = std::any_of(
+          flows[f].path.begin(), flows[f].path.end(),
+          [&](LinkId l) { return is_bottleneck[l.value]; });
+      if (crosses) {
+        fix_flow(f, level);
+        fixed_any = true;
+      }
+    }
+    check_invariant(fixed_any,
+                    "max-min allocation made no progress; bad input?");
+  }
+
+  std::vector<Rate> result(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    result[f] = alloc[f] == kInf ? Rate::infinity()
+                                 : Rate::bytes_per_second(alloc[f]);
+  }
+  return result;
+}
+
+}  // namespace vsplice::net

@@ -1,0 +1,32 @@
+// Max-min fair rate allocation (progressive filling / water-filling).
+//
+// Every active transfer is a fluid flow crossing a set of directed links;
+// each flow may also carry its own rate cap (its TCP congestion-window
+// limit). The allocation gives every flow the largest rate such that no
+// link is oversubscribed and no flow can be increased without decreasing
+// an already-smaller flow — the standard fluid abstraction for bandwidth
+// sharing among TCP connections on shaped links.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "net/types.h"
+
+namespace vsplice::net {
+
+struct FlowSpec {
+  /// Links the flow crosses; LinkId::value indexes `link_capacity`.
+  std::vector<LinkId> path;
+  /// Flow's own rate ceiling (Rate::infinity() when unconstrained).
+  Rate cap = Rate::infinity();
+};
+
+/// Computes the max-min fair allocation. `link_capacity[l]` is the
+/// capacity of link l; flows with an empty path are limited only by their
+/// cap. Zero-capacity links yield zero-rate flows.
+[[nodiscard]] std::vector<Rate> max_min_allocation(
+    const std::vector<FlowSpec>& flows,
+    const std::vector<Rate>& link_capacity);
+
+}  // namespace vsplice::net

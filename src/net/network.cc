@@ -1,0 +1,284 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vsplice::net {
+
+namespace {
+// A flow is done when less than this many bytes remain; absorbs the
+// microsecond rounding of completion times.
+constexpr double kDoneTolerance = 1e-3;
+}  // namespace
+
+Network::Network(sim::Simulator& sim, TcpParams tcp)
+    : sim_{sim}, tcp_{tcp} {
+  // Link 0 is the hub trunk; infinite = non-blocking switch.
+  link_capacity_.push_back(Rate::infinity());
+}
+
+NodeId Network::add_node(const NodeSpec& spec) {
+  require(spec.loss >= 0.0 && spec.loss < 1.0,
+          "node loss must be in [0, 1)");
+  require(!spec.one_way_delay.is_negative(),
+          "node delay must be non-negative");
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(spec);
+  link_capacity_.push_back(spec.uplink);
+  link_capacity_.push_back(spec.downlink);
+  uploaded_.push_back(0.0);
+  downloaded_.push_back(0.0);
+  return id;
+}
+
+const NodeSpec& Network::node(NodeId id) const {
+  require(id.value < nodes_.size(), "unknown node " + id.to_string());
+  return nodes_[id.value];
+}
+
+LinkId Network::uplink_of(NodeId id) const {
+  require(id.value < nodes_.size(), "unknown node " + id.to_string());
+  return LinkId{1 + 2 * id.value};
+}
+
+LinkId Network::downlink_of(NodeId id) const {
+  require(id.value < nodes_.size(), "unknown node " + id.to_string());
+  return LinkId{2 + 2 * id.value};
+}
+
+void Network::set_hub_capacity(Rate capacity) {
+  require(capacity >= Rate::zero(), "hub capacity must be non-negative");
+  advance_progress();
+  link_capacity_[0] = capacity;
+  reallocate();
+}
+
+void Network::set_node_bandwidth(NodeId id, Rate uplink, Rate downlink) {
+  require(uplink >= Rate::zero() && downlink >= Rate::zero(),
+          "bandwidth must be non-negative");
+  advance_progress();
+  nodes_[id.value].uplink = uplink;
+  nodes_[id.value].downlink = downlink;
+  link_capacity_[uplink_of(id).value] = uplink;
+  link_capacity_[downlink_of(id).value] = downlink;
+  reallocate();
+}
+
+Duration Network::one_way_delay(NodeId a, NodeId b) const {
+  return node(a).one_way_delay + node(b).one_way_delay;
+}
+
+Duration Network::rtt(NodeId a, NodeId b) const {
+  return one_way_delay(a, b) * 2.0;
+}
+
+double Network::path_loss(NodeId a, NodeId b) const {
+  return 1.0 - (1.0 - node(a).loss) * (1.0 - node(b).loss);
+}
+
+FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size, Rate cap,
+                           FlowCallbacks callbacks) {
+  require(src != dst, "flow endpoints must differ");
+  require(size >= 0, "flow size must be non-negative");
+  require(static_cast<bool>(callbacks.on_complete),
+          "flow needs an on_complete callback");
+  (void)node(src);
+  (void)node(dst);
+
+  const FlowId id{next_flow_++};
+  ++stats_.flows_started;
+
+  advance_progress();
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.path = {LinkId{0}, uplink_of(src), downlink_of(dst)};
+  flow.total = static_cast<double>(size);
+  flow.remaining = static_cast<double>(size);
+  flow.cap = cap;
+  flow.callbacks = std::move(callbacks);
+  flows_.emplace(id, std::move(flow));
+  reallocate();
+  return id;
+}
+
+void Network::set_flow_cap(FlowId id, Rate cap) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_progress();
+  it->second.cap = cap;
+  reallocate();
+}
+
+bool Network::abort_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_progress();
+  Flow flow = std::move(it->second);
+  if (flow.completion_event != sim::kInvalidEventId)
+    sim_.cancel(flow.completion_event);
+  flows_.erase(it);
+  ++stats_.flows_aborted;
+  reallocate();
+  if (flow.callbacks.on_abort) {
+    flow.callbacks.on_abort(
+        static_cast<Bytes>(std::max(0.0, flow.total - flow.remaining)));
+  }
+  return true;
+}
+
+void Network::abort_flows_for(NodeId nodeid) {
+  std::vector<FlowId> doomed;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == nodeid || flow.dst == nodeid) doomed.push_back(id);
+  }
+  std::sort(doomed.begin(), doomed.end());
+  for (FlowId id : doomed) abort_flow(id);
+}
+
+bool Network::flow_active(FlowId id) const { return flows_.contains(id); }
+
+Rate Network::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? Rate::zero() : it->second.rate;
+}
+
+Bytes Network::flow_remaining(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return 0;
+  return static_cast<Bytes>(std::max(0.0, it->second.remaining));
+}
+
+Bytes Network::uploaded_by(NodeId id) const {
+  require(id.value < uploaded_.size(), "unknown node");
+  return static_cast<Bytes>(uploaded_[id.value]);
+}
+
+Bytes Network::downloaded_by(NodeId id) const {
+  require(id.value < downloaded_.size(), "unknown node");
+  return static_cast<Bytes>(downloaded_[id.value]);
+}
+
+void Network::credit_transfer(const Flow& flow, double bytes) {
+  uploaded_[flow.src.value] += bytes;
+  downloaded_[flow.dst.value] += bytes;
+  stats_.bytes_delivered += bytes;
+}
+
+void Network::advance_progress() {
+  const TimePoint now = sim_.now();
+  const Duration dt = now - last_update_;
+  last_update_ = now;
+  if (dt.is_zero() || flows_.empty()) return;
+  for (auto& [id, flow] : flows_) {
+    if (flow.rate.is_zero()) continue;
+    const double moved = std::min(
+        flow.remaining, flow.rate.bytes_per_second() * dt.as_seconds());
+    flow.remaining -= moved;
+    credit_transfer(flow, moved);
+  }
+}
+
+std::vector<Rate> Network::effective_capacities() const {
+  std::vector<Rate> capacity = link_capacity_;
+  if (tcp_.parallel_loss_factor <= 0.0) return capacity;
+  // Count concurrent flows per downlink (link ids 2, 4, 6, ... — the
+  // receiver side, where a streaming client's parallel downloads pile
+  // up) and derate the aggregate goodput accordingly.
+  std::unordered_map<std::uint32_t, std::size_t> downlink_flows;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.path.size() >= 3) ++downlink_flows[flow.path[2].value];
+  }
+  for (const auto& [link, n] : downlink_flows) {
+    if (n <= 1 || capacity[link].is_infinite()) continue;
+    const double factor =
+        1.0 + tcp_.parallel_loss_factor * static_cast<double>(n - 1);
+    capacity[link] = capacity[link] / factor;
+  }
+  return capacity;
+}
+
+void Network::reallocate() {
+  check_invariant(!in_reallocate_, "reallocate is not reentrant");
+  in_reallocate_ = true;
+  ++stats_.reallocations;
+
+  // Deterministic order: FlowId ascending.
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<FlowSpec> specs;
+  specs.reserve(ids.size());
+  for (FlowId id : ids) {
+    const Flow& flow = flows_.at(id);
+    specs.push_back(FlowSpec{flow.path, flow.cap});
+  }
+  const std::vector<Rate> rates =
+      max_min_allocation(specs, effective_capacities());
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Flow& flow = flows_.at(ids[i]);
+    flow.rate = rates[i];
+    schedule_completion(ids[i], flow);
+  }
+  in_reallocate_ = false;
+}
+
+void Network::schedule_completion(FlowId id, Flow& flow) {
+  if (flow.completion_event != sim::kInvalidEventId) {
+    sim_.cancel(flow.completion_event);
+    flow.completion_event = sim::kInvalidEventId;
+  }
+  if (flow.remaining <= kDoneTolerance) {
+    // Zero-length (or already-drained) flow: complete on the next tick so
+    // callers never see a completion inside start_flow.
+    flow.completion_event =
+        sim_.after(Duration::zero(), [this, id] { finish_flow(id); });
+    return;
+  }
+  if (flow.rate.is_zero()) return;  // stalled; a future reallocation wakes it
+  const Duration eta = flow.rate.time_to_send(
+      static_cast<Bytes>(std::ceil(flow.remaining)));
+  if (eta.is_infinite()) return;
+  flow.completion_event =
+      sim_.after(eta, [this, id] { finish_flow(id); });
+}
+
+std::uint64_t Network::register_connection(Connection* conn) {
+  const std::uint64_t id = next_connection_id_++;
+  connections_.emplace(id, conn);
+  return id;
+}
+
+void Network::unregister_connection(std::uint64_t id) {
+  connections_.erase(id);
+}
+
+Connection* Network::find_connection(std::uint64_t id) const {
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : it->second;
+}
+
+void Network::finish_flow(FlowId id) {
+  advance_progress();
+  const auto it = flows_.find(id);
+  check_invariant(it != flows_.end(), "completion event for unknown flow");
+  Flow& flow = it->second;
+  flow.completion_event = sim::kInvalidEventId;
+  if (flow.remaining > kDoneTolerance) {
+    // Rates changed since this event was scheduled; re-derive the ETA.
+    schedule_completion(id, flow);
+    return;
+  }
+  Flow done = std::move(flow);
+  flows_.erase(it);
+  ++stats_.flows_completed;
+  reallocate();
+  done.callbacks.on_complete();
+}
+
+}  // namespace vsplice::net

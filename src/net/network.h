@@ -1,0 +1,157 @@
+// Star-topology fluid network simulator.
+//
+// Mirrors the paper's GENI setup: N hosts, each attached by a shaped
+// access link (uplink + downlink) to a central hub node, with per-host
+// one-way delay and loss probability configured RSpec-style. Transfers are
+// fluid flows; whenever the flow set or a rate cap changes, the engine
+// advances every flow's byte progress and recomputes the max-min fair
+// allocation, then schedules the next completion event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "net/fair_share.h"
+#include "net/tcp_model.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+
+namespace vsplice::net {
+
+/// Per-host access characteristics (the knobs the paper turns via RSpec).
+struct NodeSpec {
+  Rate uplink = Rate::infinity();
+  Rate downlink = Rate::infinity();
+  /// This host's contribution to path latency; the delay between hosts a
+  /// and b is a.one_way_delay + b.one_way_delay.
+  Duration one_way_delay = Duration::zero();
+  /// This host's contribution to path loss; combined as
+  /// 1 - (1-loss_a)(1-loss_b).
+  double loss = 0.0;
+};
+
+struct FlowCallbacks {
+  /// Invoked when the last byte arrives.
+  std::function<void()> on_complete;
+  /// Invoked if the flow is aborted (peer left, connection closed);
+  /// receives the bytes delivered so far. May be null.
+  std::function<void(Bytes)> on_abort;
+};
+
+struct NetworkStats {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flows_aborted = 0;
+  std::uint64_t reallocations = 0;
+  double bytes_delivered = 0.0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim, TcpParams tcp = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a host to the star. Node ids are dense, starting at 0.
+  NodeId add_node(const NodeSpec& spec);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const NodeSpec& node(NodeId id) const;
+
+  /// Capacity of the shared hub trunk every flow crosses (infinite by
+  /// default, matching a non-blocking switch).
+  void set_hub_capacity(Rate capacity);
+
+  /// Reshapes a host's access link mid-run (variable-bandwidth
+  /// experiments); in-flight flows are re-allocated immediately.
+  void set_node_bandwidth(NodeId id, Rate uplink, Rate downlink);
+
+  [[nodiscard]] Duration one_way_delay(NodeId a, NodeId b) const;
+  [[nodiscard]] Duration rtt(NodeId a, NodeId b) const;
+  [[nodiscard]] double path_loss(NodeId a, NodeId b) const;
+
+  /// Starts a fluid flow of `size` bytes from src to dst with a per-flow
+  /// rate cap (the sender's TCP window limit; use Rate::infinity() for
+  /// none). src must differ from dst. Completion/abort are reported via
+  /// callbacks.
+  FlowId start_flow(NodeId src, NodeId dst, Bytes size, Rate cap,
+                    FlowCallbacks callbacks);
+
+  /// Updates a flow's cap (slow-start ramp). No-op for finished flows.
+  void set_flow_cap(FlowId id, Rate cap);
+
+  /// Aborts a flow; returns false if it already finished.
+  bool abort_flow(FlowId id);
+
+  /// Aborts every flow with `node` as source or destination (peer churn).
+  void abort_flows_for(NodeId node);
+
+  [[nodiscard]] bool flow_active(FlowId id) const;
+  [[nodiscard]] Rate flow_rate(FlowId id) const;
+  [[nodiscard]] Bytes flow_remaining(FlowId id) const;
+  [[nodiscard]] std::size_t active_flow_count() const {
+    return flows_.size();
+  }
+
+  /// Bytes this node has sent / received over completed+partial flows.
+  [[nodiscard]] Bytes uploaded_by(NodeId id) const;
+  [[nodiscard]] Bytes downloaded_by(NodeId id) const;
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const TcpParams& tcp() const { return tcp_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Connection registry: lets protocol code hold a connection by id and
+  /// find out later whether it still exists (e.g. queued requests whose
+  /// requester may have hung up in the meantime).
+  [[nodiscard]] std::uint64_t register_connection(class Connection* conn);
+  void unregister_connection(std::uint64_t id);
+  [[nodiscard]] class Connection* find_connection(std::uint64_t id) const;
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    std::vector<LinkId> path;
+    double total = 0.0;      // bytes requested at start
+    double remaining = 0.0;  // bytes; fractional to avoid rounding drift
+    Rate cap = Rate::infinity();
+    Rate rate = Rate::zero();
+    FlowCallbacks callbacks;
+    sim::EventId completion_event = sim::kInvalidEventId;
+  };
+
+  [[nodiscard]] LinkId uplink_of(NodeId id) const;
+  [[nodiscard]] LinkId downlink_of(NodeId id) const;
+
+  /// Integrates every active flow's progress from last_update_ to now.
+  void advance_progress();
+  /// Link capacities with the parallel-TCP goodput penalty applied to
+  /// oversubscribed downlinks.
+  [[nodiscard]] std::vector<Rate> effective_capacities() const;
+  /// Recomputes fair shares and reschedules completion events.
+  void reallocate();
+  void schedule_completion(FlowId id, Flow& flow);
+  void finish_flow(FlowId id);
+  void credit_transfer(const Flow& flow, double bytes);
+
+  sim::Simulator& sim_;
+  TcpParams tcp_;
+  std::vector<NodeSpec> nodes_;
+  /// link 0 = hub trunk; node i has uplink 1+2i, downlink 2+2i.
+  std::vector<Rate> link_capacity_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::uint64_t next_flow_ = 1;
+  TimePoint last_update_ = TimePoint::origin();
+  std::vector<double> uploaded_;
+  std::vector<double> downloaded_;
+  NetworkStats stats_;
+  bool in_reallocate_ = false;
+  std::uint64_t next_connection_id_ = 1;
+  std::unordered_map<std::uint64_t, class Connection*> connections_;
+};
+
+}  // namespace vsplice::net

@@ -1,0 +1,79 @@
+#include "net/tcp_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vsplice::net {
+
+Rate mathis_ceiling(const TcpParams& params, Duration rtt, double loss) {
+  require(rtt > Duration::zero(), "mathis_ceiling: rtt must be positive");
+  require(loss >= 0.0 && loss < 1.0, "mathis_ceiling: loss must be in [0,1)");
+  if (loss == 0.0) return Rate::infinity();
+  const double bps = static_cast<double>(params.mss) *
+                     params.mathis_constant /
+                     (rtt.as_seconds() * std::sqrt(loss));
+  return Rate::bytes_per_second(bps);
+}
+
+Rate slow_start_rate(const TcpParams& params, Duration rtt,
+                     double rtts_elapsed) {
+  require(rtt > Duration::zero(), "slow_start_rate: rtt must be positive");
+  require(rtts_elapsed >= 0.0, "slow_start_rate: negative round trips");
+  const double window_segments =
+      static_cast<double>(params.initial_window_segments) *
+      std::pow(params.slow_start_growth, rtts_elapsed);
+  const double bps = window_segments * static_cast<double>(params.mss) /
+                     rtt.as_seconds();
+  return Rate::bytes_per_second(bps);
+}
+
+Duration handshake_delay(const TcpParams& params, Duration rtt, double loss,
+                         Rng& rng) {
+  // SYN and SYN-ACK each traverse the path once; each is retransmitted
+  // after an RTO while lost.
+  Duration total = rtt;
+  for (int packet = 0; packet < 2; ++packet) {
+    while (rng.bernoulli(loss)) total += params.retransmission_timeout;
+  }
+  return total;
+}
+
+Duration packet_delay(const TcpParams& params, Duration one_way_latency,
+                      double loss, Rng& rng) {
+  Duration total = one_way_latency;
+  while (rng.bernoulli(loss)) total += params.retransmission_timeout;
+  return total;
+}
+
+CongestionWindow::CongestionWindow(const TcpParams& params, Duration rtt,
+                                   double loss)
+    : params_{params},
+      rtt_{rtt},
+      ceiling_{mathis_ceiling(params, rtt, loss)},
+      window_segments_{static_cast<double>(params.initial_window_segments)} {}
+
+Rate CongestionWindow::rate() const {
+  const Rate window_rate = Rate::bytes_per_second(
+      window_segments_ * static_cast<double>(params_.mss) /
+      rtt_.as_seconds());
+  return std::min(window_rate, ceiling_);
+}
+
+void CongestionWindow::on_round_trip() {
+  if (at_ceiling()) return;
+  window_segments_ *= params_.slow_start_growth;
+}
+
+bool CongestionWindow::at_ceiling() const {
+  const Rate window_rate = Rate::bytes_per_second(
+      window_segments_ * static_cast<double>(params_.mss) /
+      rtt_.as_seconds());
+  return window_rate >= ceiling_;
+}
+
+void CongestionWindow::reset_after_idle() {
+  window_segments_ = static_cast<double>(params_.initial_window_segments);
+}
+
+}  // namespace vsplice::net

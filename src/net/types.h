@@ -1,0 +1,54 @@
+// Identifier types for the network layer.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vsplice::net {
+
+/// A host attached to the star topology.
+struct NodeId {
+  std::uint32_t value = 0;
+  auto operator<=>(const NodeId&) const = default;
+  [[nodiscard]] std::string to_string() const {
+    return "node" + std::to_string(value);
+  }
+};
+
+/// A directed link (one node's uplink or downlink, or the hub trunk).
+struct LinkId {
+  std::uint32_t value = 0;
+  auto operator<=>(const LinkId&) const = default;
+};
+
+/// An active fluid flow.
+struct FlowId {
+  std::uint64_t value = 0;
+  auto operator<=>(const FlowId&) const = default;
+  [[nodiscard]] bool valid() const { return value != 0; }
+};
+
+}  // namespace vsplice::net
+
+template <>
+struct std::hash<vsplice::net::NodeId> {
+  std::size_t operator()(const vsplice::net::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<vsplice::net::LinkId> {
+  std::size_t operator()(const vsplice::net::LinkId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<vsplice::net::FlowId> {
+  std::size_t operator()(const vsplice::net::FlowId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

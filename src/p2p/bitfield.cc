@@ -1,0 +1,75 @@
+#include "p2p/bitfield.h"
+
+#include "common/error.h"
+
+namespace vsplice::p2p {
+
+Bitfield::Bitfield(std::size_t size) : size_{size}, bits_(size, false) {}
+
+Bitfield Bitfield::from_bytes(std::size_t size,
+                              const std::vector<std::uint8_t>& packed) {
+  const std::size_t expected = (size + 7) / 8;
+  if (packed.size() != expected) {
+    throw ParseError{"bitfield byte count mismatch: got " +
+                     std::to_string(packed.size()) + ", expected " +
+                     std::to_string(expected)};
+  }
+  Bitfield field{size};
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t byte = packed[i / 8];
+    if ((byte >> (7 - i % 8)) & 1) field.set(i);
+  }
+  // Spare bits beyond `size` must be zero.
+  for (std::size_t i = size; i < expected * 8; ++i) {
+    const std::uint8_t byte = packed[i / 8];
+    if ((byte >> (7 - i % 8)) & 1) {
+      throw ParseError{"bitfield has stray bits past its size"};
+    }
+  }
+  return field;
+}
+
+bool Bitfield::get(std::size_t i) const {
+  require(i < size_, "bitfield index out of range");
+  return bits_[i];
+}
+
+void Bitfield::set(std::size_t i) {
+  require(i < size_, "bitfield index out of range");
+  if (!bits_[i]) {
+    bits_[i] = true;
+    ++count_;
+  }
+}
+
+void Bitfield::set_all() {
+  for (std::size_t i = 0; i < size_; ++i) bits_[i] = true;
+  count_ = size_;
+}
+
+std::size_t Bitfield::next_set(std::size_t from) const {
+  for (std::size_t i = from; i < size_; ++i) {
+    if (bits_[i]) return i;
+  }
+  return size_;
+}
+
+std::size_t Bitfield::next_clear(std::size_t from) const {
+  for (std::size_t i = from; i < size_; ++i) {
+    if (!bits_[i]) return i;
+  }
+  return size_;
+}
+
+std::vector<std::uint8_t> Bitfield::to_bytes() const {
+  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (bits_[i]) {
+      out[i / 8] = static_cast<std::uint8_t>(
+          out[i / 8] | (1u << (7 - i % 8)));
+    }
+  }
+  return out;
+}
+
+}  // namespace vsplice::p2p

@@ -1,0 +1,47 @@
+// Segment-availability bitfield, exchanged in the wire protocol exactly
+// like BitTorrent's BITFIELD message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vsplice::p2p {
+
+class Bitfield {
+ public:
+  Bitfield() = default;
+  explicit Bitfield(std::size_t size);
+
+  /// Reconstructs from packed wire bytes (big-endian bit order within
+  /// each byte, like BitTorrent). Throws ParseError if `packed` is too
+  /// short or has stray bits set past `size`.
+  static Bitfield from_bytes(std::size_t size,
+                             const std::vector<std::uint8_t>& packed);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool all() const { return count_ == size_ && size_ > 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const;
+  void set(std::size_t i);
+  void set_all();
+
+  /// First set bit at or after `from`; size() when none.
+  [[nodiscard]] std::size_t next_set(std::size_t from) const;
+  /// First clear bit at or after `from`; size() when none.
+  [[nodiscard]] std::size_t next_clear(std::size_t from) const;
+
+  /// Packed wire representation, ceil(size/8) bytes.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  bool operator==(const Bitfield&) const = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+  std::vector<bool> bits_;
+};
+
+}  // namespace vsplice::p2p

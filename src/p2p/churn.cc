@@ -1,0 +1,42 @@
+#include "p2p/churn.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vsplice::p2p {
+
+ChurnModel::ChurnModel(Swarm& swarm, Rng& rng, Params params)
+    : swarm_{swarm}, rng_{rng}, params_{params} {
+  require(params_.mean_lifetime > Duration::zero(),
+          "mean lifetime must be positive");
+}
+
+void ChurnModel::install() {
+  for (Leecher* leecher : swarm_.leechers()) {
+    if (leecher->online()) schedule_departure(leecher);
+  }
+}
+
+std::size_t ChurnModel::online_leechers() const {
+  std::size_t count = 0;
+  for (Leecher* leecher : const_cast<Swarm&>(swarm_).leechers()) {
+    if (leecher->online()) ++count;
+  }
+  return count;
+}
+
+void ChurnModel::schedule_departure(Leecher* leecher) {
+  const Duration lifetime = Duration::seconds(
+      rng_.exponential(params_.mean_lifetime.as_seconds()));
+  swarm_.simulator().after(lifetime, [this, leecher] {
+    if (!leecher->online()) return;
+    if (online_leechers() <= params_.min_leechers) return;
+    // A viewer that finished watching stays as an altruistic seed in
+    // some systems; here departure means departure (the paper's model:
+    // "peers can leave the swarm anytime").
+    leecher->leave();
+    ++departures_;
+  });
+}
+
+}  // namespace vsplice::p2p

@@ -1,0 +1,49 @@
+// Peer churn: "In P2P video streaming, peers can leave the swarm anytime"
+// (Section I) — the reason prefetching multiple segments hedges
+// availability.
+//
+// Assigns each leecher an exponentially distributed session lifetime
+// measured from installation; when it expires the peer leaves abruptly
+// (connections reset, transfers abort). A floor on the number of
+// remaining leechers keeps experiments from degenerating to an empty
+// swarm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "p2p/swarm.h"
+
+namespace vsplice::p2p {
+
+class ChurnModel {
+ public:
+  struct Params {
+    /// Mean peer session length.
+    Duration mean_lifetime = Duration::seconds(60.0);
+    /// Never reduce the online leecher population below this.
+    std::size_t min_leechers = 1;
+  };
+
+  ChurnModel(Swarm& swarm, Rng& rng, Params params);
+  ChurnModel(const ChurnModel&) = delete;
+  ChurnModel& operator=(const ChurnModel&) = delete;
+
+  /// Draws lifetimes for all current leechers and schedules departures.
+  void install();
+
+  [[nodiscard]] std::size_t departures() const { return departures_; }
+
+ private:
+  void schedule_departure(Leecher* leecher);
+  [[nodiscard]] std::size_t online_leechers() const;
+
+  Swarm& swarm_;
+  Rng& rng_;
+  Params params_;
+  std::size_t departures_ = 0;
+};
+
+}  // namespace vsplice::p2p

@@ -1,0 +1,460 @@
+#include "p2p/leecher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "p2p/swarm.h"
+
+namespace vsplice::p2p {
+
+Leecher::Leecher(Swarm& swarm, net::NodeId node, PeerConfig peer_config,
+                 LeecherConfig config, std::uint64_t seed)
+    : Peer{swarm, node, peer_config},
+      config_{std::move(config)},
+      rng_{seed},
+      estimator_{config_.bandwidth_hint} {
+  require(config_.policy != nullptr, "leecher needs a pool policy");
+  require(config_.choke_backoff > Duration::zero(),
+          "choke backoff must be positive");
+  require(config_.request_timeout > Duration::zero(),
+          "request timeout must be positive");
+  require(config_.tick > Duration::zero(), "tick must be positive");
+}
+
+Leecher::~Leecher() {
+  // Cancel timers that capture `this`; connections cancel their own
+  // events in their destructors.
+  auto& sim = swarm_.simulator();
+  for (auto& [segment, download] : downloads_) {
+    if (download.retry_event != sim::kInvalidEventId)
+      sim.cancel(download.retry_event);
+    if (download.timeout_event != sim::kInvalidEventId)
+      sim.cancel(download.timeout_event);
+  }
+}
+
+void Leecher::join() {
+  require(!joined_, "leecher already joined");
+  require(swarm_.has_seeder(), "cannot join a swarm without a seeder");
+  joined_ = true;
+  join_time_ = swarm_.simulator().now();
+  fetch_metadata();
+}
+
+const streaming::Player& Leecher::player() const {
+  require(player_ != nullptr, "player not created yet (still joining)");
+  return *player_;
+}
+
+const streaming::QoeMetrics& Leecher::metrics() const {
+  return player().metrics();
+}
+
+bool Leecher::finished() const {
+  return player_ != nullptr && player_->finished();
+}
+
+const core::SegmentIndex& Leecher::learned_index() const {
+  require(index_ != nullptr, "playlist not fetched yet");
+  return *index_;
+}
+
+Rate Leecher::current_bandwidth_estimate() const {
+  return config_.estimate_bandwidth ? estimator_.estimate()
+                                    : config_.bandwidth_hint;
+}
+
+int Leecher::current_pool_target() const {
+  if (!index_ || !player_) return 0;
+  const std::size_t frontier = player_->buffer().frontier();
+  if (frontier >= index_->count()) return 0;
+  // Equation (1) assumes "the size of each segment is W bytes" — one
+  // video-wide W. The no-stall guarantee ("all the k segments have to be
+  // downloaded by T seconds") only survives non-uniform segments if W is
+  // the LARGEST segment in the playlist, so that is what we plug in.
+  // For duration-based splicing W is close to every segment's size; for
+  // GOP-based splicing the safe W is the multi-second static-scene GOP,
+  // which collapses the pool and strands bandwidth — one of the ways
+  // content-driven splicing undermines the formula.
+  return config_.policy->pool_size(current_bandwidth_estimate(),
+                                   player_->buffered_ahead(),
+                                   index_->largest_segment());
+}
+
+// ------------------------------------------------------------ join phase
+
+void Leecher::fetch_metadata() {
+  const net::NodeId seeder = swarm_.seeder_node();
+  seeder_conn_ = std::make_unique<net::Connection>(swarm_.network(), rng_,
+                                                   node_, seeder);
+  seeder_conn_->connect([this] {
+    const Bytes playlist_bytes =
+        static_cast<Bytes>(swarm_.playlist_text().size());
+    seeder_conn_->fetch(
+        config_.metadata_request_bytes, playlist_bytes,
+        [this](const net::Connection::FetchResult& result) {
+          if (!online_) return;
+          if (result.aborted) {
+            // The seeder never leaves; an aborted metadata fetch means we
+            // are shutting down.
+            return;
+          }
+          on_metadata(swarm_.playlist_text());
+        });
+  });
+}
+
+void Leecher::on_metadata(const std::string& playlist_text) {
+  const core::Playlist playlist = core::parse_playlist(playlist_text);
+  index_ = std::make_unique<core::SegmentIndex>(
+      core::index_from_playlist(playlist));
+  check_invariant(index_->count() == swarm_.index().count(),
+                  "playlist disagrees with the seeder's segment index");
+
+  segment_offsets_.clear();
+  segment_offsets_.reserve(playlist.entries.size());
+  for (const core::PlaylistEntry& entry : playlist.entries) {
+    segment_offsets_.push_back(entry.offset);
+  }
+
+  // Our own availability bitfield was sized by the base class from the
+  // swarm's ground truth; it matches the playlist (checked above).
+  player_ = std::make_unique<streaming::Player>(swarm_.simulator(), *index_,
+                                                config_.player);
+  player_->on_started = [this] { schedule_downloads(); };
+  player_->on_resume = [this] { schedule_downloads(); };
+  player_->start_session(join_time_);
+
+  // Announce: register with the tracker and learn the current members.
+  swarm_.tracker().register_peer(node_);
+  Bitfield seeder_all{index_->count()};
+  seeder_all.set_all();
+  peer_have_[swarm_.seeder_node()] = std::move(seeder_all);
+  for (net::NodeId peer : swarm_.tracker().peers_for(node_, rng_)) {
+    if (peer != swarm_.seeder_node()) connect_control(peer);
+  }
+
+  tick_ = std::make_unique<sim::PeriodicTask>(
+      swarm_.simulator(), config_.tick, [this] { schedule_downloads(); });
+  tick_->start();
+
+  schedule_downloads();
+}
+
+void Leecher::connect_control(net::NodeId peer) {
+  if (peer == node_ || control_.contains(peer)) return;
+  auto conn = std::make_unique<net::Connection>(swarm_.network(), rng_,
+                                                node_, peer);
+  net::Connection* raw = conn.get();
+  control_.emplace(peer, std::move(conn));
+  raw->connect([this, raw] {
+    if (!online_ || !index_) return;
+    send(*raw, HandshakeMsg{1, node_.value,
+                            static_cast<std::uint32_t>(index_->count())});
+    send(*raw, BitfieldMsg{have_});
+  });
+}
+
+void Leecher::broadcast_have(std::size_t segment) {
+  for (auto& [peer, conn] : control_) {
+    if (conn->established()) {
+      send(*conn, HaveMsg{static_cast<std::uint32_t>(segment)});
+    }
+  }
+}
+
+// ------------------------------------------------------ protocol handlers
+
+void Leecher::handle_message(net::NodeId from, net::Connection& conn,
+                             const std::vector<std::uint8_t>& bytes) {
+  if (!online_) return;
+  Peer::handle_message(from, conn, bytes);
+}
+
+void Leecher::on_bitfield(net::NodeId from, net::Connection&,
+                          const BitfieldMsg& msg) {
+  peer_have_[from] = msg.have;
+  // A peer that handshakes us is one we can also serve and gossip to;
+  // make sure we hold a control channel back.
+  connect_control(from);
+  schedule_downloads();
+}
+
+void Leecher::on_have(net::NodeId from, const HaveMsg& msg) {
+  if (!index_ || msg.segment >= index_->count()) return;
+  auto [it, inserted] = peer_have_.try_emplace(from, index_->count());
+  it->second.set(msg.segment);
+
+  // Rebalance: if we are still waiting (not yet granted) for this very
+  // segment, sometimes switch to the fresh holder. This is what drains
+  // demand off the seeder as copies propagate through the swarm.
+  const auto download_it = downloads_.find(msg.segment);
+  if (download_it != downloads_.end()) {
+    Download& download = download_it->second;
+    const bool waiting =
+        download.conn && !download.conn->fetch_in_progress();
+    if (waiting && download.holder != from &&
+        rng_.bernoulli(config_.rebalance_probability)) {
+      request_from(download, from);
+    }
+  }
+  schedule_downloads();
+}
+
+// -------------------------------------------------------- download logic
+
+void Leecher::schedule_downloads() {
+  if (!online_ || !index_ || !player_) return;
+  if (player_->buffer().complete()) return;
+  const int pool = current_pool_target();
+  while (downloads_.size() < static_cast<std::size_t>(pool)) {
+    const auto next = next_segment_to_fetch();
+    if (!next) break;
+    start_download(*next);
+  }
+}
+
+std::optional<std::size_t> Leecher::next_segment_to_fetch() const {
+  const auto& buffer = player_->buffer();
+  for (std::size_t i = buffer.frontier(); i < index_->count(); ++i) {
+    if (!buffer.is_downloaded(i) && !downloads_.contains(i)) return i;
+  }
+  return std::nullopt;
+}
+
+void Leecher::start_download(std::size_t segment) {
+  Download& download = downloads_[segment];
+  download.segment = segment;
+  download.started = swarm_.simulator().now();
+  attempt_download(download);
+}
+
+bool Leecher::holder_has(net::NodeId peer, std::size_t segment) const {
+  const auto it = peer_have_.find(peer);
+  if (it == peer_have_.end()) return false;
+  if (segment >= it->second.size()) return false;
+  const Peer* remote = swarm_.find(peer);
+  return it->second.get(segment) && remote != nullptr && remote->online();
+}
+
+std::optional<net::NodeId> Leecher::pick_holder(
+    std::size_t segment, const std::set<net::NodeId>& excluded) {
+  const TimePoint now = swarm_.simulator().now();
+  // Sticky preference: the peer that just served us has a free slot.
+  if (last_server_ && !excluded.contains(*last_server_) &&
+      holder_has(*last_server_, segment) &&
+      rng_.bernoulli(config_.sticky_holder_probability)) {
+    return *last_server_;
+  }
+  std::vector<net::NodeId> fresh;
+  std::vector<net::NodeId> cooling;
+  for (const auto& [peer, bitfield] : peer_have_) {
+    if (excluded.contains(peer)) continue;
+    if (!holder_has(peer, segment)) continue;
+    const auto choked = choked_at_.find(peer);
+    const bool cooling_down =
+        choked != choked_at_.end() &&
+        now - choked->second < config_.choke_cooldown;
+    (cooling_down ? cooling : fresh).push_back(peer);
+  }
+  if (!fresh.empty()) return fresh[rng_.index(fresh.size())];
+  if (!cooling.empty()) return cooling[rng_.index(cooling.size())];
+  return std::nullopt;
+}
+
+void Leecher::attempt_download(Download& download) {
+  const std::size_t segment = download.segment;
+  auto& sim = swarm_.simulator();
+  if (download.timeout_event != sim::kInvalidEventId) {
+    sim.cancel(download.timeout_event);
+    download.timeout_event = sim::kInvalidEventId;
+  }
+
+  const auto holder = pick_holder(segment, download.tried);
+  if (!holder) {
+    // Everyone with the segment choked us this round; cool off, then
+    // try the full holder set again.
+    download.tried.clear();
+    download.retry_event = sim.after(config_.choke_backoff, [this, segment] {
+      const auto it = downloads_.find(segment);
+      if (it == downloads_.end()) return;
+      it->second.retry_event = sim::kInvalidEventId;
+      attempt_download(it->second);
+    });
+    return;
+  }
+
+  request_from(download, *holder);
+}
+
+void Leecher::request_from(Download& download, net::NodeId holder) {
+  const std::size_t segment = download.segment;
+  download.holder = holder;
+  if (download.conn) swarm_.dispose_connection(std::move(download.conn));
+  download.conn = std::make_unique<net::Connection>(swarm_.network(), rng_,
+                                                    node_, holder);
+  net::Connection* raw = download.conn.get();
+  raw->connect([this, raw, segment] {
+    const auto it = downloads_.find(segment);
+    if (it == downloads_.end() || it->second.conn.get() != raw) return;
+    const core::Segment& seg = index_->at(segment);
+    send(*raw, RequestMsg{
+                   static_cast<std::uint32_t>(segment),
+                   static_cast<std::uint64_t>(segment_offsets_[segment]),
+                   static_cast<std::uint64_t>(seg.size)});
+  });
+
+  arm_request_timeout(download);
+}
+
+void Leecher::arm_request_timeout(Download& download) {
+  const std::size_t segment = download.segment;
+  download.timeout_event = swarm_.simulator().after(
+      config_.request_timeout, [this, segment] {
+        const auto it = downloads_.find(segment);
+        if (it == downloads_.end()) return;
+        Download& d = it->second;
+        d.timeout_event = sim::kInvalidEventId;
+        if (d.conn && d.conn->fetch_in_progress()) {
+          // The PIECE payload is flowing; a big segment on a slow shared
+          // link legitimately outlives the request timeout. Keep waiting.
+          arm_request_timeout(d);
+          return;
+        }
+        VSPLICE_DEBUG("leecher")
+            << node_.to_string() << ": request timeout for segment "
+            << segment << " from " << d.holder.to_string();
+        d.tried.insert(d.holder);
+        if (d.conn) swarm_.dispose_connection(std::move(d.conn));
+        attempt_download(d);
+      });
+}
+
+void Leecher::on_choke(net::NodeId from, net::Connection& conn) {
+  // Find the request this choke answers: same holder, and not already
+  // granted (a granted request has its PIECE flow in progress — a choke
+  // can never refer to it). Prefer an exact connection match.
+  std::size_t fallback = index_ ? index_->count() : 0;
+  bool have_fallback = false;
+  for (auto& [segment, download] : downloads_) {
+    if (download.holder != from || !download.conn) continue;
+    if (download.conn->fetch_in_progress()) continue;  // granted already
+    if (download.conn.get() == &conn) {
+      on_choked_for(segment, from);
+      return;
+    }
+    if (!have_fallback) {
+      fallback = segment;
+      have_fallback = true;
+    }
+  }
+  if (have_fallback) on_choked_for(fallback, from);
+}
+
+void Leecher::on_choked_for(std::size_t segment, net::NodeId holder) {
+  choked_at_[holder] = swarm_.simulator().now();
+  if (last_server_ == holder) last_server_.reset();
+  const auto it = downloads_.find(segment);
+  if (it == downloads_.end()) return;
+  Download& download = it->second;
+  download.tried.insert(holder);
+  if (download.conn) swarm_.dispose_connection(std::move(download.conn));
+  attempt_download(download);
+}
+
+void Leecher::on_piece_outcome(std::size_t segment, net::NodeId holder,
+                               const net::Connection::FetchResult& result) {
+  if (!online_ || !index_ || !player_) return;
+  const auto it = downloads_.find(segment);
+  if (it == downloads_.end() || it->second.holder != holder) {
+    // Stale: a transfer we already cancelled or reassigned.
+    player_->metrics().bytes_wasted += result.bytes_delivered;
+    player_->metrics().bytes_downloaded += result.bytes_delivered;
+    return;
+  }
+  Download& download = it->second;
+  player_->metrics().bytes_downloaded += result.bytes_delivered;
+  if (result.aborted) {
+    player_->metrics().bytes_wasted += result.bytes_delivered;
+    download.tried.insert(holder);
+    if (download.conn) swarm_.dispose_connection(std::move(download.conn));
+    attempt_download(download);
+    return;
+  }
+  on_segment_complete(segment, result.bytes_delivered,
+                      swarm_.simulator().now() - download.started);
+}
+
+void Leecher::on_segment_complete(std::size_t segment, Bytes bytes,
+                                  Duration elapsed) {
+  const auto it = downloads_.find(segment);
+  if (it != downloads_.end()) last_server_ = it->second.holder;
+  cancel_download(segment);
+  have_.set(segment);
+  if (config_.estimate_bandwidth) estimator_.record(bytes, elapsed);
+  VSPLICE_DEBUG("leecher") << node_.to_string() << ": segment " << segment
+                           << " complete (" << format_bytes(bytes) << " in "
+                           << elapsed.to_string() << ")";
+  player_->on_segment_downloaded(segment);
+  broadcast_have(segment);
+  schedule_downloads();
+}
+
+void Leecher::cancel_download(std::size_t segment) {
+  auto node = downloads_.extract(segment);
+  if (node.empty()) return;
+  Download& download = node.mapped();
+  auto& sim = swarm_.simulator();
+  if (download.retry_event != sim::kInvalidEventId)
+    sim.cancel(download.retry_event);
+  if (download.timeout_event != sim::kInvalidEventId)
+    sim.cancel(download.timeout_event);
+  if (download.conn) swarm_.dispose_connection(std::move(download.conn));
+}
+
+// ----------------------------------------------------------------- churn
+
+void Leecher::on_peer_left(net::NodeId who) {
+  if (!online_) return;
+  if (last_server_ == who) last_server_.reset();
+  peer_have_.erase(who);
+  const auto control = control_.find(who);
+  if (control != control_.end()) {
+    swarm_.dispose_connection(std::move(control->second));
+    control_.erase(control);
+  }
+  // Re-route any download that was using the departed peer. Its transfer
+  // abort (if one was active) arrives as a stale outcome afterwards.
+  std::vector<std::size_t> affected;
+  for (auto& [segment, download] : downloads_) {
+    if (download.holder == who) affected.push_back(segment);
+  }
+  for (std::size_t segment : affected) {
+    Download& download = downloads_.at(segment);
+    download.tried.insert(who);
+    if (download.conn) swarm_.dispose_connection(std::move(download.conn));
+    attempt_download(download);
+  }
+}
+
+void Leecher::leave() {
+  if (!online_) return;
+  online_ = false;
+  if (tick_) tick_->stop();
+  std::vector<std::size_t> segments;
+  segments.reserve(downloads_.size());
+  for (auto& [segment, download] : downloads_) segments.push_back(segment);
+  for (std::size_t segment : segments) cancel_download(segment);
+  for (auto& [peer, conn] : control_) {
+    swarm_.dispose_connection(std::move(conn));
+  }
+  control_.clear();
+  if (seeder_conn_) swarm_.dispose_connection(std::move(seeder_conn_));
+  swarm_.tracker().unregister_peer(node_);
+  swarm_.network().abort_flows_for(node_);
+  swarm_.broadcast_peer_left(node_);
+}
+
+}  // namespace vsplice::p2p

@@ -1,0 +1,172 @@
+// A streaming leecher: joins the swarm, fetches the playlist from the
+// seeder, and downloads segments with a pluggable pool policy while the
+// player consumes them.
+//
+// The download loop implements Section III: it keeps `pool_size(B, T, W)`
+// segments in flight (Eq. 1 when the policy is AdaptivePooling), fetching
+// strictly sequentially from the playback frontier. Each segment fetch
+// opens a fresh TCP connection to a randomly chosen holder — the paper's
+// "many small TCP connections" behaviour that penalizes tiny segments —
+// sends a Request, and either receives the PIECE payload as a flow or a
+// CHOKE, in which case it retries another holder (backing off when all
+// holders are busy).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/bandwidth_estimator.h"
+#include "core/playlist.h"
+#include "core/pool_policy.h"
+#include "core/segment.h"
+#include "p2p/peer.h"
+#include "sim/simulator.h"
+#include "streaming/player.h"
+
+namespace vsplice::p2p {
+
+struct LeecherConfig {
+  /// Downloading policy (Eq. 1 or a fixed pool). Required.
+  std::shared_ptr<const core::PoolPolicy> policy;
+  /// The bandwidth B the policy sees. The paper simulates B on GENI (the
+  /// links are shaped, so B is known); set estimate_bandwidth to learn it
+  /// from transfers instead.
+  Rate bandwidth_hint = Rate::kilobytes_per_second(128);
+  bool estimate_bandwidth = false;
+  /// Player startup rule.
+  streaming::PlayerConfig player;
+  /// Wait before retrying when every holder of a segment choked us.
+  Duration choke_backoff = Duration::millis(250);
+  /// How long a holder that choked us is avoided when alternatives exist.
+  Duration choke_cooldown = Duration::seconds(2.0);
+  /// When a HAVE reveals a fresh holder of a segment we are still waiting
+  /// on (request not yet granted), probability of switching to it —
+  /// spreads load off the seeder as content propagates.
+  double rebalance_probability = 0.5;
+  /// Preference for re-requesting from the holder that just finished
+  /// serving us: its upload slot is demonstrably free, so sticking to it
+  /// avoids the choke-and-retry cost of probing busy holders blindly.
+  double sticky_holder_probability = 0.0;
+  /// Give up on an unanswered request after this long and retry another
+  /// holder. A request can legitimately sit in a busy peer's queue for a
+  /// while, so this is a backstop, not a reaction time (departed peers
+  /// are learned about via the swarm's reset broadcast).
+  Duration request_timeout = Duration::seconds(60.0);
+  /// Periodic download-loop kick (safety net between events).
+  Duration tick = Duration::millis(500);
+  /// Approximate size of the metadata/announce request we send the
+  /// seeder at startup.
+  Bytes metadata_request_bytes = 128;
+};
+
+class Leecher final : public Peer {
+ public:
+  Leecher(Swarm& swarm, net::NodeId node, PeerConfig peer_config,
+          LeecherConfig config, std::uint64_t seed);
+  ~Leecher() override;
+
+  /// Joins the swarm now: connects to the seeder, fetches playlist +
+  /// peer list, starts the player session clock (startup time includes
+  /// all of this, as in Figure 4).
+  void join();
+
+  [[nodiscard]] bool is_seeder() const override { return false; }
+  [[nodiscard]] bool joined() const { return joined_; }
+
+  /// Player & QoE metrics; valid once the playlist fetch completed.
+  [[nodiscard]] bool has_player() const { return player_ != nullptr; }
+  [[nodiscard]] const streaming::Player& player() const;
+  [[nodiscard]] const streaming::QoeMetrics& metrics() const;
+  [[nodiscard]] bool finished() const;
+
+  /// The segment index reconstructed from the parsed playlist.
+  [[nodiscard]] const core::SegmentIndex& learned_index() const;
+
+  /// Current adaptive-pool inputs (for tests and debugging).
+  [[nodiscard]] Rate current_bandwidth_estimate() const;
+  [[nodiscard]] int current_pool_target() const;
+  [[nodiscard]] std::size_t downloads_in_flight() const {
+    return downloads_.size();
+  }
+
+  void handle_message(net::NodeId from, net::Connection& conn,
+                      const std::vector<std::uint8_t>& bytes) override;
+  void on_peer_left(net::NodeId who) override;
+  void leave() override;
+
+  /// Swarm routing: outcome of a PIECE transfer we initiated.
+  void on_piece_outcome(std::size_t segment, net::NodeId holder,
+                        const net::Connection::FetchResult& result);
+
+ private:
+  struct Download {
+    std::size_t segment = 0;
+    net::NodeId holder{};
+    std::unique_ptr<net::Connection> conn;
+    std::set<net::NodeId> tried;  // holders that choked/failed this round
+    TimePoint started;
+    sim::EventId retry_event = sim::kInvalidEventId;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+
+  void fetch_metadata();
+  void on_metadata(const std::string& playlist_text);
+  void connect_control(net::NodeId peer);
+  void broadcast_have(std::size_t segment);
+
+  void schedule_downloads();
+  void start_download(std::size_t segment);
+  /// Opens a connection to the next viable holder and sends the request;
+  /// if every holder is exhausted, arms the backoff retry.
+  void attempt_download(Download& download);
+  void request_from(Download& download, net::NodeId holder);
+  void arm_request_timeout(Download& download);
+  void on_choked_for(std::size_t segment, net::NodeId holder);
+  void on_segment_complete(std::size_t segment, Bytes bytes,
+                           Duration elapsed);
+  void cancel_download(std::size_t segment);
+
+  [[nodiscard]] std::optional<std::size_t> next_segment_to_fetch() const;
+  [[nodiscard]] std::optional<net::NodeId> pick_holder(
+      std::size_t segment, const std::set<net::NodeId>& excluded);
+  [[nodiscard]] bool holder_has(net::NodeId peer,
+                                std::size_t segment) const;
+
+  void on_bitfield(net::NodeId from, net::Connection& conn,
+                   const BitfieldMsg& msg) override;
+  void on_have(net::NodeId from, const HaveMsg& msg) override;
+  void on_choke(net::NodeId from, net::Connection& conn) override;
+
+  LeecherConfig config_;
+  Rng rng_;
+  bool joined_ = false;
+  TimePoint join_time_ = TimePoint::origin();
+  /// Byte offset of each segment within the seeder's media file,
+  /// reconstructed from the playlist byte ranges.
+  std::vector<Bytes> segment_offsets_;
+
+  std::unique_ptr<net::Connection> seeder_conn_;
+  std::unique_ptr<core::SegmentIndex> index_;
+  std::unique_ptr<streaming::Player> player_;
+  core::BandwidthEstimator estimator_;
+
+  /// Control connections we initiated, keyed by remote peer.
+  std::map<net::NodeId, std::unique_ptr<net::Connection>> control_;
+  /// Availability learned from BITFIELD/HAVE messages.
+  std::map<net::NodeId, Bitfield> peer_have_;
+  /// Holders that recently choked us; skipped while cooling down.
+  std::map<net::NodeId, TimePoint> choked_at_;
+  /// Most recent holder to complete a transfer for us (slot known free).
+  std::optional<net::NodeId> last_server_;
+
+  std::map<std::size_t, Download> downloads_;
+  std::unique_ptr<sim::PeriodicTask> tick_;
+};
+
+}  // namespace vsplice::p2p

@@ -1,0 +1,161 @@
+#include "p2p/peer.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "p2p/swarm.h"
+
+namespace vsplice::p2p {
+
+Peer::Peer(Swarm& swarm, net::NodeId node, PeerConfig config)
+    : swarm_{swarm},
+      node_{node},
+      config_{config},
+      have_{swarm.index().count()} {
+  require(config_.max_upload_slots >= 1,
+          "a peer needs at least one upload slot");
+}
+
+void Peer::handle_message(net::NodeId from, net::Connection& conn,
+                          const std::vector<std::uint8_t>& bytes) {
+  if (!online_) return;
+  ++stats_.messages_received;
+  const Message message = decode(bytes);
+  switch (type_of(message)) {
+    case MessageType::Handshake:
+      on_handshake(from, conn, std::get<HandshakeMsg>(message));
+      break;
+    case MessageType::BitfieldMsg:
+      on_bitfield(from, conn, std::get<BitfieldMsg>(message));
+      break;
+    case MessageType::Have:
+      on_have(from, std::get<HaveMsg>(message));
+      break;
+    case MessageType::Request:
+      on_request(from, conn, std::get<RequestMsg>(message));
+      break;
+    case MessageType::Choke:
+      on_choke(from, conn);
+      break;
+    default:
+      // Interested/NotInterested/Unchoke/Cancel/Goodbye need no action
+      // in this implementation.
+      break;
+  }
+}
+
+void Peer::on_handshake(net::NodeId from, net::Connection& conn,
+                        const HandshakeMsg& msg) {
+  if (msg.segment_count != have_.size()) {
+    VSPLICE_WARN("peer") << node_.to_string()
+                         << ": handshake with mismatched segment count from "
+                         << from.to_string();
+    return;
+  }
+  // Reply with our availability so the initiator can schedule against us.
+  send(conn, BitfieldMsg{have_});
+}
+
+void Peer::on_bitfield(net::NodeId, net::Connection&, const BitfieldMsg&) {}
+
+void Peer::on_have(net::NodeId, const HaveMsg&) {}
+
+void Peer::on_choke(net::NodeId, net::Connection&) {}
+
+void Peer::on_request(net::NodeId from, net::Connection& conn,
+                      const RequestMsg& msg) {
+  ++stats_.requests_received;
+  const bool have_it =
+      msg.segment < have_.size() && have_.get(msg.segment);
+  if (!have_it) {
+    ++stats_.requests_choked;
+    send(conn, ChokeMsg{});
+    return;
+  }
+  if (active_uploads_ < config_.max_upload_slots) {
+    VSPLICE_DEBUG("peer") << node_.to_string() << " serving segment "
+                          << msg.segment << " to " << from.to_string();
+    serve_piece(conn, msg);
+    return;
+  }
+  if (request_queue_.size() < config_.max_request_queue) {
+    // Hold the request; the requester waits on the open connection and
+    // is served when a slot frees (BitTorrent-style unchoking).
+    ++stats_.requests_queued;
+    request_queue_.push_back(PendingRequest{from, conn.id(), msg});
+    return;
+  }
+  ++stats_.requests_choked;
+  send(conn, ChokeMsg{});
+}
+
+void Peer::serve_from_queue() {
+  while (active_uploads_ < config_.max_upload_slots &&
+         !request_queue_.empty()) {
+    const PendingRequest pending = request_queue_.front();
+    request_queue_.pop_front();
+    net::Connection* conn =
+        swarm_.network().find_connection(pending.connection_id);
+    if (conn == nullptr || !conn->established() ||
+        conn->fetch_in_progress()) {
+      continue;  // requester hung up (or the connection is busy); skip
+    }
+    const Peer* client = swarm_.find(pending.client);
+    if (client == nullptr || !client->online()) continue;
+    serve_piece(*conn, pending.request);
+  }
+}
+
+void Peer::send(net::Connection& conn, const Message& message) {
+  const std::vector<std::uint8_t> bytes = encode(message);
+  const net::NodeId to =
+      conn.client() == node_ ? conn.server() : conn.client();
+  conn.send_message(node_, static_cast<Bytes>(bytes.size()),
+                    [this, to, &conn, bytes] {
+                      swarm_.deliver(node_, to, conn, bytes);
+                    });
+}
+
+void Peer::serve_piece(net::Connection& conn, const RequestMsg& request) {
+  ++active_uploads_;
+  ++stats_.requests_served;
+  const net::NodeId client =
+      conn.client() == node_ ? conn.server() : conn.client();
+  const std::size_t segment = request.segment;
+
+  const PieceMsg header{request.segment, request.length};
+  const Bytes total = static_cast<Bytes>(encode(header).size()) +
+                      static_cast<Bytes>(request.length);
+  conn.push(total, [this, client, segment](
+                       const net::Connection::FetchResult& result) {
+    --active_uploads_;
+    stats_.bytes_uploaded += result.bytes_delivered;
+    if (result.aborted) ++stats_.uploads_aborted;
+    swarm_.notify_piece_outcome(client, node_, segment, result);
+    if (online_) serve_from_queue();
+  });
+}
+
+void Peer::on_peer_left(net::NodeId) {}
+
+void Peer::leave() {
+  if (!online_) return;
+  online_ = false;
+  request_queue_.clear();
+  // Kill anything still moving to or from this host; per-connection
+  // callbacks observe the aborts and clean up on both sides.
+  swarm_.network().abort_flows_for(node_);
+  swarm_.broadcast_peer_left(node_);
+}
+
+Seeder::Seeder(Swarm& swarm, net::NodeId node, PeerConfig config)
+    : Peer{swarm, node, config} {
+  have_.set_all();
+}
+
+void Seeder::leave() {
+  throw InvalidArgument{
+      "the seeder never leaves the swarm in this model (the paper's "
+      "seeder hosts the tracker and the original video)"};
+}
+
+}  // namespace vsplice::p2p

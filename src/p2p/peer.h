@@ -1,0 +1,121 @@
+// Protocol endpoint shared by seeders and leechers.
+//
+// A peer owns its availability bitfield, serves PIECE requests subject to
+// its upload-slot budget (requests beyond it are CHOKEd, the requester
+// retries elsewhere), and answers control-plane messages. All messages
+// cross the simulated network serialized through the wire codec; the
+// PIECE payload itself travels as a slow-start-capped fluid flow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/units.h"
+#include "net/connection.h"
+#include "net/types.h"
+#include "p2p/bitfield.h"
+#include "p2p/wire.h"
+
+namespace vsplice::p2p {
+
+class Swarm;
+
+struct PeerConfig {
+  /// Concurrent uploads a peer serves before choking new requests. The
+  /// paper's "selfish peers" future-work knob: lower = more selfish.
+  int max_upload_slots = 5;
+  /// Requests held waiting for a free slot (BitTorrent peers keep the
+  /// connection open and serve when unchoked rather than refusing).
+  /// Kept deliberately short: beyond it the peer CHOKEs so excess demand
+  /// redistributes to other holders instead of serializing behind one
+  /// busy uplink.
+  std::size_t max_request_queue = 1;
+};
+
+struct PeerStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_queued = 0;
+  std::uint64_t requests_choked = 0;
+  std::uint64_t uploads_aborted = 0;
+  Bytes bytes_uploaded = 0;
+  std::uint64_t messages_received = 0;
+};
+
+class Peer {
+ public:
+  Peer(Swarm& swarm, net::NodeId node, PeerConfig config);
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+  virtual ~Peer() = default;
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] bool online() const { return online_; }
+  [[nodiscard]] virtual bool is_seeder() const = 0;
+
+  [[nodiscard]] const Bitfield& have() const { return have_; }
+  [[nodiscard]] int active_uploads() const { return active_uploads_; }
+  [[nodiscard]] const PeerStats& stats() const { return stats_; }
+
+  /// A serialized control message from `from` arrived over `conn`
+  /// (owned by the remote end). Decodes and dispatches.
+  virtual void handle_message(net::NodeId from, net::Connection& conn,
+                              const std::vector<std::uint8_t>& bytes);
+
+  /// Swarm notification: `who` left. Subclasses drop per-peer state.
+  virtual void on_peer_left(net::NodeId who);
+
+  /// Leaves the swarm: connections die, in-flight transfers abort.
+  virtual void leave();
+
+ protected:
+  /// Dispatch hooks; the base class serves Request and ignores the rest.
+  virtual void on_handshake(net::NodeId from, net::Connection& conn,
+                            const HandshakeMsg& msg);
+  virtual void on_bitfield(net::NodeId from, net::Connection& conn,
+                           const BitfieldMsg& msg);
+  virtual void on_have(net::NodeId from, const HaveMsg& msg);
+  virtual void on_choke(net::NodeId from, net::Connection& conn);
+  virtual void on_request(net::NodeId from, net::Connection& conn,
+                          const RequestMsg& msg);
+
+  /// Serializes `message` and sends it over `conn` from this peer; on
+  /// delivery the swarm routes the bytes to the other endpoint.
+  void send(net::Connection& conn, const Message& message);
+
+  /// Serves a granted request: pushes PIECE header + payload as a flow.
+  void serve_piece(net::Connection& conn, const RequestMsg& request);
+
+  /// Pops queued requests whose connection is still alive and serves
+  /// them while slots are free.
+  void serve_from_queue();
+
+  struct PendingRequest {
+    net::NodeId client;
+    std::uint64_t connection_id = 0;
+    RequestMsg request;
+  };
+
+  Swarm& swarm_;
+  net::NodeId node_;
+  PeerConfig config_;
+  Bitfield have_;
+  bool online_ = true;
+  int active_uploads_ = 0;
+  std::deque<PendingRequest> request_queue_;
+  PeerStats stats_;
+};
+
+/// A peer that owns the full video from the start and never leaves —
+/// the paper's single seeder that "slices the video into multiple
+/// segments" and bootstraps every leecher.
+class Seeder final : public Peer {
+ public:
+  Seeder(Swarm& swarm, net::NodeId node, PeerConfig config);
+
+  [[nodiscard]] bool is_seeder() const override { return true; }
+  void leave() override;
+};
+
+}  // namespace vsplice::p2p

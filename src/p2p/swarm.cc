@@ -1,0 +1,123 @@
+#include "p2p/swarm.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vsplice::p2p {
+
+Swarm::Swarm(net::Network& network, Rng& rng, core::SegmentIndex index,
+             std::string playlist_text)
+    : network_{network},
+      rng_{rng},
+      index_{std::move(index)},
+      playlist_text_{std::move(playlist_text)} {
+  require(!playlist_text_.empty(), "swarm needs the seeder's playlist");
+}
+
+Seeder& Swarm::add_seeder(net::NodeId node, PeerConfig config) {
+  require(seeder_ == nullptr, "this swarm already has a seeder");
+  require(find(node) == nullptr, "node already hosts a peer");
+  auto seeder = std::make_unique<Seeder>(*this, node, config);
+  seeder_ = seeder.get();
+  peers_.push_back(std::move(seeder));
+  tracker_.register_peer(node);
+  return *seeder_;
+}
+
+Leecher& Swarm::add_leecher(net::NodeId node, PeerConfig peer_config,
+                            LeecherConfig config) {
+  require(find(node) == nullptr, "node already hosts a peer");
+  auto leecher = std::make_unique<Leecher>(*this, node, peer_config,
+                                           std::move(config),
+                                           rng_.next_u64());
+  Leecher& ref = *leecher;
+  peers_.push_back(std::move(leecher));
+  return ref;
+}
+
+Peer* Swarm::find(net::NodeId node) {
+  for (auto& peer : peers_) {
+    if (peer->node() == node) return peer.get();
+  }
+  return nullptr;
+}
+
+const Peer* Swarm::find(net::NodeId node) const {
+  for (const auto& peer : peers_) {
+    if (peer->node() == node) return peer.get();
+  }
+  return nullptr;
+}
+
+std::vector<Leecher*> Swarm::leechers() {
+  std::vector<Leecher*> out;
+  for (auto& peer : peers_) {
+    if (auto* leecher = dynamic_cast<Leecher*>(peer.get())) {
+      out.push_back(leecher);
+    }
+  }
+  return out;
+}
+
+net::NodeId Swarm::seeder_node() const {
+  require(seeder_ != nullptr, "swarm has no seeder");
+  return seeder_->node();
+}
+
+bool Swarm::all_finished() const {
+  bool any = false;
+  for (const auto& peer : peers_) {
+    const auto* leecher = dynamic_cast<const Leecher*>(peer.get());
+    if (leecher == nullptr || !leecher->online()) continue;
+    any = true;
+    if (!leecher->finished()) return false;
+  }
+  return any;
+}
+
+void Swarm::deliver(net::NodeId from, net::NodeId to, net::Connection& conn,
+                    std::vector<std::uint8_t> bytes) {
+  Peer* target = find(to);
+  if (target == nullptr || !target->online()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_routed;
+  target->handle_message(from, conn, bytes);
+}
+
+void Swarm::notify_piece_outcome(net::NodeId client, net::NodeId server,
+                                 std::size_t segment,
+                                 const net::Connection::FetchResult& result) {
+  if (result.aborted) {
+    ++stats_.pieces_aborted;
+  } else {
+    ++stats_.pieces_delivered;
+  }
+  Peer* target = find(client);
+  if (target == nullptr || !target->online()) return;
+  if (auto* leecher = dynamic_cast<Leecher*>(target)) {
+    leecher->on_piece_outcome(segment, server, result);
+  }
+}
+
+void Swarm::broadcast_peer_left(net::NodeId who) {
+  VSPLICE_INFO("swarm") << who.to_string() << " left the swarm";
+  for (auto& peer : peers_) {
+    if (peer->node() != who && peer->online()) peer->on_peer_left(who);
+  }
+}
+
+void Swarm::dispose_connection(std::unique_ptr<net::Connection> conn) {
+  if (!conn) return;
+  conn->close();
+  // Defer destruction one tick so callers inside the connection's own
+  // callback chain never free the object under their feet.
+  simulator().after(Duration::zero(),
+                    [keep = std::shared_ptr<net::Connection>(
+                         std::move(conn))]() mutable { keep.reset(); });
+}
+
+}  // namespace vsplice::p2p

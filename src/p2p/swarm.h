@@ -1,0 +1,93 @@
+// Swarm orchestration: owns the peers, the tracker, and the ground-truth
+// segment index, and routes serialized messages and transfer outcomes
+// between peers over the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/segment.h"
+#include "net/network.h"
+#include "p2p/leecher.h"
+#include "p2p/peer.h"
+#include "p2p/tracker.h"
+
+namespace vsplice::p2p {
+
+struct SwarmStats {
+  std::uint64_t messages_routed = 0;
+  std::uint64_t messages_dropped = 0;  // receiver offline
+  std::uint64_t pieces_delivered = 0;
+  std::uint64_t pieces_aborted = 0;
+};
+
+class Swarm {
+ public:
+  /// `index` is the seeder's splicing of the video; `playlist_text` is
+  /// the m3u8 the seeder serves (its byte size prices the metadata
+  /// fetch, its contents are what leechers parse).
+  Swarm(net::Network& network, Rng& rng, core::SegmentIndex index,
+        std::string playlist_text);
+  Swarm(const Swarm&) = delete;
+  Swarm& operator=(const Swarm&) = delete;
+
+  Seeder& add_seeder(net::NodeId node, PeerConfig config = PeerConfig{});
+  Leecher& add_leecher(net::NodeId node, PeerConfig peer_config,
+                       LeecherConfig config);
+
+  /// Peer lookup; nullptr when the node hosts no peer.
+  [[nodiscard]] Peer* find(net::NodeId node);
+  [[nodiscard]] const Peer* find(net::NodeId node) const;
+
+  [[nodiscard]] Tracker& tracker() { return tracker_; }
+  [[nodiscard]] const core::SegmentIndex& index() const { return index_; }
+  [[nodiscard]] const std::string& playlist_text() const {
+    return playlist_text_;
+  }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] sim::Simulator& simulator() {
+    return network_.simulator();
+  }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const SwarmStats& stats() const { return stats_; }
+
+  [[nodiscard]] std::vector<Leecher*> leechers();
+  [[nodiscard]] net::NodeId seeder_node() const;
+  [[nodiscard]] bool has_seeder() const { return seeder_ != nullptr; }
+
+  /// True once every online leecher has finished playback.
+  [[nodiscard]] bool all_finished() const;
+
+  // ------------------------------------------------------- routing hooks
+
+  /// Delivers serialized control bytes to `to` (dropped if offline).
+  void deliver(net::NodeId from, net::NodeId to, net::Connection& conn,
+               std::vector<std::uint8_t> bytes);
+
+  /// Reports the outcome of a PIECE push from `server` to `client`.
+  void notify_piece_outcome(net::NodeId client, net::NodeId server,
+                            std::size_t segment,
+                            const net::Connection::FetchResult& result);
+
+  /// Announces a departure to every remaining peer and the tracker.
+  void broadcast_peer_left(net::NodeId who);
+
+  /// Closes a connection now and destroys it on the next simulator tick —
+  /// safe to call from inside one of the connection's own callbacks.
+  void dispose_connection(std::unique_ptr<net::Connection> conn);
+
+ private:
+  net::Network& network_;
+  Rng& rng_;
+  core::SegmentIndex index_;
+  std::string playlist_text_;
+  Tracker tracker_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  Seeder* seeder_ = nullptr;
+  SwarmStats stats_;
+};
+
+}  // namespace vsplice::p2p

@@ -1,0 +1,37 @@
+#include "p2p/tracker.h"
+
+#include <algorithm>
+
+namespace vsplice::p2p {
+
+bool Tracker::register_peer(net::NodeId id) {
+  const auto it = std::lower_bound(peers_.begin(), peers_.end(), id);
+  if (it != peers_.end() && *it == id) return false;
+  peers_.insert(it, id);
+  return true;
+}
+
+bool Tracker::unregister_peer(net::NodeId id) {
+  const auto it = std::lower_bound(peers_.begin(), peers_.end(), id);
+  if (it == peers_.end() || *it != id) return false;
+  peers_.erase(it);
+  return true;
+}
+
+bool Tracker::is_registered(net::NodeId id) const {
+  return std::binary_search(peers_.begin(), peers_.end(), id);
+}
+
+std::vector<net::NodeId> Tracker::peers_for(net::NodeId requester, Rng& rng,
+                                            std::size_t max_peers) const {
+  std::vector<net::NodeId> out;
+  out.reserve(peers_.size());
+  for (net::NodeId id : peers_) {
+    if (id != requester) out.push_back(id);
+  }
+  rng.shuffle(out);
+  if (out.size() > max_peers) out.resize(max_peers);
+  return out;
+}
+
+}  // namespace vsplice::p2p

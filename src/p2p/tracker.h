@@ -1,0 +1,40 @@
+// Swarm membership registry.
+//
+// The paper co-locates swarm bootstrap with the seeder ("each peer
+// contacts the seeder and gets different information about the video and
+// the swarm"); the network cost of that exchange is modelled by the
+// leecher's metadata fetch, while this class is the bookkeeping behind
+// it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/types.h"
+
+namespace vsplice::p2p {
+
+class Tracker {
+ public:
+  /// Registers a peer; returns false if it was already registered.
+  bool register_peer(net::NodeId id);
+
+  /// Removes a departed peer; returns false if it was unknown.
+  bool unregister_peer(net::NodeId id);
+
+  [[nodiscard]] bool is_registered(net::NodeId id) const;
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+
+  /// Announce response: up to `max_peers` other members, shuffled so that
+  /// no peer is systematically preferred.
+  [[nodiscard]] std::vector<net::NodeId> peers_for(net::NodeId requester,
+                                                   Rng& rng,
+                                                   std::size_t max_peers =
+                                                       50) const;
+
+ private:
+  std::vector<net::NodeId> peers_;  // kept sorted for determinism
+};
+
+}  // namespace vsplice::p2p

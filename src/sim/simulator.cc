@@ -1,0 +1,127 @@
+#include "sim/simulator.h"
+
+#include "common/error.h"
+
+namespace vsplice::sim {
+
+EventId Simulator::at(TimePoint t, std::function<void()> fn) {
+  require(t >= now_, "cannot schedule an event in the past (" +
+                         t.to_string() + " < " + now_.to_string() + ")");
+  require(static_cast<bool>(fn), "cannot schedule a null callback");
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_sequence_++, id});
+  pending_.insert(id);
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::after(Duration d, std::function<void()> fn) {
+  require(!d.is_negative(), "cannot schedule with a negative delay");
+  return at(now_ + d, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  callbacks_.erase(id);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::is_pending(EventId id) const {
+  return pending_.contains(id);
+}
+
+void Simulator::drop_cancelled() const {
+  while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+}
+
+void Simulator::fire(const Entry& entry) {
+  check_invariant(entry.time >= now_, "event queue went backwards in time");
+  now_ = entry.time;
+  pending_.erase(entry.id);
+  auto node = callbacks_.extract(entry.id);
+  check_invariant(!node.empty(), "pending event without a callback");
+  ++fired_count_;
+  if (event_limit_ != 0 && fired_count_ > event_limit_) {
+    throw InternalError{"simulator event limit exceeded (" +
+                        std::to_string(event_limit_) +
+                        " events); likely a runaway feedback loop"};
+  }
+  node.mapped()();
+}
+
+bool Simulator::step() {
+  drop_cancelled();
+  if (queue_.empty()) return false;
+  const Entry entry = queue_.top();
+  queue_.pop();
+  fire(entry);
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  require(t >= now_, "run_until target is in the past");
+  std::size_t processed = 0;
+  while (true) {
+    drop_cancelled();
+    if (queue_.empty() || queue_.top().time > t) break;
+    const Entry entry = queue_.top();
+    queue_.pop();
+    fire(entry);
+    ++processed;
+  }
+  now_ = t;
+  return processed;
+}
+
+std::size_t Simulator::pending_events() const { return pending_.size(); }
+
+TimePoint Simulator::next_event_time() const {
+  drop_cancelled();
+  if (queue_.empty()) return TimePoint::infinity();
+  return queue_.top().time;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
+                           std::function<void()> fn)
+    : sim_{sim}, period_{period}, fn_{std::move(fn)} {
+  require(period_ > Duration::zero(), "periodic task period must be > 0");
+  require(static_cast<bool>(fn_), "periodic task needs a callback");
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start() {
+  if (running()) return;
+  stopped_ = false;
+  schedule_next();
+}
+
+void PeriodicTask::stop() {
+  stopped_ = true;
+  if (event_ != kInvalidEventId) {
+    sim_.cancel(event_);
+    event_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTask::schedule_next() {
+  event_ = sim_.after(period_, [this] {
+    event_ = kInvalidEventId;
+    fn_();
+    // fn_ may have called stop(); only chain if still meant to run.
+    if (!stopped_) schedule_next();
+  });
+}
+
+}  // namespace vsplice::sim

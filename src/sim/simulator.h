@@ -1,0 +1,121 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in the
+// order they were scheduled. Everything in vsplice (network flows, peer
+// protocol timers, the playback clock) runs on one Simulator instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vsplice::sim {
+
+/// Handle for a scheduled event; stable for the lifetime of the simulator.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at the origin.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must not be in the past).
+  EventId at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` after `d` from now (d must be non-negative).
+  EventId after(Duration d, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True if `id` is still pending.
+  [[nodiscard]] bool is_pending(EventId id) const;
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs all events with timestamp <= `t`, then advances the clock to
+  /// exactly `t`. Returns the number of events processed.
+  std::size_t run_until(TimePoint t);
+
+  /// Processes the single next event. Returns false when the queue is
+  /// empty.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const;
+
+  /// Timestamp of the next pending event, or TimePoint::infinity().
+  [[nodiscard]] TimePoint next_event_time() const;
+
+  /// Safety valve for tests: run() throws InternalError after this many
+  /// events (0 disables the limit, the default).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t sequence;  // tie-break: FIFO at equal timestamps
+    EventId id;
+    // Ordered for a min-heap via std::greater below.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void fire(const Entry& entry);
+  /// Pops cancelled entries off the heap top.
+  void drop_cancelled() const;
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_count_ = 0;
+  std::uint64_t event_limit_ = 0;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>,
+                              std::greater<Entry>>
+      queue_;
+  // Lazy deletion: cancelled ids are skipped when they reach the top.
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+/// Repeats a callback at a fixed period until stopped or destroyed.
+/// The first firing happens one period after start().
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, Duration period, std::function<void()> fn);
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask();
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return event_ != kInvalidEventId; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventId event_ = kInvalidEventId;
+  bool stopped_ = false;
+};
+
+}  // namespace vsplice::sim

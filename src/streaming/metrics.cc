@@ -1,0 +1,18 @@
+#include "streaming/metrics.h"
+
+#include <sstream>
+
+namespace vsplice::streaming {
+
+std::string QoeMetrics::summary() const {
+  std::ostringstream out;
+  out << "startup=" << (started ? startup_time.to_string() : "never")
+      << " stalls=" << stall_count
+      << " stall_time=" << total_stall_duration.to_string()
+      << " finished=" << (finished ? completion_time.to_string() : "no")
+      << " downloaded=" << format_bytes(bytes_downloaded)
+      << " wasted=" << format_bytes(bytes_wasted);
+  return out.str();
+}
+
+}  // namespace vsplice::streaming

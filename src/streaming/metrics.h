@@ -1,0 +1,40 @@
+// Quality-of-experience metrics: exactly what the paper measures —
+// "the total number of stalls, total stall duration, and startup time".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vsplice::streaming {
+
+struct StallEvent {
+  TimePoint start;
+  Duration duration = Duration::zero();
+  /// Media position at which playback froze.
+  Duration playhead = Duration::zero();
+};
+
+struct QoeMetrics {
+  /// Session start -> first frame rendered.
+  Duration startup_time = Duration::zero();
+  bool started = false;
+
+  std::size_t stall_count = 0;
+  Duration total_stall_duration = Duration::zero();
+  std::vector<StallEvent> stalls;
+
+  /// Session start -> last frame rendered; zero until finished.
+  Duration completion_time = Duration::zero();
+  bool finished = false;
+
+  /// Bytes fetched, including duplicates/aborts (set by the transport).
+  Bytes bytes_downloaded = 0;
+  /// Bytes fetched that were thrown away (aborted transfers, duplicates).
+  Bytes bytes_wasted = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace vsplice::streaming

@@ -1,0 +1,51 @@
+// Segment-granular playback buffer.
+//
+// Tracks which segments of a spliced video have been fully downloaded and
+// answers the two questions streaming logic keeps asking: "which segment
+// do I need next?" (the contiguous frontier — users watch sequentially,
+// as 95% of P2P TV viewers do per the paper's Section VI-A) and "how much
+// playable time is buffered ahead of the playhead?" (the T of Eq. 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "core/segment.h"
+
+namespace vsplice::streaming {
+
+class PlaybackBuffer {
+ public:
+  explicit PlaybackBuffer(const core::SegmentIndex& index);
+
+  /// Marks a segment fully downloaded. Idempotent.
+  void mark_downloaded(std::size_t segment);
+
+  [[nodiscard]] bool is_downloaded(std::size_t segment) const;
+  [[nodiscard]] std::size_t downloaded_count() const { return downloaded_; }
+  [[nodiscard]] bool complete() const {
+    return downloaded_ == flags_.size();
+  }
+
+  /// First segment not yet downloaded within the contiguous prefix
+  /// (== segment count when everything up to the end is contiguous).
+  [[nodiscard]] std::size_t frontier() const { return frontier_; }
+
+  /// Presentation time up to which playback can proceed without gaps.
+  [[nodiscard]] Duration frontier_time() const;
+
+  /// Contiguous playable time remaining after `playhead`; zero when the
+  /// playhead has caught up with the frontier.
+  [[nodiscard]] Duration buffered_ahead(Duration playhead) const;
+
+  [[nodiscard]] const core::SegmentIndex& index() const { return index_; }
+
+ private:
+  const core::SegmentIndex& index_;
+  std::vector<bool> flags_;
+  std::size_t downloaded_ = 0;
+  std::size_t frontier_ = 0;
+};
+
+}  // namespace vsplice::streaming

@@ -1,0 +1,135 @@
+#include "streaming/player.h"
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace vsplice::streaming {
+
+Player::Player(sim::Simulator& sim, const core::SegmentIndex& index,
+               PlayerConfig config)
+    : sim_{sim}, config_{config}, buffer_{index} {
+  require(config_.startup_segments >= 1,
+          "player needs at least one startup segment");
+}
+
+Player::~Player() {
+  if (exhaustion_event_ != sim::kInvalidEventId) {
+    sim_.cancel(exhaustion_event_);
+  }
+}
+
+void Player::start_session() { start_session(sim_.now()); }
+
+void Player::start_session(TimePoint session_start) {
+  require(!session_started_, "session already started");
+  require(session_start <= sim_.now(),
+          "session start cannot be in the future");
+  session_started_ = true;
+  session_start_ = session_start;
+  maybe_start_playback();
+}
+
+void Player::on_segment_downloaded(std::size_t segment) {
+  buffer_.mark_downloaded(segment);
+  switch (state_) {
+    case State::WaitingForStart:
+      if (session_started_) maybe_start_playback();
+      break;
+    case State::Playing:
+      // The frontier may have moved; push the exhaustion point out.
+      schedule_exhaustion();
+      break;
+    case State::Stalled:
+      if (buffer_.frontier_time() > playhead()) {
+        // Resume: close the stall, re-anchor the playback clock.
+        const Duration stalled = sim_.now() - stall_started_;
+        metrics_.total_stall_duration += stalled;
+        metrics_.stalls.back().duration = stalled;
+        anchor_time_ = sim_.now();
+        anchor_media_ = metrics_.stalls.back().playhead;
+        state_ = State::Playing;
+        schedule_exhaustion();
+        if (on_resume) on_resume();
+      }
+      break;
+    case State::Finished:
+      break;
+  }
+}
+
+void Player::maybe_start_playback() {
+  const std::size_t need =
+      std::min(config_.startup_segments, buffer_.index().count());
+  if (buffer_.frontier() < need) return;
+  metrics_.started = true;
+  metrics_.startup_time = sim_.now() - session_start_;
+  begin_playing();
+  if (on_started) on_started();
+}
+
+void Player::begin_playing() {
+  state_ = State::Playing;
+  anchor_time_ = sim_.now();
+  anchor_media_ = Duration::zero();
+  schedule_exhaustion();
+}
+
+Duration Player::playhead() const {
+  switch (state_) {
+    case State::WaitingForStart:
+      return Duration::zero();
+    case State::Playing:
+      return anchor_media_ + (sim_.now() - anchor_time_);
+    case State::Stalled:
+      return metrics_.stalls.back().playhead;
+    case State::Finished:
+      return buffer_.index().total_duration();
+  }
+  return Duration::zero();
+}
+
+Duration Player::buffered_ahead() const {
+  if (state_ == State::Finished) return Duration::zero();
+  return buffer_.buffered_ahead(playhead());
+}
+
+void Player::schedule_exhaustion() {
+  check_invariant(state_ == State::Playing,
+                  "exhaustion is only scheduled while playing");
+  if (exhaustion_event_ != sim::kInvalidEventId) {
+    sim_.cancel(exhaustion_event_);
+  }
+  const Duration runway = buffer_.frontier_time() - playhead();
+  check_invariant(!runway.is_negative(), "playhead passed the frontier");
+  exhaustion_event_ = sim_.after(runway, [this] {
+    exhaustion_event_ = sim::kInvalidEventId;
+    handle_exhaustion();
+  });
+}
+
+void Player::handle_exhaustion() {
+  // The playhead has reached the download frontier.
+  if (buffer_.frontier() == buffer_.index().count()) {
+    finish();
+    return;
+  }
+  state_ = State::Stalled;
+  stall_started_ = sim_.now();
+  StallEvent stall;
+  stall.start = sim_.now();
+  stall.playhead = buffer_.frontier_time();
+  metrics_.stalls.push_back(stall);
+  ++metrics_.stall_count;
+  VSPLICE_DEBUG("player") << "stall #" << metrics_.stall_count << " at media "
+                          << stall.playhead.to_string();
+  if (on_stall) on_stall();
+}
+
+void Player::finish() {
+  state_ = State::Finished;
+  metrics_.finished = true;
+  metrics_.completion_time = sim_.now() - session_start_;
+  if (on_finished) on_finished();
+}
+
+}  // namespace vsplice::streaming

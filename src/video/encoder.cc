@@ -1,0 +1,151 @@
+#include "video/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vsplice::video {
+
+Duration keyframe_interval(const EncoderParams& params, Motion motion) {
+  switch (motion) {
+    case Motion::Static:
+      return params.max_gop;
+    case Motion::Low:
+      return std::min(params.max_gop, Duration::seconds(6.0));
+    case Motion::Moderate:
+      return std::min(params.max_gop, Duration::seconds(3.0));
+    case Motion::High:
+      return std::min(params.max_gop, Duration::seconds(0.6));
+  }
+  return params.max_gop;
+}
+
+double motion_complexity(Motion motion) {
+  switch (motion) {
+    case Motion::Static:
+      return 0.35;
+    case Motion::Low:
+      return 0.7;
+    case Motion::Moderate:
+      return 1.0;
+    case Motion::High:
+      return 1.6;
+  }
+  return 1.0;
+}
+
+SyntheticEncoder::SyntheticEncoder(EncoderParams params)
+    : params_{params} {
+  require(params_.fps > 0.0, "encoder fps must be positive");
+  require(params_.target_bitrate > Rate::zero(),
+          "target bitrate must be positive");
+  require(params_.max_gop >= params_.frame_duration(),
+          "max GOP must hold at least one frame");
+  require(params_.b_frames >= 0, "b_frames must be non-negative");
+  require(params_.i_to_p_ratio >= 1.0, "I frames cannot be smaller than P");
+  require(params_.b_to_p_ratio > 0.0 && params_.b_to_p_ratio <= 1.0,
+          "B/P ratio must be in (0, 1]");
+  require(params_.size_jitter_cv >= 0.0, "jitter cv must be non-negative");
+}
+
+Gop SyntheticEncoder::encode_gop(Duration gop_duration, Motion motion,
+                                 Rng& rng) const {
+  const Duration frame_dur = params_.frame_duration();
+  const auto frame_count = static_cast<std::size_t>(
+      std::max<double>(1.0, std::round(gop_duration / frame_dur)));
+
+  // Frame type pattern: I, then repeating groups of b_frames B-frames
+  // followed by one P-frame (display order; decode order is irrelevant
+  // to byte sizes).
+  std::vector<FrameType> pattern;
+  pattern.reserve(frame_count);
+  pattern.push_back(FrameType::I);
+  int b_run = 0;
+  while (pattern.size() < frame_count) {
+    if (b_run < params_.b_frames) {
+      pattern.push_back(FrameType::B);
+      ++b_run;
+    } else {
+      pattern.push_back(FrameType::P);
+      b_run = 0;
+    }
+  }
+
+  // Per-GOP byte budget keeps the stream on the target bitrate.
+  const double budget =
+      params_.target_bitrate.bytes_per_second() *
+      (frame_dur * static_cast<double>(frame_count)).as_seconds();
+
+  const double complexity = motion_complexity(motion);
+  const double weight_i = params_.i_to_p_ratio;
+  const double weight_p = complexity;
+  const double weight_b = params_.b_to_p_ratio * complexity;
+
+  double weight_total = 0.0;
+  for (FrameType t : pattern) {
+    weight_total += t == FrameType::I   ? weight_i
+                    : t == FrameType::P ? weight_p
+                                        : weight_b;
+  }
+  const double base = budget / weight_total;
+
+  std::vector<Frame> frames;
+  frames.reserve(frame_count);
+  for (FrameType t : pattern) {
+    const double weight = t == FrameType::I   ? weight_i
+                          : t == FrameType::P ? weight_p
+                                              : weight_b;
+    double size = base * weight;
+    if (params_.size_jitter_cv > 0.0) {
+      size = rng.lognormal_mean_cv(size, params_.size_jitter_cv);
+    }
+    frames.push_back(Frame{
+        t, std::max<Bytes>(1, static_cast<Bytes>(std::llround(size))),
+        frame_dur});
+  }
+  return Gop{std::move(frames)};
+}
+
+VideoStream SyntheticEncoder::encode(const SceneScript& script,
+                                     std::uint64_t seed) const {
+  require(!script.empty(), "cannot encode an empty scene script");
+  Rng rng{seed};
+  const Duration frame_dur = params_.frame_duration();
+
+  std::vector<Gop> gops;
+  for (const Scene& scene : script) {
+    require(scene.duration >= frame_dur,
+            "every scene must hold at least one frame");
+    Duration remaining = scene.duration;
+    const Duration interval = keyframe_interval(params_, scene.motion);
+    while (remaining >= frame_dur) {
+      // Wobble the keyframe interval slightly so GOP sizes are not all
+      // identical within a scene, as with a real encoder's scene-cut
+      // detection.
+      Duration gop_len = interval * rng.uniform(0.85, 1.15);
+      gop_len = std::max(frame_dur, std::min(gop_len, remaining));
+      // Snap to whole frames.
+      const auto frames_in_gop = static_cast<double>(std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::round(gop_len / frame_dur))));
+      gop_len = frame_dur * frames_in_gop;
+      if (gop_len > remaining) gop_len = remaining;
+      gops.push_back(encode_gop(gop_len, scene.motion, rng));
+      remaining -= gops.back().duration();
+    }
+  }
+  return VideoStream{std::move(gops), params_.fps};
+}
+
+VideoStream make_paper_video(std::uint64_t seed) {
+  EncoderParams params;
+  // The paper streams a "1 Mbps (128 kB/s)" MPEG-4 clip. That is the
+  // nominal VBR target; the average rate of such encodes runs a little
+  // below nominal, which matters at the 128 kB/s link point where the
+  // sweep touches the video bitrate exactly.
+  params.target_bitrate = Rate::megabits_per_second(0.92);
+  const SyntheticEncoder encoder{params};
+  return encoder.encode(paper_scene_script(), seed);
+}
+
+}  // namespace vsplice::video

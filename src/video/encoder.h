@@ -1,0 +1,77 @@
+// Synthetic MPEG-4 encoder.
+//
+// Produces a VideoStream from a scene script, standing in for the real
+// Xuggler/FFmpeg-encoded 1 Mbps MPEG-4 clip the paper streams. The model
+// reproduces the two properties the splicing experiments depend on:
+//
+//  * GOP length tracks content — a GOP closes at a scene cut or when it
+//    reaches the motion-dependent keyframe interval (long for static
+//    scenes, sub-second for action);
+//  * frame-size structure — each GOP is one I-frame followed by P/B
+//    frames in a fixed pattern, with I >> P > B. Sizes are calibrated per
+//    GOP so the whole stream lands on the target bitrate, then jittered
+//    log-normally to mimic encoder variability.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "video/scene.h"
+#include "video/video_stream.h"
+
+namespace vsplice::video {
+
+struct EncoderParams {
+  double fps = 25.0;
+  /// Target mean bitrate; the paper streams a 1 Mbps (128 kB/s) video.
+  Rate target_bitrate = Rate::megabits_per_second(1.0);
+  /// Longest allowed GOP (keyframe interval for static content). Real
+  /// encoders let stationary scenes run very long between keyframes —
+  /// the paper: "the duration of the GOP can be very long".
+  Duration max_gop = Duration::seconds(16.0);
+  /// Number of B-frames between consecutive reference frames (IbbPbbP...).
+  int b_frames = 2;
+  /// Mean I-frame size relative to a P-frame at the same quality
+  /// (typical H.264 material runs 3-6x).
+  double i_to_p_ratio = 4.0;
+  /// Mean B-frame size relative to a P-frame.
+  double b_to_p_ratio = 0.4;
+  /// Log-normal coefficient of variation applied to every frame size.
+  double size_jitter_cv = 0.12;
+
+  [[nodiscard]] Duration frame_duration() const {
+    return Duration::seconds(1.0 / fps);
+  }
+};
+
+/// Keyframe interval the encoder uses for a given motion level: static
+/// content refreshes rarely, action content constantly.
+[[nodiscard]] Duration keyframe_interval(const EncoderParams& params,
+                                         Motion motion);
+
+/// How much larger inter-frames get as motion increases (residual energy).
+[[nodiscard]] double motion_complexity(Motion motion);
+
+class SyntheticEncoder {
+ public:
+  explicit SyntheticEncoder(EncoderParams params = {});
+
+  /// Encodes the script deterministically under `seed`.
+  [[nodiscard]] VideoStream encode(const SceneScript& script,
+                                   std::uint64_t seed) const;
+
+  [[nodiscard]] const EncoderParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] Gop encode_gop(Duration gop_duration, Motion motion,
+                               Rng& rng) const;
+
+  EncoderParams params_;
+};
+
+/// The exact stream the paper-reproduction experiments use: the fixed
+/// 2-minute mixed-content script encoded at 1 Mbps, 25 fps.
+[[nodiscard]] VideoStream make_paper_video(std::uint64_t seed = 2015);
+
+}  // namespace vsplice::video

@@ -1,0 +1,35 @@
+#include "video/frame.h"
+
+#include "common/error.h"
+
+namespace vsplice::video {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::I:
+      return "I";
+    case FrameType::P:
+      return "P";
+    case FrameType::B:
+      return "B";
+  }
+  return "?";
+}
+
+Gop::Gop(std::vector<Frame> frames) : frames_{std::move(frames)} {
+  require(!frames_.empty(), "a GOP needs at least one frame");
+  require(frames_.front().type == FrameType::I,
+          "a closed GOP must start with an I-frame");
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& frame = frames_[i];
+    require(i == 0 || frame.type != FrameType::I,
+            "a closed GOP contains exactly one I-frame");
+    require(frame.size > 0, "frame sizes must be positive");
+    require(frame.duration > Duration::zero(),
+            "frame durations must be positive");
+    byte_size_ += frame.size;
+    duration_ += frame.duration;
+  }
+}
+
+}  // namespace vsplice::video

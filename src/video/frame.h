@@ -1,0 +1,56 @@
+// Elementary video-stream model: frames and closed GOPs.
+//
+// MPEG-4 video is a sequence of GOPs (groups of pictures). A closed GOP
+// starts with an I-frame (independently decodable); the P and B frames
+// that follow depend on it. For streaming research only frame *types*,
+// *sizes* and *timing* matter — no pixels are modelled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vsplice::video {
+
+enum class FrameType : std::uint8_t {
+  I = 0,  // intra-coded: self-contained, large
+  P = 1,  // predicted from previous reference
+  B = 2,  // bi-directionally predicted, smallest
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::I;
+  Bytes size = 0;
+  /// Display duration (1/fps for constant-rate video).
+  Duration duration = Duration::zero();
+
+  [[nodiscard]] bool is_keyframe() const { return type == FrameType::I; }
+  bool operator==(const Frame&) const = default;
+};
+
+/// A closed GOP: exactly one I-frame, at position 0. Playable on its own,
+/// which is why GOP boundaries are natural splice points.
+class Gop {
+ public:
+  /// Throws InvalidArgument unless frames form a valid closed GOP.
+  explicit Gop(std::vector<Frame> frames);
+
+  [[nodiscard]] const std::vector<Frame>& frames() const { return frames_; }
+  [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
+  [[nodiscard]] Bytes byte_size() const { return byte_size_; }
+  [[nodiscard]] Duration duration() const { return duration_; }
+  [[nodiscard]] const Frame& keyframe() const { return frames_.front(); }
+
+  bool operator==(const Gop&) const = default;
+
+ private:
+  std::vector<Frame> frames_;
+  Bytes byte_size_ = 0;
+  Duration duration_ = Duration::zero();
+};
+
+}  // namespace vsplice::video

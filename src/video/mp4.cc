@@ -1,0 +1,526 @@
+#include "video/mp4.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/bytes_io.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vsplice::video {
+
+namespace {
+
+// ---------------------------------------------------------------- writing
+
+/// Starts a box: emits a size placeholder + fourcc, returns the offset of
+/// the placeholder for end_box to patch.
+std::size_t begin_box(ByteWriter& w, std::string_view type) {
+  const std::size_t at = w.size();
+  w.put_u32(0);
+  w.put_fourcc(type);
+  return at;
+}
+
+void end_box(ByteWriter& w, std::size_t at) {
+  w.patch_u32(at, static_cast<std::uint32_t>(w.size() - at));
+}
+
+/// Full box = box + version/flags word.
+std::size_t begin_full_box(ByteWriter& w, std::string_view type,
+                           std::uint8_t version, std::uint32_t flags) {
+  const std::size_t at = begin_box(w, type);
+  w.put_u32((static_cast<std::uint32_t>(version) << 24) | (flags & 0xFFFFFF));
+  return at;
+}
+
+struct SampleTables {
+  std::vector<std::uint32_t> sizes;             // stsz, per frame
+  std::vector<std::uint32_t> deltas;            // per frame, in timescale
+  std::vector<std::uint32_t> sync_samples;      // stss, 1-based
+  std::vector<std::uint32_t> samples_per_chunk; // one entry per GOP
+  std::vector<FrameType> types;
+  std::uint64_t media_duration = 0;
+  std::uint64_t total_payload = 0;
+};
+
+SampleTables build_tables(const VideoStream& stream,
+                          std::uint32_t timescale) {
+  SampleTables tables;
+  std::uint32_t sample_number = 1;
+  for (const Gop& gop : stream.gops()) {
+    tables.samples_per_chunk.push_back(
+        static_cast<std::uint32_t>(gop.frame_count()));
+    for (const Frame& frame : gop.frames()) {
+      tables.sizes.push_back(static_cast<std::uint32_t>(frame.size));
+      const auto delta = static_cast<std::uint32_t>(std::llround(
+          frame.duration.as_seconds() * static_cast<double>(timescale)));
+      require(delta > 0, "frame duration rounds to zero media ticks");
+      tables.deltas.push_back(delta);
+      tables.media_duration += delta;
+      tables.total_payload += static_cast<std::uint64_t>(frame.size);
+      if (frame.is_keyframe()) tables.sync_samples.push_back(sample_number);
+      tables.types.push_back(frame.type);
+      ++sample_number;
+    }
+  }
+  return tables;
+}
+
+void write_stts(ByteWriter& w, const std::vector<std::uint32_t>& deltas) {
+  // Run-length encode equal consecutive deltas.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
+  for (std::uint32_t d : deltas) {
+    if (!runs.empty() && runs.back().second == d) {
+      ++runs.back().first;
+    } else {
+      runs.emplace_back(1, d);
+    }
+  }
+  const std::size_t at = begin_full_box(w, "stts", 0, 0);
+  w.put_u32(static_cast<std::uint32_t>(runs.size()));
+  for (const auto& [count, delta] : runs) {
+    w.put_u32(count);
+    w.put_u32(delta);
+  }
+  end_box(w, at);
+}
+
+void write_stsc(ByteWriter& w,
+                const std::vector<std::uint32_t>& samples_per_chunk) {
+  // Run-length encode per the stsc first_chunk convention.
+  struct Entry {
+    std::uint32_t first_chunk;
+    std::uint32_t samples;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t chunk = 0; chunk < samples_per_chunk.size(); ++chunk) {
+    if (entries.empty() ||
+        entries.back().samples != samples_per_chunk[chunk]) {
+      entries.push_back(Entry{static_cast<std::uint32_t>(chunk + 1),
+                              samples_per_chunk[chunk]});
+    }
+  }
+  const std::size_t at = begin_full_box(w, "stsc", 0, 0);
+  w.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    w.put_u32(e.first_chunk);
+    w.put_u32(e.samples);
+    w.put_u32(1);  // sample description index
+  }
+  end_box(w, at);
+}
+
+void write_stbl(ByteWriter& w, const SampleTables& tables,
+                const Mp4WriteOptions& options,
+                const std::vector<std::uint32_t>& chunk_offsets) {
+  const std::size_t stbl = begin_box(w, "stbl");
+
+  {  // stsd: one mp4v visual sample entry with no codec config.
+    const std::size_t stsd = begin_full_box(w, "stsd", 0, 0);
+    w.put_u32(1);
+    const std::size_t entry = begin_box(w, "mp4v");
+    w.put_zeros(6);   // reserved
+    w.put_u16(1);     // data reference index
+    w.put_zeros(16);  // pre-defined / reserved
+    w.put_u16(options.width);
+    w.put_u16(options.height);
+    w.put_u32(0x00480000);  // 72 dpi horiz
+    w.put_u32(0x00480000);  // 72 dpi vert
+    w.put_u32(0);           // reserved
+    w.put_u16(1);           // frame count per sample
+    w.put_zeros(32);        // compressor name (pascal string, zeroed)
+    w.put_u16(0x0018);      // depth: colour with no alpha
+    w.put_i16(-1);          // pre-defined
+    end_box(w, entry);
+    end_box(w, stsd);
+  }
+
+  write_stts(w, tables.deltas);
+
+  {  // stss: sync (key) samples.
+    const std::size_t at = begin_full_box(w, "stss", 0, 0);
+    w.put_u32(static_cast<std::uint32_t>(tables.sync_samples.size()));
+    for (std::uint32_t s : tables.sync_samples) w.put_u32(s);
+    end_box(w, at);
+  }
+
+  write_stsc(w, tables.samples_per_chunk);
+
+  {  // stsz: per-sample sizes.
+    const std::size_t at = begin_full_box(w, "stsz", 0, 0);
+    w.put_u32(0);  // sample_size 0 -> per-sample table follows
+    w.put_u32(static_cast<std::uint32_t>(tables.sizes.size()));
+    for (std::uint32_t s : tables.sizes) w.put_u32(s);
+    end_box(w, at);
+  }
+
+  {  // stco: chunk offsets.
+    const std::size_t at = begin_full_box(w, "stco", 0, 0);
+    w.put_u32(static_cast<std::uint32_t>(chunk_offsets.size()));
+    for (std::uint32_t off : chunk_offsets) w.put_u32(off);
+    end_box(w, at);
+  }
+
+  end_box(w, stbl);
+}
+
+void write_moov(ByteWriter& w, const VideoStream& stream,
+                const SampleTables& tables, const Mp4WriteOptions& options,
+                const std::vector<std::uint32_t>& chunk_offsets) {
+  const std::size_t moov = begin_box(w, "moov");
+
+  {  // mvhd
+    const std::size_t at = begin_full_box(w, "mvhd", 0, 0);
+    w.put_u32(0);  // creation time
+    w.put_u32(0);  // modification time
+    w.put_u32(options.timescale);
+    w.put_u32(static_cast<std::uint32_t>(tables.media_duration));
+    w.put_u32(0x00010000);  // rate 1.0
+    w.put_u16(0x0100);      // volume 1.0
+    w.put_zeros(10);        // reserved
+    // Identity matrix.
+    const std::uint32_t matrix[9] = {0x00010000, 0, 0, 0, 0x00010000,
+                                     0,          0, 0, 0x40000000};
+    for (std::uint32_t m : matrix) w.put_u32(m);
+    w.put_zeros(24);  // pre-defined
+    w.put_u32(2);     // next track id
+    end_box(w, at);
+  }
+
+  const std::size_t trak = begin_box(w, "trak");
+  {  // tkhd (flags: enabled | in movie)
+    const std::size_t at = begin_full_box(w, "tkhd", 0, 0x000003);
+    w.put_u32(0);  // creation
+    w.put_u32(0);  // modification
+    w.put_u32(1);  // track id
+    w.put_u32(0);  // reserved
+    w.put_u32(static_cast<std::uint32_t>(tables.media_duration));
+    w.put_zeros(8);  // reserved
+    w.put_u16(0);    // layer
+    w.put_u16(0);    // alternate group
+    w.put_u16(0);    // volume (video)
+    w.put_u16(0);    // reserved
+    const std::uint32_t matrix[9] = {0x00010000, 0, 0, 0, 0x00010000,
+                                     0,          0, 0, 0x40000000};
+    for (std::uint32_t m : matrix) w.put_u32(m);
+    w.put_u32(static_cast<std::uint32_t>(options.width) << 16);
+    w.put_u32(static_cast<std::uint32_t>(options.height) << 16);
+    end_box(w, at);
+  }
+
+  const std::size_t mdia = begin_box(w, "mdia");
+  {  // mdhd
+    const std::size_t at = begin_full_box(w, "mdhd", 0, 0);
+    w.put_u32(0);
+    w.put_u32(0);
+    w.put_u32(options.timescale);
+    w.put_u32(static_cast<std::uint32_t>(tables.media_duration));
+    w.put_u16(0x55C4);  // language: "und"
+    w.put_u16(0);
+    end_box(w, at);
+  }
+  {  // hdlr
+    const std::size_t at = begin_full_box(w, "hdlr", 0, 0);
+    w.put_u32(0);  // pre-defined
+    w.put_fourcc("vide");
+    w.put_zeros(12);
+    w.put_string("VideoHandler");
+    w.put_u8(0);
+    end_box(w, at);
+  }
+
+  const std::size_t minf = begin_box(w, "minf");
+  {  // vmhd
+    const std::size_t at = begin_full_box(w, "vmhd", 0, 1);
+    w.put_u16(0);    // graphics mode: copy
+    w.put_zeros(6);  // opcolor
+    end_box(w, at);
+  }
+  {  // dinf > dref > url (data in same file)
+    const std::size_t dinf = begin_box(w, "dinf");
+    const std::size_t dref = begin_full_box(w, "dref", 0, 0);
+    w.put_u32(1);
+    const std::size_t url = begin_full_box(w, "url ", 0, 1);
+    end_box(w, url);
+    end_box(w, dref);
+    end_box(w, dinf);
+  }
+  write_stbl(w, tables, options, chunk_offsets);
+  end_box(w, minf);
+  end_box(w, mdia);
+  end_box(w, trak);
+
+  if (options.write_frame_types) {
+    // udta > vspl: fps as micro-fps u32, then one byte per frame type.
+    const std::size_t udta = begin_box(w, "udta");
+    const std::size_t vspl = begin_box(w, "vspl");
+    w.put_u32(static_cast<std::uint32_t>(
+        std::llround(stream.fps() * 1e6)));
+    w.put_u32(static_cast<std::uint32_t>(tables.types.size()));
+    for (FrameType t : tables.types)
+      w.put_u8(static_cast<std::uint8_t>(t));
+    end_box(w, vspl);
+    end_box(w, udta);
+  }
+
+  end_box(w, moov);
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Box {
+  std::string type;
+  ByteReader body;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+/// Reads the next box header+body from `r`.
+Box next_box(ByteReader& r, std::uint64_t base_offset) {
+  const std::uint64_t at = base_offset + r.position();
+  std::uint64_t size = r.get_u32();
+  const std::string type = r.get_fourcc();
+  std::size_t header = 8;
+  if (size == 1) {
+    size = r.get_u64();
+    header = 16;
+  } else if (size == 0) {
+    size = header + r.remaining();  // box extends to end of file
+  }
+  if (size < header) throw ParseError{"box '" + type + "' shorter than its header"};
+  Box box{type, r.sub_reader(static_cast<std::size_t>(size - header)), at,
+          size};
+  return box;
+}
+
+struct ParsedTables {
+  std::vector<std::uint32_t> sizes;
+  std::vector<std::uint32_t> deltas;
+  std::vector<bool> is_sync;
+  std::uint32_t timescale = 0;
+  std::optional<std::vector<FrameType>> explicit_types;
+  std::optional<double> explicit_fps;
+};
+
+void parse_stbl(ByteReader r, ParsedTables& out) {
+  while (!r.at_end()) {
+    Box box = next_box(r, 0);
+    ByteReader& b = box.body;
+    if (box.type == "stts") {
+      b.skip(4);
+      const std::uint32_t entries = b.get_u32();
+      for (std::uint32_t i = 0; i < entries; ++i) {
+        const std::uint32_t count = b.get_u32();
+        const std::uint32_t delta = b.get_u32();
+        for (std::uint32_t k = 0; k < count; ++k) out.deltas.push_back(delta);
+      }
+    } else if (box.type == "stss") {
+      b.skip(4);
+      const std::uint32_t entries = b.get_u32();
+      for (std::uint32_t i = 0; i < entries; ++i) {
+        const std::uint32_t sample = b.get_u32();  // 1-based
+        if (sample == 0) throw ParseError{"stss sample number 0"};
+        if (out.is_sync.size() < sample) out.is_sync.resize(sample, false);
+        out.is_sync[sample - 1] = true;
+      }
+    } else if (box.type == "stsz") {
+      b.skip(4);
+      const std::uint32_t fixed = b.get_u32();
+      const std::uint32_t count = b.get_u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        out.sizes.push_back(fixed != 0 ? fixed : b.get_u32());
+      }
+    }
+    // stsd and stco contents are not needed to rebuild the model.
+  }
+}
+
+void parse_moov(ByteReader r, ParsedTables& out) {
+  while (!r.at_end()) {
+    Box box = next_box(r, 0);
+    if (box.type == "trak" || box.type == "mdia" || box.type == "minf") {
+      parse_moov(box.body, out);  // recurse into containers
+    } else if (box.type == "mdhd") {
+      ByteReader& b = box.body;
+      const std::uint32_t version_flags = b.get_u32();
+      if ((version_flags >> 24) == 1) {
+        b.skip(16);  // 64-bit times
+        out.timescale = b.get_u32();
+      } else {
+        b.skip(8);
+        out.timescale = b.get_u32();
+      }
+    } else if (box.type == "stbl") {
+      parse_stbl(box.body, out);
+    } else if (box.type == "udta") {
+      ByteReader u = box.body;
+      while (!u.at_end()) {
+        Box inner = next_box(u, 0);
+        if (inner.type != "vspl") continue;
+        ByteReader& b = inner.body;
+        out.explicit_fps =
+            static_cast<double>(b.get_u32()) / 1e6;
+        const std::uint32_t count = b.get_u32();
+        std::vector<FrameType> types;
+        types.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t t = b.get_u8();
+          if (t > 2) throw ParseError{"vspl: bad frame type"};
+          types.push_back(static_cast<FrameType>(t));
+        }
+        out.explicit_types = std::move(types);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_mp4(const VideoStream& stream,
+                                    const Mp4WriteOptions& options) {
+  require(options.timescale > 0, "mp4 timescale must be positive");
+  const SampleTables tables = build_tables(stream, options.timescale);
+
+  // ftyp
+  ByteWriter ftyp;
+  {
+    const std::size_t at = begin_box(ftyp, "ftyp");
+    ftyp.put_fourcc("isom");
+    ftyp.put_u32(512);
+    ftyp.put_fourcc("isom");
+    ftyp.put_fourcc("mp41");
+    end_box(ftyp, at);
+  }
+
+  // First pass: moov with zeroed chunk offsets, to learn its size.
+  std::vector<std::uint32_t> zero_offsets(stream.gop_count(), 0);
+  ByteWriter probe;
+  write_moov(probe, stream, tables, options, zero_offsets);
+  const std::size_t moov_size = probe.size();
+
+  // Real chunk offsets: one chunk per GOP inside mdat.
+  const std::uint64_t mdat_payload_start =
+      ftyp.size() + moov_size + 8;  // + mdat header
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(stream.gop_count());
+  std::uint64_t cursor = mdat_payload_start;
+  for (const Gop& gop : stream.gops()) {
+    require(cursor <= 0xFFFFFFFFULL, "file too large for 32-bit stco");
+    offsets.push_back(static_cast<std::uint32_t>(cursor));
+    cursor += static_cast<std::uint64_t>(gop.byte_size());
+  }
+
+  ByteWriter out{static_cast<std::size_t>(cursor)};
+  out.put_bytes(ftyp.bytes());
+  write_moov(out, stream, tables, options, offsets);
+  check_invariant(out.size() == ftyp.size() + moov_size,
+                  "moov size changed between passes");
+
+  // mdat
+  out.put_u32(static_cast<std::uint32_t>(8 + tables.total_payload));
+  out.put_fourcc("mdat");
+  if (options.include_payload) {
+    Rng rng{options.payload_seed};
+    std::uint64_t remaining = tables.total_payload;
+    while (remaining >= 8) {
+      out.put_u64(rng.next_u64());
+      remaining -= 8;
+    }
+    while (remaining > 0) {
+      out.put_u8(static_cast<std::uint8_t>(rng.next_u64() & 0xFF));
+      --remaining;
+    }
+  } else {
+    out.put_zeros(static_cast<std::size_t>(tables.total_payload));
+  }
+  return out.take();
+}
+
+VideoStream read_mp4(std::span<const std::uint8_t> data) {
+  ByteReader r{data};
+  ParsedTables tables;
+  bool saw_moov = false;
+  while (!r.at_end()) {
+    Box box = next_box(r, 0);
+    if (box.type == "moov") {
+      parse_moov(box.body, tables);
+      saw_moov = true;
+    }
+  }
+  if (!saw_moov) throw ParseError{"no moov box found"};
+  if (tables.timescale == 0) throw ParseError{"no mdhd timescale"};
+  if (tables.sizes.empty()) throw ParseError{"no samples in stsz"};
+  if (tables.sizes.size() != tables.deltas.size()) {
+    throw ParseError{"stsz and stts disagree on sample count"};
+  }
+  tables.is_sync.resize(tables.sizes.size(), false);
+  if (!tables.is_sync.front()) {
+    throw ParseError{"first sample is not a sync sample"};
+  }
+  if (tables.explicit_types &&
+      tables.explicit_types->size() != tables.sizes.size()) {
+    throw ParseError{"vspl frame-type count mismatch"};
+  }
+
+  // Rebuild GOPs at sync-sample boundaries.
+  std::vector<Gop> gops;
+  std::vector<Frame> current;
+  for (std::size_t i = 0; i < tables.sizes.size(); ++i) {
+    if (tables.is_sync[i] && !current.empty()) {
+      gops.emplace_back(std::move(current));
+      current = {};
+    }
+    FrameType type;
+    if (tables.explicit_types) {
+      type = (*tables.explicit_types)[i];
+      if (tables.is_sync[i] != (type == FrameType::I)) {
+        throw ParseError{"vspl frame types disagree with stss"};
+      }
+    } else {
+      type = tables.is_sync[i] ? FrameType::I : FrameType::P;
+    }
+    const double seconds = static_cast<double>(tables.deltas[i]) /
+                           static_cast<double>(tables.timescale);
+    current.push_back(Frame{type, static_cast<Bytes>(tables.sizes[i]),
+                            Duration::seconds(seconds)});
+  }
+  if (!current.empty()) gops.emplace_back(std::move(current));
+
+  double fps;
+  if (tables.explicit_fps) {
+    fps = *tables.explicit_fps;
+  } else {
+    fps = static_cast<double>(tables.timescale) /
+          static_cast<double>(tables.deltas.front());
+  }
+  return VideoStream{std::move(gops), fps};
+}
+
+std::vector<Mp4BoxInfo> probe_boxes(std::span<const std::uint8_t> data) {
+  std::vector<Mp4BoxInfo> out;
+  ByteReader r{data};
+  while (!r.at_end()) {
+    Box box = next_box(r, 0);
+    out.push_back(Mp4BoxInfo{box.type, box.size, box.offset});
+  }
+  return out;
+}
+
+std::uint64_t mdat_checksum(std::span<const std::uint8_t> data) {
+  ByteReader r{data};
+  while (!r.at_end()) {
+    Box box = next_box(r, 0);
+    if (box.type != "mdat") continue;
+    std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+    ByteReader& b = box.body;
+    while (!b.at_end()) {
+      hash ^= b.get_u8();
+      hash *= 1099511628211ULL;
+    }
+    return hash;
+  }
+  throw ParseError{"no mdat box found"};
+}
+
+}  // namespace vsplice::video

@@ -1,0 +1,63 @@
+// Minimal ISO Base Media File Format (MP4) writer/reader.
+//
+// Serializes a VideoStream into a structurally valid single-track MP4:
+// ftyp + moov (mvhd / trak / tkhd / mdia / mdhd / hdlr / minf / vmhd /
+// dinf+dref / stbl with stsd, stts, stss, stsc, stsz, stco) + mdat, one
+// chunk per GOP. The seeder in the experiments serves spliced byte ranges
+// of this file, and tests round-trip streams through it.
+//
+// Frame payloads carry deterministic pseudo-random bytes (no real codec
+// data); an optional `vspl` box inside `udta` records the exact frame
+// types so a round trip reproduces the stream bit-for-bit. Without it a
+// reader can still recover keyframes from stss (non-sync frames read back
+// as P).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "video/video_stream.h"
+
+namespace vsplice::video {
+
+struct Mp4WriteOptions {
+  /// Media timescale (ticks per second). 90000 represents all common
+  /// frame rates exactly.
+  std::uint32_t timescale = 90000;
+  /// Fill mdat with seeded pseudo-random payload bytes; when false the
+  /// payload is zeros (faster for large benchmark videos).
+  bool include_payload = true;
+  std::uint64_t payload_seed = 1;
+  /// Record per-frame types in a udta/vspl box so read_mp4 round-trips
+  /// P/B distinction exactly.
+  bool write_frame_types = true;
+  /// Nominal display size written into tkhd (purely cosmetic).
+  std::uint16_t width = 640;
+  std::uint16_t height = 360;
+};
+
+/// Serializes the stream. Throws InvalidArgument for impossible options.
+[[nodiscard]] std::vector<std::uint8_t> write_mp4(
+    const VideoStream& stream, const Mp4WriteOptions& options = {});
+
+/// Parses an MP4 produced by write_mp4 (or any single-video-track MP4
+/// using the same box subset). Throws ParseError on malformed input.
+[[nodiscard]] VideoStream read_mp4(std::span<const std::uint8_t> data);
+
+/// Top-level box inventory, for structure checks and debugging.
+struct Mp4BoxInfo {
+  std::string type;
+  std::uint64_t size = 0;
+  std::uint64_t offset = 0;
+};
+[[nodiscard]] std::vector<Mp4BoxInfo> probe_boxes(
+    std::span<const std::uint8_t> data);
+
+/// FNV-1a checksum of the mdat payload; lets tests verify that spliced
+/// byte ranges reassemble to the original media bytes.
+[[nodiscard]] std::uint64_t mdat_checksum(
+    std::span<const std::uint8_t> data);
+
+}  // namespace vsplice::video

@@ -1,0 +1,90 @@
+#include "video/scene.h"
+
+#include "common/error.h"
+
+namespace vsplice::video {
+
+const char* to_string(Motion motion) {
+  switch (motion) {
+    case Motion::Static:
+      return "static";
+    case Motion::Low:
+      return "low";
+    case Motion::Moderate:
+      return "moderate";
+    case Motion::High:
+      return "high";
+  }
+  return "?";
+}
+
+Duration total_duration(const SceneScript& script) {
+  Duration total = Duration::zero();
+  for (const Scene& scene : script) total += scene.duration;
+  return total;
+}
+
+SceneScript random_scene_script(Duration total, Rng& rng) {
+  require(total > Duration::zero(), "script duration must be positive");
+  SceneScript script;
+  Duration remaining = total;
+  while (remaining > Duration::zero()) {
+    const double pick = rng.next_double();
+    Motion motion;
+    double mean_scene_seconds;
+    if (pick < 0.25) {
+      motion = Motion::Static;
+      mean_scene_seconds = 12.0;
+    } else if (pick < 0.50) {
+      motion = Motion::Low;
+      mean_scene_seconds = 8.0;
+    } else if (pick < 0.80) {
+      motion = Motion::Moderate;
+      mean_scene_seconds = 6.0;
+    } else {
+      motion = Motion::High;
+      mean_scene_seconds = 4.0;
+    }
+    Duration length = Duration::seconds(
+        std::min(std::max(rng.exponential(mean_scene_seconds), 1.0), 30.0));
+    if (length > remaining) length = remaining;
+    script.push_back(Scene{motion, length});
+    remaining -= length;
+  }
+  return script;
+}
+
+SceneScript uniform_scene_script(Motion motion, Duration total) {
+  require(total > Duration::zero(), "script duration must be positive");
+  return {Scene{motion, total}};
+}
+
+SceneScript paper_scene_script() {
+  // 120 seconds of mixed content. Chosen so that GOP-based splicing
+  // produces both multi-second, megabyte segments (the static dialogue
+  // stretches run to the encoder's long keyframe interval) and
+  // sub-second segments (the action bursts cut constantly), per the
+  // paper's Section VI-A discussion of long and short GOPs.
+  return {
+      Scene{Motion::Moderate, Duration::seconds(5)},
+      Scene{Motion::Static, Duration::seconds(11)},
+      Scene{Motion::High, Duration::seconds(6)},
+      Scene{Motion::Static, Duration::seconds(9)},
+      Scene{Motion::Low, Duration::seconds(5)},
+      Scene{Motion::High, Duration::seconds(5)},
+      Scene{Motion::Static, Duration::seconds(12)},
+      Scene{Motion::Moderate, Duration::seconds(5)},
+      Scene{Motion::High, Duration::seconds(6)},
+      Scene{Motion::Static, Duration::seconds(10)},
+      Scene{Motion::Low, Duration::seconds(4)},
+      Scene{Motion::High, Duration::seconds(5)},
+      Scene{Motion::Static, Duration::seconds(8)},
+      Scene{Motion::Moderate, Duration::seconds(5)},
+      Scene{Motion::High, Duration::seconds(5)},
+      Scene{Motion::Static, Duration::seconds(9)},
+      Scene{Motion::Moderate, Duration::seconds(5)},
+      Scene{Motion::High, Duration::seconds(5)},
+  };
+}
+
+}  // namespace vsplice::video

@@ -1,0 +1,53 @@
+// Scene scripts: the content model driving the synthetic encoder.
+//
+// The paper's key observation about GOP-based splicing is that GOP
+// duration tracks content: "if a video contains constantly changing
+// scenery, the duration of the GOP will be very short. If a video
+// contains a stationary scene ... the duration of the GOP can be very
+// long." A scene script is the sequence of (motion level, duration)
+// stretches that produces exactly that behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace vsplice::video {
+
+enum class Motion {
+  Static,    // talking head, stationary scenery -> very long GOPs
+  Low,       // slow pans
+  Moderate,  // typical drama
+  High,      // action, rapid scene cuts -> sub-second GOPs
+};
+
+[[nodiscard]] const char* to_string(Motion motion);
+
+struct Scene {
+  Motion motion = Motion::Moderate;
+  Duration duration = Duration::zero();
+};
+
+using SceneScript = std::vector<Scene>;
+
+[[nodiscard]] Duration total_duration(const SceneScript& script);
+
+/// A mixed-content script covering `total`: random scene lengths and a
+/// motion mix typical of entertainment video (some long static stretches,
+/// bursts of action). Deterministic in `rng`.
+[[nodiscard]] SceneScript random_scene_script(Duration total, Rng& rng);
+
+/// A single-motion script (useful for targeted tests: all-static video
+/// yields the pathological long-GOP case).
+[[nodiscard]] SceneScript uniform_scene_script(Motion motion,
+                                               Duration total);
+
+/// The fixed script used by the paper-reproduction experiments: a 2-minute
+/// video mixing static dialogue, moderate motion, and action bursts, so
+/// GOP-based splicing sees both very large and very small segments.
+/// Deterministic (no RNG) so every experiment streams the same video.
+[[nodiscard]] SceneScript paper_scene_script();
+
+}  // namespace vsplice::video

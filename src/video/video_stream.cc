@@ -1,0 +1,55 @@
+#include "video/video_stream.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vsplice::video {
+
+VideoStream::VideoStream(std::vector<Gop> gops, double fps)
+    : gops_{std::move(gops)}, fps_{fps} {
+  require(!gops_.empty(), "a video stream needs at least one GOP");
+  require(fps_ > 0.0, "fps must be positive");
+  for (const Gop& gop : gops_) {
+    duration_ += gop.duration();
+    byte_size_ += gop.byte_size();
+    frame_count_ += gop.frame_count();
+  }
+}
+
+Rate VideoStream::average_bitrate() const {
+  return Rate::bytes_per_second(static_cast<double>(byte_size_) /
+                                duration_.as_seconds());
+}
+
+std::vector<TimedFrame> VideoStream::timeline() const {
+  std::vector<TimedFrame> out;
+  out.reserve(frame_count_);
+  Duration pts = Duration::zero();
+  std::size_t frame_index = 0;
+  for (std::size_t g = 0; g < gops_.size(); ++g) {
+    for (const Frame& frame : gops_[g].frames()) {
+      out.push_back(TimedFrame{frame, pts, g, frame_index++});
+      pts += frame.duration;
+    }
+  }
+  return out;
+}
+
+Duration VideoStream::longest_gop() const {
+  return std::max_element(gops_.begin(), gops_.end(),
+                          [](const Gop& a, const Gop& b) {
+                            return a.duration() < b.duration();
+                          })
+      ->duration();
+}
+
+Duration VideoStream::shortest_gop() const {
+  return std::min_element(gops_.begin(), gops_.end(),
+                          [](const Gop& a, const Gop& b) {
+                            return a.duration() < b.duration();
+                          })
+      ->duration();
+}
+
+}  // namespace vsplice::video

@@ -1,0 +1,54 @@
+// A complete encoded video: an ordered sequence of closed GOPs plus the
+// encoding's nominal frame rate.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "video/frame.h"
+
+namespace vsplice::video {
+
+/// A frame together with its absolute presentation time within the
+/// stream and the index of the GOP that contains it.
+struct TimedFrame {
+  Frame frame;
+  Duration pts = Duration::zero();  // presentation offset from stream start
+  std::size_t gop_index = 0;
+  std::size_t frame_index = 0;  // global display index
+};
+
+class VideoStream {
+ public:
+  VideoStream(std::vector<Gop> gops, double fps);
+
+  [[nodiscard]] const std::vector<Gop>& gops() const { return gops_; }
+  [[nodiscard]] std::size_t gop_count() const { return gops_.size(); }
+  [[nodiscard]] double fps() const { return fps_; }
+
+  [[nodiscard]] Duration duration() const { return duration_; }
+  [[nodiscard]] Bytes byte_size() const { return byte_size_; }
+  [[nodiscard]] std::size_t frame_count() const { return frame_count_; }
+
+  /// Mean bitrate over the whole stream.
+  [[nodiscard]] Rate average_bitrate() const;
+
+  /// Flattens the stream to display order with absolute timestamps.
+  [[nodiscard]] std::vector<TimedFrame> timeline() const;
+
+  /// Longest / shortest GOP durations — the spread that makes GOP-based
+  /// splicing produce wildly uneven segments.
+  [[nodiscard]] Duration longest_gop() const;
+  [[nodiscard]] Duration shortest_gop() const;
+
+  bool operator==(const VideoStream&) const = default;
+
+ private:
+  std::vector<Gop> gops_;
+  double fps_;
+  Duration duration_ = Duration::zero();
+  Bytes byte_size_ = 0;
+  std::size_t frame_count_ = 0;
+};
+
+}  // namespace vsplice::video

@@ -1,0 +1,119 @@
+#include "common/bytes_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vsplice {
+namespace {
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x0102);
+  w.put_u32(0x03040506);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x01);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x03);
+  EXPECT_EQ(b[4], 0x04);
+  EXPECT_EQ(b[5], 0x05);
+  EXPECT_EQ(b[6], 0x06);
+}
+
+TEST(ByteWriter, U64AndSignedHelpers) {
+  ByteWriter w;
+  w.put_u64(0x0102030405060708ULL);
+  w.put_i32(-1);
+  w.put_i64(-2);
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.get_u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.get_i32(), -1);
+  EXPECT_EQ(r.get_i64(), -2);
+}
+
+TEST(ByteWriter, FourccValidation) {
+  ByteWriter w;
+  w.put_fourcc("moov");
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_THROW(w.put_fourcc("toolong"), InvalidArgument);
+  EXPECT_THROW(w.put_fourcc("ab"), InvalidArgument);
+}
+
+TEST(ByteWriter, PatchU32) {
+  ByteWriter w;
+  w.put_u32(0);
+  w.put_string("body");
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size()));
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.get_u32(), 8u);
+  EXPECT_THROW(w.patch_u32(6, 1), InvalidArgument);
+}
+
+TEST(ByteWriter, ZerosAndBytes) {
+  ByteWriter w;
+  w.put_zeros(3);
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  w.put_bytes(payload);
+  EXPECT_EQ(w.size(), 6u);
+  EXPECT_EQ(w.bytes()[0], 0);
+  EXPECT_EQ(w.bytes()[3], 1);
+}
+
+TEST(ByteReader, RoundTrip) {
+  ByteWriter w;
+  w.put_u8(7);
+  w.put_u16(300);
+  w.put_u32(70000);
+  w.put_u64(1ULL << 40);
+  w.put_string("hello");
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u16(), 300);
+  EXPECT_EQ(r.get_u32(), 70000u);
+  EXPECT_EQ(r.get_u64(), 1ULL << 40);
+  EXPECT_EQ(r.get_string(5), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, OverrunThrows) {
+  const std::vector<std::uint8_t> data{1, 2, 3};
+  ByteReader r{data};
+  EXPECT_EQ(r.get_u16(), 0x0102);
+  EXPECT_THROW((void)r.get_u16(), ParseError);
+  // Position unchanged after a failed read.
+  EXPECT_EQ(r.get_u8(), 3);
+}
+
+TEST(ByteReader, SkipAndRemaining) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  ByteReader r{data};
+  r.skip(2);
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_THROW(r.skip(4), ParseError);
+}
+
+TEST(ByteReader, SubReaderIsolatesRange) {
+  ByteWriter w;
+  w.put_u32(0xAABBCCDD);
+  w.put_u32(0x11223344);
+  ByteReader r{w.bytes()};
+  ByteReader sub = r.sub_reader(4);
+  EXPECT_EQ(sub.get_u32(), 0xAABBCCDDu);
+  EXPECT_TRUE(sub.at_end());
+  EXPECT_THROW((void)sub.get_u8(), ParseError);
+  EXPECT_EQ(r.get_u32(), 0x11223344u);
+}
+
+TEST(ByteReader, GetBytes) {
+  const std::vector<std::uint8_t> data{9, 8, 7};
+  ByteReader r{data};
+  EXPECT_EQ(r.get_bytes(2), (std::vector<std::uint8_t>{9, 8}));
+  EXPECT_THROW((void)r.get_bytes(2), ParseError);
+}
+
+}  // namespace
+}  // namespace vsplice

@@ -1,0 +1,151 @@
+// CDN / hybrid delivery tests (Section IV).
+#include "cdn/cdn.h"
+
+#include <gtest/gtest.h>
+
+#include "core/splicer.h"
+#include "video/encoder.h"
+
+namespace vsplice::cdn {
+namespace {
+
+struct CdnFixture {
+  explicit CdnFixture(const std::string& splicer = "2s",
+                      double client_kBps = 256,
+                      double server_kBps = 10'000)
+      : stream{video::make_paper_video(5)},
+        index{core::make_splicer(splicer)->splice(stream)} {
+    net::NodeSpec server_spec;
+    server_spec.uplink = Rate::kilobytes_per_second(server_kBps);
+    server_spec.downlink = Rate::kilobytes_per_second(server_kBps);
+    server_spec.one_way_delay = Duration::millis(10);
+    const net::NodeId server_node = network.add_node(server_spec);
+    server = std::make_unique<CdnServer>(network, server_node);
+
+    net::NodeSpec client_spec;
+    client_spec.uplink = Rate::kilobytes_per_second(client_kBps);
+    client_spec.downlink = Rate::kilobytes_per_second(client_kBps);
+    client_spec.one_way_delay = Duration::millis(40);
+    client_node = network.add_node(client_spec);
+  }
+
+  CdnClient make_client(CdnClientConfig config) {
+    return CdnClient{network, rng, client_node, *server, index, config};
+  }
+
+  sim::Simulator sim;
+  net::Network network{sim};
+  Rng rng{3};
+  video::VideoStream stream;
+  core::SegmentIndex index;
+  std::unique_ptr<CdnServer> server;
+  net::NodeId client_node;
+};
+
+TEST(CdnClient, StreamsToCompletion) {
+  CdnFixture f;
+  CdnClientConfig config;
+  config.bandwidth_hint = Rate::kilobytes_per_second(256);
+  CdnClient client = f.make_client(config);
+  client.start();
+  f.sim.run();
+  ASSERT_TRUE(client.finished());
+  EXPECT_EQ(client.requests_made(), f.index.count());
+  EXPECT_EQ(f.server->requests_served(), f.index.count());
+  EXPECT_EQ(f.server->bytes_served(), f.index.total_size());
+}
+
+TEST(CdnClient, AdaptiveSizingCoalescesRequests) {
+  CdnFixture f;
+  CdnClientConfig plain;
+  plain.bandwidth_hint = Rate::kilobytes_per_second(256);
+  CdnClientConfig adaptive = plain;
+  adaptive.adaptive_sizing = true;
+
+  CdnClient a = f.make_client(plain);
+  a.start();
+  f.sim.run();
+  const auto plain_requests = a.requests_made();
+
+  CdnFixture g;
+  CdnClient b = g.make_client(adaptive);
+  b.start();
+  g.sim.run();
+  ASSERT_TRUE(b.finished());
+  // Adaptive sizing groups segments under W <= B*T: far fewer requests,
+  // each larger on average.
+  EXPECT_LT(b.requests_made(), plain_requests);
+  EXPECT_GT(b.mean_request_size(), a.mean_request_size());
+}
+
+TEST(CdnClient, AdaptiveSizingDoesNotHurtQoe) {
+  CdnFixture f;
+  CdnClientConfig adaptive;
+  adaptive.adaptive_sizing = true;
+  adaptive.bandwidth_hint = Rate::kilobytes_per_second(256);
+  CdnClient client = f.make_client(adaptive);
+  client.start();
+  f.sim.run();
+  ASSERT_TRUE(client.finished());
+  // The W <= B*T bound is what keeps coalescing stall-safe.
+  EXPECT_LE(client.metrics().stall_count, 2u);
+}
+
+TEST(CdnClient, MaxRequestCapsCoalescing) {
+  CdnFixture f;
+  CdnClientConfig config;
+  config.adaptive_sizing = true;
+  config.bandwidth_hint = Rate::kilobytes_per_second(2048);
+  config.max_request = 600'000;
+  CdnClient client = f.make_client(config);
+  client.start();
+  f.sim.run();
+  ASSERT_TRUE(client.finished());
+  // Mean request stays near the cap despite the huge bandwidth budget.
+  EXPECT_LE(client.mean_request_size(), 700'000);
+}
+
+TEST(CdnClient, NonPersistentConnectionsPayMoreHandshakes) {
+  // On a link slower than the bitrate the session length is download
+  // bound, so per-request handshakes and cold congestion windows show up
+  // directly in the completion time.
+  CdnFixture f{"2s", 96};
+  CdnClientConfig persistent;
+  persistent.bandwidth_hint = Rate::kilobytes_per_second(96);
+  CdnClient a = f.make_client(persistent);
+  a.start();
+  f.sim.run();
+  ASSERT_TRUE(a.finished());
+  const Duration t_persistent = a.metrics().completion_time;
+
+  CdnFixture g{"2s", 96};
+  CdnClientConfig reconnect = persistent;
+  reconnect.persistent_connection = false;
+  CdnClient b = g.make_client(reconnect);
+  b.start();
+  g.sim.run();
+  ASSERT_TRUE(b.finished());
+  EXPECT_GT(b.metrics().completion_time, t_persistent);
+}
+
+TEST(CdnClient, SlowLinkStalls) {
+  CdnFixture f{"8s", 64};
+  CdnClientConfig config;
+  config.bandwidth_hint = Rate::kilobytes_per_second(64);
+  CdnClient client = f.make_client(config);
+  client.start();
+  f.sim.run();
+  ASSERT_TRUE(client.finished());
+  EXPECT_GT(client.metrics().stall_count, 0u);
+}
+
+TEST(CdnServer, RecordsLoad) {
+  CdnFixture f;
+  f.server->record_request(1000);
+  f.server->record_request(500);
+  EXPECT_EQ(f.server->requests_served(), 2u);
+  EXPECT_EQ(f.server->bytes_served(), 1500);
+}
+
+}  // namespace
+}  // namespace vsplice::cdn

@@ -1,0 +1,307 @@
+// Tests for segments, playlists, pooling policies, sizing and bandwidth
+// estimation — the paper's core contribution surfaces.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/bandwidth_estimator.h"
+#include "core/playlist.h"
+#include "core/pool_policy.h"
+#include "core/segment.h"
+#include "core/segment_sizing.h"
+#include "core/splicer.h"
+#include "video/encoder.h"
+
+namespace vsplice::core {
+namespace {
+
+Segment seg(std::size_t index, double start_s, double dur_s, Bytes size,
+            Bytes overhead = 0) {
+  Segment s;
+  s.index = index;
+  s.start = Duration::seconds(start_s);
+  s.duration = Duration::seconds(dur_s);
+  s.size = size;
+  s.media_size = size - overhead;
+  s.overhead = overhead;
+  return s;
+}
+
+// -------------------------------------------------------------- SegmentIndex
+
+TEST(SegmentIndex, Aggregates) {
+  const SegmentIndex index{
+      {seg(0, 0, 4, 500'000, 50'000), seg(1, 4, 4, 600'000),
+       seg(2, 8, 2, 300'000)},
+      "test"};
+  EXPECT_EQ(index.count(), 3u);
+  EXPECT_EQ(index.total_duration(), Duration::seconds(10));
+  EXPECT_EQ(index.total_size(), 1'400'000);
+  EXPECT_EQ(index.total_media_size(), 1'350'000);
+  EXPECT_EQ(index.total_overhead(), 50'000);
+  EXPECT_NEAR(index.overhead_ratio(), 50'000.0 / 1'350'000.0, 1e-12);
+  EXPECT_EQ(index.largest_segment(), 600'000);
+  EXPECT_EQ(index.smallest_segment(), 300'000);
+  EXPECT_EQ(index.mean_segment_size(), 1'400'000 / 3);
+  EXPECT_EQ(index.splicer_name(), "test");
+}
+
+TEST(SegmentIndex, RejectsGapsAndDisorder) {
+  EXPECT_THROW((SegmentIndex{{}, "x"}), InvalidArgument);
+  // Gap between segments.
+  EXPECT_THROW((SegmentIndex{{seg(0, 0, 4, 100), seg(1, 5, 4, 100)}, "x"}),
+               InvalidArgument);
+  // Wrong index numbering.
+  EXPECT_THROW((SegmentIndex{{seg(1, 0, 4, 100)}, "x"}), InvalidArgument);
+  // Inconsistent overhead.
+  Segment bad = seg(0, 0, 4, 100);
+  bad.overhead = 5;
+  EXPECT_THROW((SegmentIndex{{bad}, "x"}), InvalidArgument);
+  EXPECT_THROW((void)SegmentIndex({seg(0, 0, 4, 100)}, "x").at(1),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------------ playlist
+
+TEST(Playlist, WriteContainsHlsTags) {
+  const SegmentIndex index{{seg(0, 0, 4, 500'000), seg(1, 4, 4, 600'000)},
+                           "4s"};
+  const Playlist playlist = playlist_from_index(index, "video.mp4");
+  const std::string text = write_playlist(playlist);
+  EXPECT_NE(text.find("#EXTM3U"), std::string::npos);
+  EXPECT_NE(text.find("#EXT-X-TARGETDURATION:4"), std::string::npos);
+  EXPECT_NE(text.find("#EXTINF:4.00000,"), std::string::npos);
+  EXPECT_NE(text.find("#EXT-X-BYTERANGE:500000@0"), std::string::npos);
+  EXPECT_NE(text.find("#EXT-X-BYTERANGE:600000@500000"), std::string::npos);
+  EXPECT_NE(text.find("#EXT-X-ENDLIST"), std::string::npos);
+  EXPECT_NE(text.find("video.mp4"), std::string::npos);
+}
+
+TEST(Playlist, RoundTrip) {
+  const SegmentIndex index =
+      DurationSplicer{Duration::seconds(4)}.splice(
+          video::make_paper_video(1));
+  const Playlist playlist = playlist_from_index(index, "video.mp4");
+  const Playlist parsed = parse_playlist(write_playlist(playlist));
+  ASSERT_EQ(parsed.entries.size(), playlist.entries.size());
+  EXPECT_TRUE(parsed.endlist);
+  EXPECT_EQ(parsed.target_duration, playlist.target_duration);
+  for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
+    EXPECT_EQ(parsed.entries[i].duration, playlist.entries[i].duration);
+    EXPECT_EQ(parsed.entries[i].size, playlist.entries[i].size);
+    EXPECT_EQ(parsed.entries[i].offset, playlist.entries[i].offset);
+    EXPECT_EQ(parsed.entries[i].uri, playlist.entries[i].uri);
+  }
+}
+
+TEST(Playlist, TotalDuration) {
+  Playlist p;
+  p.entries.push_back(PlaylistEntry{Duration::seconds(4), 1, 0, "a"});
+  p.entries.push_back(PlaylistEntry{Duration::seconds(2), 1, 0, "a"});
+  EXPECT_EQ(p.total_duration(), Duration::seconds(6));
+}
+
+TEST(Playlist, ParserToleratesUnknownTagsAndBlankLines) {
+  const std::string text =
+      "#EXTM3U\n"
+      "#EXT-X-VERSION:7\n"
+      "\n"
+      "#EXT-X-SOME-FUTURE-TAG:value\n"
+      "#EXT-X-TARGETDURATION:4\n"
+      "#EXTINF:4.0, title with words\n"
+      "#EXT-X-BYTERANGE:1000@0\n"
+      "seg.mp4\n"
+      "#EXT-X-ENDLIST\n";
+  const Playlist parsed = parse_playlist(text);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].duration, Duration::seconds(4));
+  EXPECT_EQ(parsed.entries[0].size, 1000);
+  EXPECT_TRUE(parsed.endlist);
+}
+
+TEST(Playlist, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_playlist(""), ParseError);
+  EXPECT_THROW((void)parse_playlist("#EXTM3U\n"), ParseError);  // no entries
+  EXPECT_THROW((void)parse_playlist("#EXTINF:4.0,\nseg.mp4\n"),
+               ParseError);  // missing header
+  EXPECT_THROW((void)parse_playlist("#EXTM3U\nseg.mp4\n"),
+               ParseError);  // URI without EXTINF
+  EXPECT_THROW((void)parse_playlist("#EXTM3U\n#EXTINF:abc,\nseg.mp4\n"),
+               ParseError);
+  EXPECT_THROW(
+      (void)parse_playlist(
+          "#EXTM3U\n#EXTINF:4.0,\n#EXT-X-BYTERANGE:nonsense\nseg.mp4\n"),
+      ParseError);
+}
+
+TEST(Playlist, IndexFromPlaylistRebuildsGeometry) {
+  const SegmentIndex original =
+      DurationSplicer{Duration::seconds(4)}.splice(
+          video::make_paper_video(1));
+  const Playlist playlist = playlist_from_index(original, "video.mp4");
+  const SegmentIndex rebuilt =
+      index_from_playlist(parse_playlist(write_playlist(playlist)));
+  ASSERT_EQ(rebuilt.count(), original.count());
+  EXPECT_EQ(rebuilt.total_duration(), original.total_duration());
+  EXPECT_EQ(rebuilt.total_size(), original.total_size());
+  for (std::size_t i = 0; i < rebuilt.count(); ++i) {
+    EXPECT_EQ(rebuilt.at(i).duration, original.at(i).duration);
+    EXPECT_EQ(rebuilt.at(i).size, original.at(i).size);
+    EXPECT_EQ(rebuilt.at(i).start, original.at(i).start);
+  }
+}
+
+TEST(Playlist, IndexFromPlaylistNeedsByteRanges) {
+  Playlist p;
+  p.entries.push_back(PlaylistEntry{Duration::seconds(4), 0, 0, "a"});
+  EXPECT_THROW((void)index_from_playlist(p), InvalidArgument);
+}
+
+// ------------------------------------------------------------- pool policy
+
+TEST(AdaptivePooling, EquationOne) {
+  const AdaptivePooling policy;
+  const Rate b = Rate::kilobytes_per_second(256);
+  // floor(B*T/W): 256k*8/512k = 4.
+  EXPECT_EQ(policy.pool_size(b, Duration::seconds(8), 512'000), 4);
+  // floor(256k*7/512k) = floor(3.5) = 3.
+  EXPECT_EQ(policy.pool_size(b, Duration::seconds(7), 512'000), 3);
+}
+
+TEST(AdaptivePooling, StartupAndStallDownloadOne) {
+  const AdaptivePooling policy;
+  const Rate b = Rate::kilobytes_per_second(1024);
+  // "At the beginning of streaming or if the peer is already stalled ...
+  // T = 0 ... a peer will always download only one segment."
+  EXPECT_EQ(policy.pool_size(b, Duration::zero(), 512'000), 1);
+  // "if T is very small, B*T/W will be less than one" -> still 1.
+  EXPECT_EQ(policy.pool_size(b, Duration::millis(100), 512'000), 1);
+}
+
+TEST(AdaptivePooling, NoStallGuarantee) {
+  // Property: with aggregate bandwidth B shared by the k in-flight
+  // segments, all k complete within T: k*W <= B*T.
+  const AdaptivePooling policy;
+  for (double kBps : {64.0, 128.0, 256.0, 777.0}) {
+    for (double t : {0.5, 2.0, 4.0, 9.0, 30.0}) {
+      for (Bytes w : {100'000, 512'000, 1'500'000}) {
+        const Rate b = Rate::kilobytes_per_second(kBps);
+        const int k = policy.pool_size(b, Duration::seconds(t), w);
+        ASSERT_GE(k, 1);
+        if (k > 1) {
+          EXPECT_LE(static_cast<double>(k) * static_cast<double>(w),
+                    b.bytes_per_second() * t + 1.0)
+              << "B=" << kBps << " T=" << t << " W=" << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(AdaptivePooling, MaxPoolCeiling) {
+  const AdaptivePooling capped{4};
+  const Rate b = Rate::kilobytes_per_second(10'000);
+  EXPECT_EQ(capped.pool_size(b, Duration::seconds(60), 100'000), 4);
+  const AdaptivePooling uncapped{0};
+  EXPECT_GT(uncapped.pool_size(b, Duration::seconds(60), 100'000), 4);
+  EXPECT_THROW(AdaptivePooling{-1}, InvalidArgument);
+}
+
+TEST(AdaptivePooling, RejectsBadInputs) {
+  const AdaptivePooling policy;
+  EXPECT_THROW((void)policy.pool_size(Rate::kilobytes_per_second(1),
+                                      Duration::seconds(1), 0),
+               InvalidArgument);
+  EXPECT_THROW((void)policy.pool_size(Rate::kilobytes_per_second(1),
+                                      Duration::seconds(-1), 100),
+               InvalidArgument);
+}
+
+TEST(FixedPooling, AlwaysFixed) {
+  const FixedPooling policy{4};
+  EXPECT_EQ(policy.pool_size(Rate::zero(), Duration::zero(), 1), 4);
+  EXPECT_EQ(policy.pool_size(Rate::kilobytes_per_second(9999),
+                             Duration::seconds(100), 1),
+            4);
+  EXPECT_EQ(policy.name(), "fixed:4");
+  EXPECT_THROW(FixedPooling{0}, InvalidArgument);
+}
+
+TEST(MakePoolPolicy, ParsesSpecs) {
+  EXPECT_EQ(make_pool_policy("adaptive")->name(), "adaptive");
+  EXPECT_EQ(make_pool_policy("fixed:8")->name(), "fixed:8");
+  EXPECT_THROW((void)make_pool_policy("fixed:0"), InvalidArgument);
+  EXPECT_THROW((void)make_pool_policy("nope"), InvalidArgument);
+}
+
+// ---------------------------------------------------------- segment sizing
+
+TEST(SegmentSizing, SectionFourBound) {
+  // W_max = B*T.
+  EXPECT_EQ(max_stall_free_segment_size(Rate::kilobytes_per_second(256),
+                                        Duration::seconds(4)),
+            1'024'000);
+  EXPECT_EQ(max_stall_free_segment_size(Rate::zero(), Duration::seconds(4)),
+            0);
+  EXPECT_EQ(max_stall_free_segment_size(Rate::kilobytes_per_second(256),
+                                        Duration::zero()),
+            0);
+}
+
+TEST(SegmentSizing, DurationForm) {
+  const Duration d = max_stall_free_segment_duration(
+      Rate::kilobytes_per_second(256), Duration::seconds(4),
+      Rate::kilobytes_per_second(128));
+  EXPECT_NEAR(d.as_seconds(), 8.0, 1e-6);
+  EXPECT_THROW((void)max_stall_free_segment_duration(
+                   Rate::kilobytes_per_second(256), Duration::seconds(4),
+                   Rate::zero()),
+               InvalidArgument);
+}
+
+TEST(SegmentSizing, RecommendationRespectsCapAndFloor) {
+  const Rate b = Rate::kilobytes_per_second(256);
+  // Uncapped: the Section IV bound.
+  EXPECT_EQ(recommend_segment_size(b, Duration::seconds(4), 0, 0),
+            1'024'000);
+  // Upload cap binds.
+  EXPECT_EQ(recommend_segment_size(b, Duration::seconds(4), 600'000, 0),
+            600'000);
+  // Floor binds when buffered time is tiny.
+  EXPECT_EQ(recommend_segment_size(b, Duration::millis(10), 0, 65536),
+            65536);
+}
+
+// ----------------------------------------------------- bandwidth estimator
+
+TEST(BandwidthEstimator, FirstSampleReplacesInitial) {
+  BandwidthEstimator est{Rate::kilobytes_per_second(100)};
+  EXPECT_EQ(est.estimate(), Rate::kilobytes_per_second(100));
+  est.record(200'000, Duration::seconds(1));
+  EXPECT_NEAR(est.estimate().kilobytes_per_second(), 200.0, 1e-9);
+  EXPECT_EQ(est.sample_count(), 1u);
+}
+
+TEST(BandwidthEstimator, EwmaConvergesToSteadyRate) {
+  BandwidthEstimator est{Rate::kilobytes_per_second(50), 0.3};
+  for (int i = 0; i < 40; ++i) est.record(128'000, Duration::seconds(1));
+  EXPECT_NEAR(est.estimate().kilobytes_per_second(), 128.0, 0.5);
+}
+
+TEST(BandwidthEstimator, IgnoresSubMillisecondNoise) {
+  BandwidthEstimator est{Rate::kilobytes_per_second(100)};
+  est.record(1'000'000, Duration::micros(10));
+  EXPECT_EQ(est.sample_count(), 0u);
+  EXPECT_EQ(est.estimate(), Rate::kilobytes_per_second(100));
+}
+
+TEST(BandwidthEstimator, RejectsBadArgs) {
+  EXPECT_THROW((BandwidthEstimator{Rate::kilobytes_per_second(1), 0.0}),
+               InvalidArgument);
+  EXPECT_THROW((BandwidthEstimator{Rate::kilobytes_per_second(1), 1.5}),
+               InvalidArgument);
+  BandwidthEstimator est{Rate::kilobytes_per_second(1)};
+  EXPECT_THROW(est.record(-1, Duration::seconds(1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vsplice::core

@@ -1,0 +1,119 @@
+// Byte-accurate segment extraction from the seeder's MP4.
+#include "core/extraction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/splicer.h"
+#include "video/encoder.h"
+#include "video/mp4.h"
+
+namespace vsplice::core {
+namespace {
+
+struct ExtractionFixture {
+  ExtractionFixture() : stream{video::make_paper_video(1)} {
+    video::Mp4WriteOptions options;
+    options.payload_seed = 42;
+    mp4 = video::write_mp4(stream, options);
+  }
+  video::VideoStream stream;
+  std::vector<std::uint8_t> mp4;
+};
+
+TEST(Extraction, MediaRangesTileThePayload) {
+  ExtractionFixture f;
+  const SegmentIndex index = GopSplicer{}.splice(f.stream);
+  Bytes cursor = 0;
+  for (std::size_t s = 0; s < index.count(); ++s) {
+    const MediaRange range = media_range_of(f.stream, index, s);
+    EXPECT_EQ(range.offset, cursor);
+    EXPECT_EQ(range.length, index.at(s).media_size);
+    cursor += range.length;
+  }
+  EXPECT_EQ(cursor, f.stream.byte_size());
+}
+
+TEST(Extraction, GopSegmentsAreVerbatimFileBytes) {
+  ExtractionFixture f;
+  const SegmentIndex index = GopSplicer{}.splice(f.stream);
+  for (std::size_t s = 0; s < std::min<std::size_t>(index.count(), 10);
+       ++s) {
+    const SegmentPayload payload =
+        extract_segment(f.mp4, f.stream, index, s);
+    EXPECT_EQ(payload.synthetic_prefix, 0);
+    EXPECT_EQ(static_cast<Bytes>(payload.bytes.size()),
+              index.at(s).size);
+  }
+}
+
+TEST(Extraction, DurationSegmentsCarrySyntheticKeyframe) {
+  ExtractionFixture f;
+  const SegmentIndex index =
+      DurationSplicer{Duration::seconds(4)}.splice(f.stream);
+  std::size_t with_prefix = 0;
+  for (std::size_t s = 0; s < index.count(); ++s) {
+    const SegmentPayload payload =
+        extract_segment(f.mp4, f.stream, index, s);
+    EXPECT_EQ(static_cast<Bytes>(payload.bytes.size()), index.at(s).size);
+    if (payload.synthetic_prefix > 0) {
+      ++with_prefix;
+      // Prefix = inserted I-frame = overhead + the replaced frame.
+      EXPECT_GT(payload.synthetic_prefix, index.at(s).overhead);
+    } else {
+      EXPECT_EQ(index.at(s).overhead, 0);
+    }
+  }
+  // Most 4 s cuts land mid-GOP on this content.
+  EXPECT_GT(with_prefix, index.count() / 2);
+}
+
+TEST(Extraction, SyntheticPrefixIsDeterministic) {
+  ExtractionFixture f;
+  const SegmentIndex index =
+      DurationSplicer{Duration::seconds(4)}.splice(f.stream);
+  const SegmentPayload a = extract_segment(f.mp4, f.stream, index, 1);
+  const SegmentPayload b = extract_segment(f.mp4, f.stream, index, 1);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(Extraction, BlockSegmentsAreRawRanges) {
+  ExtractionFixture f;
+  const SegmentIndex index = BlockSplicer{500'000}.splice(f.stream);
+  for (std::size_t s = 0; s < index.count(); ++s) {
+    const SegmentPayload payload =
+        extract_segment(f.mp4, f.stream, index, s);
+    EXPECT_EQ(payload.synthetic_prefix, 0);
+    EXPECT_EQ(static_cast<Bytes>(payload.bytes.size()), index.at(s).size);
+  }
+}
+
+TEST(Extraction, RejectsMismatchedInputs) {
+  ExtractionFixture f;
+  const SegmentIndex index = GopSplicer{}.splice(f.stream);
+  // A different stream does not match this index/file.
+  const video::VideoStream other = video::make_paper_video(2);
+  EXPECT_THROW((void)extract_segment(f.mp4, other, index, 0), Error);
+  // A file without mdat.
+  const std::vector<std::uint8_t> no_mdat(f.mp4.begin(),
+                                          f.mp4.begin() + 24);
+  EXPECT_THROW((void)extract_segment(no_mdat, f.stream, index, 0),
+               InvalidArgument);
+}
+
+class ExtractionReassembly : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(ExtractionReassembly, SegmentsRebuildTheOriginalPayload) {
+  ExtractionFixture f;
+  const SegmentIndex index =
+      make_splicer(GetParam())->splice(f.stream);
+  EXPECT_TRUE(reassembles_exactly(f.mp4, f.stream, index));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSplicers, ExtractionReassembly,
+                         ::testing::Values("gop", "2s", "4s", "8s",
+                                           "block:500000", "adaptive"));
+
+}  // namespace
+}  // namespace vsplice::core

@@ -1,0 +1,228 @@
+#include "net/fair_share.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vsplice::net {
+namespace {
+
+FlowSpec flow(std::initializer_list<std::uint32_t> links,
+              Rate cap = Rate::infinity()) {
+  FlowSpec spec;
+  for (std::uint32_t l : links) spec.path.push_back(LinkId{l});
+  spec.cap = cap;
+  return spec;
+}
+
+std::vector<Rate> caps(std::initializer_list<double> values) {
+  std::vector<Rate> out;
+  for (double v : values) out.push_back(Rate::bytes_per_second(v));
+  return out;
+}
+
+TEST(MaxMin, SingleFlowGetsLinkCapacity) {
+  const auto rates = max_min_allocation({flow({0})}, caps({100}));
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].bytes_per_second(), 100.0);
+}
+
+TEST(MaxMin, EqualSharingOnOneLink) {
+  const auto rates =
+      max_min_allocation({flow({0}), flow({0}), flow({0}), flow({0})},
+                         caps({100}));
+  for (const Rate& r : rates) EXPECT_DOUBLE_EQ(r.bytes_per_second(), 25.0);
+}
+
+TEST(MaxMin, TextbookTwoLinkExample) {
+  // Link 0: 10, link 1: 4. Flow A crosses both, flow B only link 1,
+  // flow C only link 0. Bottleneck link 1 gives A and B 2 each; C then
+  // takes the rest of link 0: 8.
+  const auto rates = max_min_allocation(
+      {flow({0, 1}), flow({1}), flow({0})}, caps({10, 4}));
+  EXPECT_DOUBLE_EQ(rates[0].bytes_per_second(), 2.0);
+  EXPECT_DOUBLE_EQ(rates[1].bytes_per_second(), 2.0);
+  EXPECT_DOUBLE_EQ(rates[2].bytes_per_second(), 8.0);
+}
+
+TEST(MaxMin, FlowCapFreesBandwidthForOthers) {
+  const auto rates = max_min_allocation(
+      {flow({0}, Rate::bytes_per_second(10)), flow({0})}, caps({100}));
+  EXPECT_DOUBLE_EQ(rates[0].bytes_per_second(), 10.0);
+  EXPECT_DOUBLE_EQ(rates[1].bytes_per_second(), 90.0);
+}
+
+TEST(MaxMin, AllFlowsCapped) {
+  const auto rates = max_min_allocation(
+      {flow({0}, Rate::bytes_per_second(5)),
+       flow({0}, Rate::bytes_per_second(7))},
+      caps({100}));
+  EXPECT_DOUBLE_EQ(rates[0].bytes_per_second(), 5.0);
+  EXPECT_DOUBLE_EQ(rates[1].bytes_per_second(), 7.0);
+}
+
+TEST(MaxMin, EmptyPathLimitedOnlyByCap) {
+  const auto rates = max_min_allocation(
+      {flow({}, Rate::bytes_per_second(42)), flow({})}, caps({10}));
+  EXPECT_DOUBLE_EQ(rates[0].bytes_per_second(), 42.0);
+  EXPECT_TRUE(rates[1].is_infinite());
+}
+
+TEST(MaxMin, ZeroCapacityLinkGivesZero) {
+  const auto rates =
+      max_min_allocation({flow({0}), flow({1})}, caps({0, 50}));
+  EXPECT_DOUBLE_EQ(rates[0].bytes_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(rates[1].bytes_per_second(), 50.0);
+}
+
+TEST(MaxMin, InfiniteLinkUnconstrained) {
+  std::vector<Rate> capacity{Rate::infinity()};
+  const auto rates = max_min_allocation({flow({0}), flow({0})}, capacity);
+  EXPECT_TRUE(rates[0].is_infinite());
+  EXPECT_TRUE(rates[1].is_infinite());
+}
+
+TEST(MaxMin, NoFlows) {
+  EXPECT_TRUE(max_min_allocation({}, caps({10})).empty());
+}
+
+TEST(MaxMin, RejectsUnknownLink) {
+  EXPECT_THROW((void)max_min_allocation({flow({5})}, caps({10})),
+               InvalidArgument);
+}
+
+TEST(MaxMin, StarTopologyUplinkSharing) {
+  // 3 receivers pull from the same sender: sender uplink (link 0) is the
+  // bottleneck; receiver downlinks (1,2,3) are fat.
+  const auto rates = max_min_allocation(
+      {flow({0, 1}), flow({0, 2}), flow({0, 3})}, caps({90, 500, 500, 500}));
+  for (const Rate& r : rates) EXPECT_DOUBLE_EQ(r.bytes_per_second(), 30.0);
+}
+
+// ------------------------------------------------------------ properties
+
+struct RandomCase {
+  std::vector<FlowSpec> flows;
+  std::vector<Rate> capacity;
+};
+
+RandomCase make_random_case(std::uint64_t seed) {
+  Rng rng{seed};
+  RandomCase c;
+  const std::size_t links = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  for (std::size_t l = 0; l < links; ++l) {
+    c.capacity.push_back(Rate::bytes_per_second(rng.uniform(10.0, 1000.0)));
+  }
+  const std::size_t flows = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  for (std::size_t f = 0; f < flows; ++f) {
+    FlowSpec spec;
+    const std::size_t path_len =
+        static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(links)));
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t l = 0; l < links; ++l) ids.push_back(l);
+    rng.shuffle(ids);
+    for (std::size_t k = 0; k < path_len; ++k)
+      spec.path.push_back(LinkId{ids[k]});
+    if (rng.bernoulli(0.4)) {
+      spec.cap = Rate::bytes_per_second(rng.uniform(5.0, 500.0));
+    }
+    c.flows.push_back(std::move(spec));
+  }
+  return c;
+}
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, FeasibleAndSaturated) {
+  const RandomCase c = make_random_case(GetParam());
+  const auto rates = max_min_allocation(c.flows, c.capacity);
+  ASSERT_EQ(rates.size(), c.flows.size());
+
+  // Feasibility: no link oversubscribed, no cap exceeded.
+  std::vector<double> load(c.capacity.size(), 0.0);
+  for (std::size_t f = 0; f < c.flows.size(); ++f) {
+    EXPECT_GE(rates[f].bytes_per_second(), 0.0);
+    if (!c.flows[f].cap.is_infinite()) {
+      EXPECT_LE(rates[f].bytes_per_second(),
+                c.flows[f].cap.bytes_per_second() * (1 + 1e-9));
+    }
+    for (LinkId l : c.flows[f].path) {
+      load[l.value] += rates[f].bytes_per_second();
+    }
+  }
+  for (std::size_t l = 0; l < c.capacity.size(); ++l) {
+    EXPECT_LE(load[l], c.capacity[l].bytes_per_second() * (1 + 1e-6))
+        << "link " << l << " oversubscribed";
+  }
+
+  // Pareto efficiency: every flow is limited by its cap or by at least
+  // one saturated link on its path (can't be raised for free).
+  for (std::size_t f = 0; f < c.flows.size(); ++f) {
+    if (!c.flows[f].cap.is_infinite() &&
+        rates[f].bytes_per_second() >=
+            c.flows[f].cap.bytes_per_second() * (1 - 1e-9)) {
+      continue;  // cap-limited
+    }
+    bool saturated = false;
+    for (LinkId l : c.flows[f].path) {
+      if (load[l.value] >=
+          c.capacity[l.value].bytes_per_second() * (1 - 1e-6)) {
+        saturated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(saturated) << "flow " << f << " could be increased";
+  }
+}
+
+TEST_P(MaxMinProperty, MaxMinFairness) {
+  // Characterization of max-min fairness: every flow that is not limited
+  // by its own cap has a *bottleneck link* on its path — a saturated link
+  // on which it achieves the maximum rate among all flows crossing it.
+  // (If no such link existed, the flow's rate could be raised by taking
+  // bandwidth only from strictly larger flows.)
+  const RandomCase c = make_random_case(GetParam() + 1000);
+  const auto rates = max_min_allocation(c.flows, c.capacity);
+  std::vector<double> load(c.capacity.size(), 0.0);
+  for (std::size_t f = 0; f < c.flows.size(); ++f) {
+    for (LinkId l : c.flows[f].path) {
+      load[l.value] += rates[f].bytes_per_second();
+    }
+  }
+  for (std::size_t f = 0; f < c.flows.size(); ++f) {
+    const double rf = rates[f].bytes_per_second();
+    const bool cap_limited =
+        !c.flows[f].cap.is_infinite() &&
+        rf >= c.flows[f].cap.bytes_per_second() * (1 - 1e-9);
+    if (cap_limited) continue;
+    bool has_bottleneck = false;
+    for (LinkId l : c.flows[f].path) {
+      if (load[l.value] <
+          c.capacity[l.value].bytes_per_second() * (1 - 1e-6)) {
+        continue;  // not saturated
+      }
+      double max_on_link = 0.0;
+      for (std::size_t g = 0; g < c.flows.size(); ++g) {
+        const bool shares_link = std::any_of(
+            c.flows[g].path.begin(), c.flows[g].path.end(),
+            [&](LinkId gl) { return gl == l; });
+        if (shares_link) {
+          max_on_link = std::max(max_on_link, rates[g].bytes_per_second());
+        }
+      }
+      if (rf >= max_on_link * (1 - 1e-6)) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck)
+        << "flow " << f << " (rate " << rf << ") has no bottleneck link";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, MaxMinProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace vsplice::net

@@ -1,0 +1,155 @@
+#include "video/mp4.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "video/encoder.h"
+
+namespace vsplice::video {
+namespace {
+
+VideoStream small_stream(std::uint64_t seed = 1) {
+  EncoderParams params;
+  params.target_bitrate = Rate::megabits_per_second(1.0);
+  const SyntheticEncoder encoder{params};
+  return encoder.encode(
+      {{Motion::Moderate, Duration::seconds(4)},
+       {Motion::Static, Duration::seconds(6)},
+       {Motion::High, Duration::seconds(2)}},
+      seed);
+}
+
+TEST(Mp4, TopLevelBoxLayout) {
+  const VideoStream stream = small_stream();
+  const auto bytes = write_mp4(stream);
+  const auto boxes = probe_boxes(bytes);
+  ASSERT_EQ(boxes.size(), 3u);
+  EXPECT_EQ(boxes[0].type, "ftyp");
+  EXPECT_EQ(boxes[1].type, "moov");
+  EXPECT_EQ(boxes[2].type, "mdat");
+  // Boxes tile the file exactly.
+  EXPECT_EQ(boxes[0].offset, 0u);
+  EXPECT_EQ(boxes[1].offset, boxes[0].size);
+  EXPECT_EQ(boxes[2].offset + boxes[2].size, bytes.size());
+  // mdat carries header + all media bytes.
+  EXPECT_EQ(boxes[2].size,
+            8u + static_cast<std::uint64_t>(stream.byte_size()));
+}
+
+TEST(Mp4, RoundTripReproducesStreamExactly) {
+  const VideoStream stream = small_stream(7);
+  const auto bytes = write_mp4(stream);
+  const VideoStream parsed = read_mp4(bytes);
+  EXPECT_EQ(parsed, stream);  // frame types, sizes, durations, fps
+}
+
+TEST(Mp4, RoundTripWithoutFrameTypeBox) {
+  const VideoStream stream = small_stream(9);
+  Mp4WriteOptions options;
+  options.write_frame_types = false;
+  const VideoStream parsed = read_mp4(write_mp4(stream, options));
+  // Structure survives: GOP boundaries, sizes, durations.
+  ASSERT_EQ(parsed.gop_count(), stream.gop_count());
+  EXPECT_EQ(parsed.byte_size(), stream.byte_size());
+  EXPECT_EQ(parsed.duration(), stream.duration());
+  EXPECT_EQ(parsed.frame_count(), stream.frame_count());
+  // But B-frames degrade to P (stss only distinguishes keyframes).
+  for (const auto& tf : parsed.timeline()) {
+    EXPECT_NE(tf.frame.type, FrameType::B);
+  }
+}
+
+TEST(Mp4, PayloadIsDeterministicInSeed) {
+  const VideoStream stream = small_stream(3);
+  Mp4WriteOptions options;
+  options.payload_seed = 99;
+  const auto a = write_mp4(stream, options);
+  const auto b = write_mp4(stream, options);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(mdat_checksum(a), mdat_checksum(b));
+  options.payload_seed = 100;
+  const auto c = write_mp4(stream, options);
+  EXPECT_NE(mdat_checksum(a), mdat_checksum(c));
+}
+
+TEST(Mp4, ZeroPayloadOptionStillParses) {
+  const VideoStream stream = small_stream(4);
+  Mp4WriteOptions options;
+  options.include_payload = false;
+  const auto bytes = write_mp4(stream, options);
+  EXPECT_EQ(read_mp4(bytes), stream);
+}
+
+TEST(Mp4, LargerTimescaleRoundTrips) {
+  const VideoStream stream = small_stream(5);
+  Mp4WriteOptions options;
+  options.timescale = 600;  // classic QuickTime movie timescale
+  const VideoStream parsed = read_mp4(write_mp4(stream, options));
+  // 25 fps = 24 ticks at 600: exact; durations survive.
+  EXPECT_EQ(parsed.duration(), stream.duration());
+}
+
+TEST(Mp4, RejectsTruncatedFile) {
+  const auto bytes = write_mp4(small_stream(6));
+  const std::vector<std::uint8_t> cut{bytes.begin(),
+                                      bytes.begin() + 100};
+  EXPECT_THROW((void)read_mp4(cut), ParseError);
+}
+
+TEST(Mp4, RejectsGarbage) {
+  const std::vector<std::uint8_t> garbage(64, 0xAB);
+  EXPECT_THROW((void)read_mp4(garbage), ParseError);
+  const std::vector<std::uint8_t> empty;
+  EXPECT_THROW((void)read_mp4(empty), ParseError);
+}
+
+TEST(Mp4, RejectsMissingMoov) {
+  // A file with only ftyp + mdat-like content.
+  const auto bytes = write_mp4(small_stream(8));
+  const auto boxes = probe_boxes(bytes);
+  std::vector<std::uint8_t> no_moov;
+  // Keep ftyp, skip moov, keep mdat.
+  no_moov.insert(no_moov.end(), bytes.begin(),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(boxes[0].size));
+  no_moov.insert(no_moov.end(),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(boxes[2].offset),
+                 bytes.end());
+  EXPECT_THROW((void)read_mp4(no_moov), ParseError);
+}
+
+TEST(Mp4, ChecksumRequiresMdat) {
+  std::vector<std::uint8_t> only_ftyp;
+  const auto bytes = write_mp4(small_stream(2));
+  const auto boxes = probe_boxes(bytes);
+  only_ftyp.insert(only_ftyp.end(), bytes.begin(),
+                   bytes.begin() +
+                       static_cast<std::ptrdiff_t>(boxes[0].size));
+  EXPECT_THROW((void)mdat_checksum(only_ftyp), ParseError);
+}
+
+TEST(Mp4, PaperVideoRoundTrips) {
+  const VideoStream stream = make_paper_video(2015);
+  Mp4WriteOptions options;
+  options.include_payload = false;  // keep the test fast
+  const VideoStream parsed = read_mp4(write_mp4(stream, options));
+  EXPECT_EQ(parsed, stream);
+}
+
+class Mp4SeedRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Mp4SeedRoundTrip, AnyEncodeRoundTrips) {
+  EncoderParams params;
+  const SyntheticEncoder encoder{params};
+  Rng rng{GetParam()};
+  const VideoStream stream = encoder.encode(
+      random_scene_script(Duration::seconds(20), rng), GetParam());
+  Mp4WriteOptions options;
+  options.include_payload = false;
+  EXPECT_EQ(read_mp4(write_mp4(stream, options)), stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Mp4SeedRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace vsplice::video

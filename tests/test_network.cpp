@@ -1,0 +1,265 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/bandwidth_schedule.h"
+
+namespace vsplice::net {
+namespace {
+
+NodeSpec make_node(double kBps, Duration delay = Duration::millis(25),
+                   double loss = 0.0) {
+  NodeSpec spec;
+  spec.uplink = Rate::kilobytes_per_second(kBps);
+  spec.downlink = Rate::kilobytes_per_second(kBps);
+  spec.one_way_delay = delay;
+  spec.loss = loss;
+  return spec;
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  Network net{sim};
+};
+
+TEST(Network, NodeBookkeeping) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(128, Duration::millis(25), 0.02));
+  const NodeId b = f.net.add_node(make_node(256, Duration::millis(475)));
+  EXPECT_EQ(f.net.node_count(), 2u);
+  EXPECT_EQ(f.net.one_way_delay(a, b), Duration::millis(500));
+  EXPECT_EQ(f.net.rtt(a, b), Duration::seconds(1));
+  EXPECT_NEAR(f.net.path_loss(a, b), 0.02, 1e-12);
+  EXPECT_THROW((void)f.net.node(NodeId{9}), InvalidArgument);
+}
+
+TEST(Network, PathLossCombines) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(128, Duration::millis(1), 0.1));
+  const NodeId b = f.net.add_node(make_node(128, Duration::millis(1), 0.2));
+  EXPECT_NEAR(f.net.path_loss(a, b), 1.0 - 0.9 * 0.8, 1e-12);
+}
+
+TEST(Network, SingleFlowCompletesAtLinkRate) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  bool done = false;
+  f.net.start_flow(a, b, 200'000, Rate::infinity(),
+                   {[&] { done = true; }, nullptr});
+  f.sim.run();
+  EXPECT_TRUE(done);
+  // 200 kB at 100 kB/s = 2 s.
+  EXPECT_NEAR(f.sim.now().as_seconds(), 2.0, 1e-3);
+  EXPECT_EQ(f.net.stats().flows_completed, 1u);
+  EXPECT_NEAR(f.net.stats().bytes_delivered, 200'000.0, 1.0);
+}
+
+TEST(Network, FlowCapLimitsBelowLinkRate) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  bool done = false;
+  f.net.start_flow(a, b, 100'000, Rate::kilobytes_per_second(50),
+                   {[&] { done = true; }, nullptr});
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(f.sim.now().as_seconds(), 2.0, 1e-3);
+}
+
+TEST(Network, UplinkSharedBetweenTwoFlows) {
+  Fixture f;
+  const NodeId src = f.net.add_node(make_node(100));
+  const NodeId d1 = f.net.add_node(make_node(1000));
+  const NodeId d2 = f.net.add_node(make_node(1000));
+  double t1 = 0;
+  double t2 = 0;
+  f.net.start_flow(src, d1, 100'000, Rate::infinity(),
+                   {[&] { t1 = f.sim.now().as_seconds(); }, nullptr});
+  f.net.start_flow(src, d2, 100'000, Rate::infinity(),
+                   {[&] { t2 = f.sim.now().as_seconds(); }, nullptr});
+  f.sim.run();
+  // Both share the 100 kB/s uplink: each finishes at ~2 s.
+  EXPECT_NEAR(t1, 2.0, 1e-2);
+  EXPECT_NEAR(t2, 2.0, 1e-2);
+}
+
+TEST(Network, ShortFlowFreesBandwidthForLongFlow) {
+  Fixture f;
+  const NodeId src = f.net.add_node(make_node(100));
+  const NodeId d1 = f.net.add_node(make_node(1000));
+  const NodeId d2 = f.net.add_node(make_node(1000));
+  double t_long = 0;
+  f.net.start_flow(src, d1, 300'000, Rate::infinity(),
+                   {[&] { t_long = f.sim.now().as_seconds(); }, nullptr});
+  f.net.start_flow(src, d2, 100'000, Rate::infinity(),
+                   {[] {}, nullptr});
+  f.sim.run();
+  // Short flow: 100 kB at 50 kB/s -> done at 2 s. Long flow: 100 kB in
+  // the first 2 s, then 200 kB at full 100 kB/s -> 4 s total.
+  EXPECT_NEAR(t_long, 4.0, 1e-2);
+}
+
+TEST(Network, HubCapacityConstrainsAggregate) {
+  Fixture f;
+  f.net.set_hub_capacity(Rate::kilobytes_per_second(60));
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  const NodeId c = f.net.add_node(make_node(100));
+  const NodeId d = f.net.add_node(make_node(100));
+  double t1 = 0;
+  double t2 = 0;
+  f.net.start_flow(a, b, 60'000, Rate::infinity(),
+                   {[&] { t1 = f.sim.now().as_seconds(); }, nullptr});
+  f.net.start_flow(c, d, 60'000, Rate::infinity(),
+                   {[&] { t2 = f.sim.now().as_seconds(); }, nullptr});
+  f.sim.run();
+  // Disjoint endpoints, but the shared trunk (60 kB/s) halves each flow.
+  EXPECT_NEAR(t1, 2.0, 1e-2);
+  EXPECT_NEAR(t2, 2.0, 1e-2);
+}
+
+TEST(Network, AbortReportsDeliveredBytes) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  Bytes delivered = -1;
+  bool completed = false;
+  const FlowId id = f.net.start_flow(
+      a, b, 100'000, Rate::infinity(),
+      {[&] { completed = true; }, [&](Bytes got) { delivered = got; }});
+  f.sim.run_until(TimePoint::from_seconds(0.5));
+  EXPECT_TRUE(f.net.abort_flow(id));
+  EXPECT_FALSE(completed);
+  EXPECT_NEAR(static_cast<double>(delivered), 50'000.0, 100.0);
+  EXPECT_FALSE(f.net.abort_flow(id));  // already gone
+  EXPECT_EQ(f.net.stats().flows_aborted, 1u);
+}
+
+TEST(Network, AbortFlowsForNode) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  const NodeId c = f.net.add_node(make_node(100));
+  int aborted = 0;
+  f.net.start_flow(a, b, 1_MiB, Rate::infinity(),
+                   {[] {}, [&](Bytes) { ++aborted; }});
+  f.net.start_flow(b, a, 1_MiB, Rate::infinity(),
+                   {[] {}, [&](Bytes) { ++aborted; }});
+  f.net.start_flow(a, c, 1_MiB, Rate::infinity(),
+                   {[] {}, [&](Bytes) { ++aborted; }});
+  f.sim.run_until(TimePoint::from_seconds(0.1));
+  f.net.abort_flows_for(b);
+  EXPECT_EQ(aborted, 2);
+  EXPECT_EQ(f.net.active_flow_count(), 1u);
+}
+
+TEST(Network, MidFlowBandwidthChange) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  double done_at = 0;
+  f.net.start_flow(a, b, 200'000, Rate::infinity(),
+                   {[&] { done_at = f.sim.now().as_seconds(); }, nullptr});
+  f.sim.at(TimePoint::from_seconds(1), [&] {
+    // Halve the source uplink after 100 kB have moved.
+    f.net.set_node_bandwidth(a, Rate::kilobytes_per_second(50),
+                             Rate::kilobytes_per_second(50));
+  });
+  f.sim.run();
+  // 100 kB at 100 kB/s, then 100 kB at 50 kB/s: 1 + 2 = 3 s.
+  EXPECT_NEAR(done_at, 3.0, 1e-2);
+}
+
+TEST(Network, SetFlowCapMidFlight) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  double done_at = 0;
+  const FlowId id = f.net.start_flow(
+      a, b, 200'000, Rate::kilobytes_per_second(50),
+      {[&] { done_at = f.sim.now().as_seconds(); }, nullptr});
+  f.sim.at(TimePoint::from_seconds(2), [&] {
+    f.net.set_flow_cap(id, Rate::infinity());
+  });
+  f.sim.run();
+  // 100 kB at 50 kB/s, then 100 kB at 100 kB/s: 2 + 1 = 3 s.
+  EXPECT_NEAR(done_at, 3.0, 1e-2);
+}
+
+TEST(Network, ZeroByteFlowCompletesImmediately) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  bool done = false;
+  f.net.start_flow(a, b, 0, Rate::infinity(), {[&] { done = true; }, nullptr});
+  EXPECT_FALSE(done);  // never synchronous
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.sim.now(), TimePoint::origin());
+}
+
+TEST(Network, PerNodeTransferAccounting) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  f.net.start_flow(a, b, 50'000, Rate::infinity(), {[] {}, nullptr});
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(f.net.uploaded_by(a)), 50'000, 1);
+  EXPECT_NEAR(static_cast<double>(f.net.downloaded_by(b)), 50'000, 1);
+  EXPECT_EQ(f.net.uploaded_by(b), 0);
+  EXPECT_EQ(f.net.downloaded_by(a), 0);
+}
+
+TEST(Network, RejectsBadFlows) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  EXPECT_THROW(
+      (void)f.net.start_flow(a, a, 10, Rate::infinity(), {[] {}, nullptr}),
+      InvalidArgument);
+  const NodeId b = f.net.add_node(make_node(100));
+  EXPECT_THROW(
+      (void)f.net.start_flow(a, b, -1, Rate::infinity(), {[] {}, nullptr}),
+      InvalidArgument);
+  EXPECT_THROW(
+      (void)f.net.start_flow(a, b, 10, Rate::infinity(), {nullptr, nullptr}),
+      InvalidArgument);
+}
+
+TEST(BandwidthSchedule, StepsApplyInOrder) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(1000));
+  BandwidthSchedule schedule;
+  schedule.add_step(Duration::seconds(1), Rate::kilobytes_per_second(50),
+                    Rate::kilobytes_per_second(50));
+  schedule.add_step(Duration::seconds(2), Rate::kilobytes_per_second(200),
+                    Rate::kilobytes_per_second(200));
+  EXPECT_THROW(schedule.add_step(Duration::seconds(2), Rate::zero(),
+                                 Rate::zero()),
+               InvalidArgument);
+  schedule.install(f.net, a);
+
+  double done_at = 0;
+  f.net.start_flow(a, b, 350'000, Rate::infinity(),
+                   {[&] { done_at = f.sim.now().as_seconds(); }, nullptr});
+  f.sim.run();
+  // 1 s @100 = 100 kB, 1 s @50 = 50 kB, then 200 kB @200 = 1 s: total 3 s.
+  EXPECT_NEAR(done_at, 3.0, 1e-2);
+}
+
+TEST(BandwidthSchedule, RatesAtQuery) {
+  BandwidthSchedule schedule;
+  const Rate initial = Rate::kilobytes_per_second(100);
+  schedule.add_step(Duration::seconds(5), Rate::kilobytes_per_second(10),
+                    Rate::kilobytes_per_second(20));
+  auto [up0, down0] = schedule.rates_at(Duration::seconds(1), initial, initial);
+  EXPECT_EQ(up0, initial);
+  auto [up1, down1] = schedule.rates_at(Duration::seconds(5), initial, initial);
+  EXPECT_EQ(up1, Rate::kilobytes_per_second(10));
+  EXPECT_EQ(down1, Rate::kilobytes_per_second(20));
+}
+
+}  // namespace
+}  // namespace vsplice::net

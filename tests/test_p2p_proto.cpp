@@ -1,0 +1,193 @@
+// Tests for the protocol building blocks: bitfields, wire codec, tracker.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "p2p/bitfield.h"
+#include "p2p/tracker.h"
+#include "p2p/wire.h"
+
+namespace vsplice::p2p {
+namespace {
+
+// ----------------------------------------------------------------- bitfield
+
+TEST(Bitfield, SetGetCount) {
+  Bitfield field{10};
+  EXPECT_EQ(field.size(), 10u);
+  EXPECT_TRUE(field.empty());
+  field.set(3);
+  field.set(3);  // idempotent
+  field.set(9);
+  EXPECT_EQ(field.count(), 2u);
+  EXPECT_TRUE(field.get(3));
+  EXPECT_FALSE(field.get(4));
+  EXPECT_FALSE(field.all());
+  field.set_all();
+  EXPECT_TRUE(field.all());
+  EXPECT_EQ(field.count(), 10u);
+}
+
+TEST(Bitfield, NextSetAndClear) {
+  Bitfield field{8};
+  field.set(2);
+  field.set(5);
+  EXPECT_EQ(field.next_set(0), 2u);
+  EXPECT_EQ(field.next_set(3), 5u);
+  EXPECT_EQ(field.next_set(6), 8u);
+  EXPECT_EQ(field.next_clear(0), 0u);
+  EXPECT_EQ(field.next_clear(2), 3u);
+  field.set_all();
+  EXPECT_EQ(field.next_clear(0), 8u);
+}
+
+TEST(Bitfield, PackedBytesBigEndianBitOrder) {
+  Bitfield field{10};
+  field.set(0);
+  field.set(9);
+  const auto bytes = field.to_bytes();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x80);  // bit 0 = MSB of byte 0 (BitTorrent order)
+  EXPECT_EQ(bytes[1], 0x40);  // bit 9 = second MSB of byte 1
+}
+
+TEST(Bitfield, RoundTrip) {
+  Bitfield field{19};
+  for (std::size_t i : {0u, 3u, 7u, 8u, 18u}) field.set(i);
+  EXPECT_EQ(Bitfield::from_bytes(19, field.to_bytes()), field);
+}
+
+TEST(Bitfield, FromBytesValidation) {
+  EXPECT_THROW((void)Bitfield::from_bytes(10, {0xFF}), ParseError);
+  // Stray bits past size.
+  EXPECT_THROW((void)Bitfield::from_bytes(4, {0x0F}), ParseError);
+  EXPECT_THROW((void)Bitfield::from_bytes(10, {0, 0, 0}), ParseError);
+  Bitfield empty = Bitfield::from_bytes(0, {});
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(Bitfield, OutOfRange) {
+  Bitfield field{3};
+  EXPECT_THROW((void)field.get(3), InvalidArgument);
+  EXPECT_THROW(field.set(3), InvalidArgument);
+}
+
+// --------------------------------------------------------------- wire codec
+
+TEST(Wire, HandshakeRoundTrip) {
+  const HandshakeMsg msg{1, 42, 30};
+  const Message decoded = decode(encode(msg));
+  EXPECT_EQ(std::get<HandshakeMsg>(decoded), msg);
+}
+
+TEST(Wire, AllMessageTypesRoundTrip) {
+  Bitfield have{12};
+  have.set(1);
+  have.set(11);
+  const std::vector<Message> messages{
+      HandshakeMsg{1, 7, 12},
+      BitfieldMsg{have},
+      HaveMsg{5},
+      InterestedMsg{},
+      NotInterestedMsg{},
+      ChokeMsg{},
+      UnchokeMsg{},
+      RequestMsg{3, 1'500'000, 550'000},
+      PieceMsg{3, 550'000},
+      CancelMsg{3},
+      GoodbyeMsg{},
+  };
+  for (const Message& msg : messages) {
+    const Message decoded = decode(encode(msg));
+    EXPECT_EQ(decoded, msg) << to_string(type_of(msg));
+  }
+}
+
+TEST(Wire, FramingCarriesLength) {
+  const auto bytes = encode(HaveMsg{9});
+  // u32 length + u8 type + u32 segment.
+  ASSERT_EQ(bytes.size(), 9u);
+  EXPECT_EQ(bytes[3], 5);  // length = type byte + 4 payload bytes
+  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(MessageType::Have));
+}
+
+TEST(Wire, RejectsBadMagic) {
+  auto bytes = encode(HandshakeMsg{1, 7, 12});
+  bytes[5] ^= 0xFF;  // corrupt the magic
+  EXPECT_THROW((void)decode(bytes), ParseError);
+}
+
+TEST(Wire, RejectsTruncationAndTrailingGarbage) {
+  auto bytes = encode(RequestMsg{3, 100, 200});
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_THROW((void)decode(truncated), ParseError);
+  auto extended = bytes;
+  extended.push_back(0);
+  EXPECT_THROW((void)decode(extended), ParseError);
+}
+
+TEST(Wire, RejectsUnknownType) {
+  std::vector<std::uint8_t> bytes{0, 0, 0, 1, 99};
+  EXPECT_THROW((void)decode(bytes), ParseError);
+}
+
+TEST(Wire, RejectsZeroLength) {
+  std::vector<std::uint8_t> bytes{0, 0, 0, 0};
+  EXPECT_THROW((void)decode(bytes), ParseError);
+}
+
+TEST(Wire, TypeOfNames) {
+  EXPECT_STREQ(to_string(type_of(Message{ChokeMsg{}})), "choke");
+  EXPECT_STREQ(to_string(type_of(Message{PieceMsg{}})), "piece");
+  EXPECT_STREQ(to_string(type_of(Message{GoodbyeMsg{}})), "goodbye");
+}
+
+TEST(Wire, BitfieldMessageScales) {
+  Bitfield big{1000};
+  for (std::size_t i = 0; i < 1000; i += 3) big.set(i);
+  const Message decoded = decode(encode(BitfieldMsg{big}));
+  EXPECT_EQ(std::get<BitfieldMsg>(decoded).have, big);
+  // Wire size: 4 len + 1 type + 4 bit count + 125 packed bytes.
+  EXPECT_EQ(encode(BitfieldMsg{big}).size(), 134u);
+}
+
+// ------------------------------------------------------------------ tracker
+
+TEST(Tracker, RegisterUnregister) {
+  Tracker tracker;
+  EXPECT_TRUE(tracker.register_peer(net::NodeId{1}));
+  EXPECT_FALSE(tracker.register_peer(net::NodeId{1}));  // duplicate
+  EXPECT_TRUE(tracker.register_peer(net::NodeId{2}));
+  EXPECT_EQ(tracker.peer_count(), 2u);
+  EXPECT_TRUE(tracker.is_registered(net::NodeId{1}));
+  EXPECT_TRUE(tracker.unregister_peer(net::NodeId{1}));
+  EXPECT_FALSE(tracker.unregister_peer(net::NodeId{1}));
+  EXPECT_FALSE(tracker.is_registered(net::NodeId{1}));
+}
+
+TEST(Tracker, PeersForExcludesRequesterAndCaps) {
+  Tracker tracker;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    tracker.register_peer(net::NodeId{i});
+  }
+  Rng rng{1};
+  const auto peers = tracker.peers_for(net::NodeId{3}, rng);
+  EXPECT_EQ(peers.size(), 9u);
+  for (net::NodeId id : peers) EXPECT_NE(id, net::NodeId{3});
+  const auto capped = tracker.peers_for(net::NodeId{3}, rng, 4);
+  EXPECT_EQ(capped.size(), 4u);
+}
+
+TEST(Tracker, PeersForShuffles) {
+  Tracker tracker;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    tracker.register_peer(net::NodeId{i});
+  }
+  Rng rng{2};
+  const auto a = tracker.peers_for(net::NodeId{99}, rng);
+  const auto b = tracker.peers_for(net::NodeId{99}, rng);
+  EXPECT_NE(a, b);  // different draws from the same rng
+}
+
+}  // namespace
+}  // namespace vsplice::p2p

@@ -1,0 +1,154 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vsplice {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 8));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng{11};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng{1};
+  EXPECT_THROW((void)rng.uniform_int(3, 2), InvalidArgument);
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng{13};
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.uniform(10.0, 20.0));
+  EXPECT_NEAR(stats.mean(), 15.0, 0.1);
+  EXPECT_GE(stats.min(), 10.0);
+  EXPECT_LT(stats.max(), 20.0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng{17};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.05) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.05, 0.005);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng{19};
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = rng.exponential(4.0);
+    EXPECT_GT(x, 0.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.15);
+  EXPECT_THROW((void)rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{23};
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng rng{29};
+  OnlineStats stats;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.lognormal_mean_cv(1000.0, 0.12);
+    EXPECT_GT(x, 0.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 1000.0, 10.0);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 0.12, 0.01);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng{31};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW((void)rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{37};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng{41};
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent{43};
+  Rng child = parent.fork();
+  // The child stream does not mirror the parent's subsequent outputs.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a{47};
+  Rng b{47};
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+}  // namespace
+}  // namespace vsplice

@@ -1,0 +1,204 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace vsplice::sim {
+namespace {
+
+TEST(Simulator, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.next_event_time().is_infinite());
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(TimePoint::from_seconds(3), [&] { order.push_back(3); });
+  sim.at(TimePoint::from_seconds(1), [&] { order.push_back(1); });
+  sim.at(TimePoint::from_seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::from_seconds(3));
+}
+
+TEST(Simulator, FifoAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_seconds(1);
+  for (int i = 0; i < 5; ++i) {
+    sim.at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  TimePoint fired;
+  sim.after(Duration::seconds(2), [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint::from_seconds(2));
+}
+
+TEST(Simulator, RejectsPastAndNull) {
+  Simulator sim;
+  sim.at(TimePoint::from_seconds(1), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(TimePoint::from_seconds(0.5), [] {}),
+               InvalidArgument);
+  EXPECT_THROW(sim.after(Duration::seconds(-1), [] {}), InvalidArgument);
+  EXPECT_THROW(sim.after(Duration::seconds(1), nullptr), InvalidArgument);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.after(Duration::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.is_pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.is_pending(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(Duration::seconds(1), [&] { order.push_back(1); });
+  const EventId id =
+      sim.after(Duration::seconds(2), [&] { order.push_back(2); });
+  sim.after(Duration::seconds(3), [&] { order.push_back(3); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, EventsScheduleEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.now().as_seconds());
+    if (times.size() < 3) sim.after(Duration::seconds(1), chain);
+  };
+  sim.after(Duration::seconds(1), chain);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Duration::seconds(1), [&] { ++fired; });
+  sim.after(Duration::seconds(5), [&] { ++fired; });
+  const std::size_t n = sim.run_until(TimePoint::from_seconds(3));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::from_seconds(3));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilInclusiveBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(TimePoint::from_seconds(2), [&] { ++fired; });
+  sim.run_until(TimePoint::from_seconds(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.after(Duration::zero(), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, NextEventTimeSkipsCancelled) {
+  Simulator sim;
+  const EventId id = sim.after(Duration::seconds(1), [] {});
+  sim.after(Duration::seconds(2), [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.next_event_time(), TimePoint::from_seconds(2));
+}
+
+TEST(Simulator, EventLimitCatchesRunaway) {
+  Simulator sim;
+  sim.set_event_limit(10);
+  std::function<void()> forever = [&] {
+    sim.after(Duration::seconds(1), forever);
+  };
+  sim.after(Duration::seconds(1), forever);
+  EXPECT_THROW(sim.run(), InternalError);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleStillAdvancesQueue) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> f = [&] {
+    if (++count < 5) sim.after(Duration::zero(), f);
+  };
+  sim.after(Duration::zero(), f);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task{sim, Duration::seconds(2), [&] {
+                      times.push_back(sim.now().as_seconds());
+                    }};
+  task.start();
+  sim.run_until(TimePoint::from_seconds(7));
+  task.stop();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+  sim.run();
+  EXPECT_EQ(times.size(), 3u);
+}
+
+TEST(PeriodicTask, StopFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  // stop() called from within the task's own callback must stick.
+  PeriodicTask self_stopping{sim, Duration::seconds(1), [&] {
+                               if (++count >= 3) self_stopping.stop();
+                             }};
+  self_stopping.start();
+  sim.run_until(TimePoint::from_seconds(10));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(self_stopping.running());
+}
+
+TEST(PeriodicTask, RestartAfterStop) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task{sim, Duration::seconds(1), [&] { ++count; }};
+  task.start();
+  sim.run_until(TimePoint::from_seconds(2));
+  task.stop();
+  sim.run_until(TimePoint::from_seconds(5));
+  EXPECT_EQ(count, 2);
+  task.start();
+  sim.run_until(TimePoint::from_seconds(7));
+  EXPECT_EQ(count, 4);
+}
+
+TEST(PeriodicTask, RejectsBadArguments) {
+  Simulator sim;
+  EXPECT_THROW((PeriodicTask{sim, Duration::zero(), [] {}}),
+               InvalidArgument);
+  EXPECT_THROW((PeriodicTask{sim, Duration::seconds(1), nullptr}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vsplice::sim

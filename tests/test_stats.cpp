@@ -1,0 +1,151 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/histogram.h"
+
+namespace vsplice {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleSampleVarianceZero) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 5.0;
+    all.add(x);
+    (i < 40 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentiles, EmptyReturnsNullopt) {
+  Percentiles p;
+  EXPECT_FALSE(p.percentile(50).has_value());
+}
+
+TEST(Percentiles, MedianAndExtremes) {
+  Percentiles p;
+  p.add_all({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(*p.median(), 3.0);
+  EXPECT_DOUBLE_EQ(*p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(*p.percentile(100), 5.0);
+}
+
+TEST(Percentiles, Interpolates) {
+  Percentiles p;
+  p.add_all({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(*p.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(*p.percentile(25), 12.5);
+}
+
+TEST(Percentiles, AddAfterQuery) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(*p.median(), 1.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(*p.median(), 2.0);
+}
+
+TEST(Percentiles, RejectsBadP) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_THROW((void)p.percentile(-1), InvalidArgument);
+  EXPECT_THROW((void)p.percentile(101), InvalidArgument);
+}
+
+TEST(RoundedAverage, MatchesPaperAggregation) {
+  // "ran the application three times ... and took the rounded average"
+  EXPECT_EQ(rounded_average({3.0, 4.0, 4.0}), 4);
+  EXPECT_EQ(rounded_average({1.0, 2.0, 2.0}), 2);
+  EXPECT_EQ(rounded_average({0.0, 0.0, 1.0}), 0);
+  EXPECT_EQ(rounded_average({}), 0);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h{0.0, 1.0, 5};
+  h.add(-0.5);  // underflow
+  h.add(0.0);
+  h.add(0.99);
+  h.add(2.5);
+  h.add(4.999);
+  h.add(5.0);  // overflow
+  h.add(99.0); // overflow
+  EXPECT_EQ(h.total_count(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count_in_bucket(0), 2u);
+  EXPECT_EQ(h.count_in_bucket(2), 1u);
+  EXPECT_EQ(h.count_in_bucket(4), 1u);
+  EXPECT_EQ(h.bucket_low(2), 2.0);
+  EXPECT_EQ(h.bucket_high(2), 3.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{0.0, 0.0, 3}), InvalidArgument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), InvalidArgument);
+}
+
+TEST(Histogram, RendersNonEmptyBuckets) {
+  Histogram h{0.0, 1.0, 3};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(2.5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_EQ(Histogram(0.0, 1.0, 3).to_string(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace vsplice

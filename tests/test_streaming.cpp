@@ -1,0 +1,270 @@
+// Playback buffer and player model tests.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/segment.h"
+#include "streaming/playback_buffer.h"
+#include "streaming/player.h"
+
+namespace vsplice::streaming {
+namespace {
+
+core::SegmentIndex uniform_index(std::size_t count, double seconds_each,
+                                 Bytes size_each) {
+  std::vector<core::Segment> segments;
+  Duration cursor = Duration::zero();
+  for (std::size_t i = 0; i < count; ++i) {
+    core::Segment seg;
+    seg.index = i;
+    seg.start = cursor;
+    seg.duration = Duration::seconds(seconds_each);
+    seg.size = size_each;
+    seg.media_size = size_each;
+    cursor += seg.duration;
+    segments.push_back(seg);
+  }
+  return core::SegmentIndex{std::move(segments), "uniform"};
+}
+
+// ------------------------------------------------------------------ buffer
+
+TEST(PlaybackBuffer, FrontierAdvancesOnlyContiguously) {
+  const auto index = uniform_index(5, 4.0, 100);
+  PlaybackBuffer buffer{index};
+  EXPECT_EQ(buffer.frontier(), 0u);
+  buffer.mark_downloaded(2);  // out of order: frontier stays
+  EXPECT_EQ(buffer.frontier(), 0u);
+  buffer.mark_downloaded(0);
+  EXPECT_EQ(buffer.frontier(), 1u);
+  buffer.mark_downloaded(1);
+  EXPECT_EQ(buffer.frontier(), 3u);  // jumps over pre-downloaded 2
+  EXPECT_EQ(buffer.downloaded_count(), 3u);
+  EXPECT_FALSE(buffer.complete());
+  buffer.mark_downloaded(3);
+  buffer.mark_downloaded(4);
+  EXPECT_TRUE(buffer.complete());
+  EXPECT_EQ(buffer.frontier_time(), index.total_duration());
+}
+
+TEST(PlaybackBuffer, BufferedAhead) {
+  const auto index = uniform_index(5, 4.0, 100);
+  PlaybackBuffer buffer{index};
+  EXPECT_EQ(buffer.buffered_ahead(Duration::zero()), Duration::zero());
+  buffer.mark_downloaded(0);
+  buffer.mark_downloaded(1);
+  EXPECT_EQ(buffer.buffered_ahead(Duration::zero()), Duration::seconds(8));
+  EXPECT_EQ(buffer.buffered_ahead(Duration::seconds(5)),
+            Duration::seconds(3));
+  EXPECT_EQ(buffer.buffered_ahead(Duration::seconds(8)), Duration::zero());
+  EXPECT_EQ(buffer.buffered_ahead(Duration::seconds(100)),
+            Duration::zero());
+}
+
+TEST(PlaybackBuffer, MarkIdempotentAndBounded) {
+  const auto index = uniform_index(3, 4.0, 100);
+  PlaybackBuffer buffer{index};
+  buffer.mark_downloaded(1);
+  buffer.mark_downloaded(1);
+  EXPECT_EQ(buffer.downloaded_count(), 1u);
+  EXPECT_THROW(buffer.mark_downloaded(3), InvalidArgument);
+  EXPECT_THROW((void)buffer.is_downloaded(3), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ player
+
+struct PlayerFixture {
+  explicit PlayerFixture(std::size_t segments = 5,
+                         double seconds_each = 4.0)
+      : index{uniform_index(segments, seconds_each, 100)},
+        player{sim, index} {}
+  sim::Simulator sim;
+  core::SegmentIndex index;
+  Player player;
+};
+
+TEST(Player, StartupWaitsForFirstSegment) {
+  PlayerFixture f;
+  f.player.start_session();
+  EXPECT_EQ(f.player.state(), Player::State::WaitingForStart);
+  EXPECT_FALSE(f.player.started());
+  f.sim.run_until(TimePoint::from_seconds(3));
+  f.player.on_segment_downloaded(0);
+  EXPECT_TRUE(f.player.started());
+  EXPECT_EQ(f.player.metrics().startup_time, Duration::seconds(3));
+  EXPECT_EQ(f.player.state(), Player::State::Playing);
+}
+
+TEST(Player, BackdatedSessionChargesMetadataTime) {
+  PlayerFixture f;
+  f.sim.run_until(TimePoint::from_seconds(2));
+  f.player.start_session(TimePoint::origin());
+  f.player.on_segment_downloaded(0);
+  EXPECT_EQ(f.player.metrics().startup_time, Duration::seconds(2));
+  EXPECT_THROW(
+      f.player.start_session(TimePoint::from_seconds(1)),
+      InvalidArgument);  // double start
+}
+
+TEST(Player, SmoothPlaybackNoStalls) {
+  PlayerFixture f;
+  f.player.start_session();
+  for (std::size_t i = 0; i < 5; ++i) f.player.on_segment_downloaded(i);
+  f.sim.run();
+  EXPECT_TRUE(f.player.finished());
+  const QoeMetrics& m = f.player.metrics();
+  EXPECT_EQ(m.stall_count, 0u);
+  EXPECT_EQ(m.total_stall_duration, Duration::zero());
+  EXPECT_TRUE(m.finished);
+  EXPECT_EQ(m.completion_time, Duration::seconds(20));
+}
+
+TEST(Player, StallWhenBufferDrains) {
+  PlayerFixture f;
+  f.player.start_session();
+  f.player.on_segment_downloaded(0);  // play starts at t=0
+  // Segment 1 arrives late: playback hits 4 s with nothing buffered.
+  f.sim.run_until(TimePoint::from_seconds(10));
+  EXPECT_EQ(f.player.state(), Player::State::Stalled);
+  EXPECT_EQ(f.player.playhead(), Duration::seconds(4));
+  EXPECT_EQ(f.player.buffered_ahead(), Duration::zero());
+  f.player.on_segment_downloaded(1);  // resume at t=10
+  EXPECT_EQ(f.player.state(), Player::State::Playing);
+  for (std::size_t i = 2; i < 5; ++i) f.player.on_segment_downloaded(i);
+  f.sim.run();
+  const QoeMetrics& m = f.player.metrics();
+  EXPECT_EQ(m.stall_count, 1u);
+  EXPECT_EQ(m.total_stall_duration, Duration::seconds(6));
+  ASSERT_EQ(m.stalls.size(), 1u);
+  EXPECT_EQ(m.stalls[0].start, TimePoint::from_seconds(4));
+  EXPECT_EQ(m.stalls[0].duration, Duration::seconds(6));
+  EXPECT_EQ(m.stalls[0].playhead, Duration::seconds(4));
+  // Completion: 20 s of media + 6 s stalled.
+  EXPECT_EQ(m.completion_time, Duration::seconds(26));
+}
+
+TEST(Player, MultipleStallsAccumulate) {
+  PlayerFixture f{3, 2.0};
+  f.player.start_session();
+  f.player.on_segment_downloaded(0);
+  f.sim.at(TimePoint::from_seconds(5),
+           [&] { f.player.on_segment_downloaded(1); });  // 3 s stall
+  f.sim.at(TimePoint::from_seconds(9),
+           [&] { f.player.on_segment_downloaded(2); });  // 2 s stall
+  f.sim.run();
+  const QoeMetrics& m = f.player.metrics();
+  EXPECT_EQ(m.stall_count, 2u);
+  EXPECT_EQ(m.total_stall_duration, Duration::seconds(5));
+  EXPECT_TRUE(m.finished);
+  EXPECT_EQ(m.completion_time, Duration::seconds(11));
+}
+
+TEST(Player, PlayheadTracksRealTime) {
+  PlayerFixture f;
+  f.player.start_session();
+  f.player.on_segment_downloaded(0);
+  f.player.on_segment_downloaded(1);
+  f.sim.run_until(TimePoint::from_seconds(3));
+  EXPECT_EQ(f.player.playhead(), Duration::seconds(3));
+  EXPECT_EQ(f.player.buffered_ahead(), Duration::seconds(5));
+}
+
+TEST(Player, OutOfOrderSegmentDoesNotUnstall) {
+  PlayerFixture f;
+  f.player.start_session();
+  f.player.on_segment_downloaded(0);
+  f.sim.run_until(TimePoint::from_seconds(6));  // stalled at 4 s
+  f.player.on_segment_downloaded(2);            // does not help: gap at 1
+  EXPECT_EQ(f.player.state(), Player::State::Stalled);
+  f.player.on_segment_downloaded(1);  // closes the gap through segment 2
+  EXPECT_EQ(f.player.state(), Player::State::Playing);
+  EXPECT_EQ(f.player.buffered_ahead(), Duration::seconds(8));
+}
+
+TEST(Player, StartupSegmentsConfig) {
+  PlayerFixture f;
+  sim::Simulator sim;
+  PlayerConfig config;
+  config.startup_segments = 2;
+  Player player{sim, f.index, config};
+  player.start_session();
+  player.on_segment_downloaded(0);
+  EXPECT_FALSE(player.started());
+  player.on_segment_downloaded(1);
+  EXPECT_TRUE(player.started());
+}
+
+TEST(Player, CallbacksFire) {
+  PlayerFixture f{2, 1.0};
+  int started = 0;
+  int stalls = 0;
+  int resumes = 0;
+  int finished = 0;
+  f.player.on_started = [&] { ++started; };
+  f.player.on_stall = [&] { ++stalls; };
+  f.player.on_resume = [&] { ++resumes; };
+  f.player.on_finished = [&] { ++finished; };
+  f.player.start_session();
+  f.player.on_segment_downloaded(0);
+  f.sim.run_until(TimePoint::from_seconds(2));
+  f.player.on_segment_downloaded(1);
+  f.sim.run();
+  EXPECT_EQ(started, 1);
+  EXPECT_EQ(stalls, 1);
+  EXPECT_EQ(resumes, 1);
+  EXPECT_EQ(finished, 1);
+  EXPECT_TRUE(f.player.finished());
+}
+
+TEST(Player, MetricsSummaryIsReadable) {
+  PlayerFixture f{1, 1.0};
+  f.player.start_session();
+  f.player.on_segment_downloaded(0);
+  f.sim.run();
+  const std::string s = f.player.metrics().summary();
+  EXPECT_NE(s.find("stalls=0"), std::string::npos);
+  EXPECT_NE(s.find("startup="), std::string::npos);
+}
+
+// Property sweep: for any arrival pattern, accounting invariants hold.
+class PlayerTimelineProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlayerTimelineProperty, AccountingInvariants) {
+  vsplice::Rng rng{GetParam()};
+  const std::size_t segments = 4 + rng.index(8);
+  const auto index =
+      uniform_index(segments, 1.0 + rng.next_double() * 3.0, 100);
+  sim::Simulator sim;
+  Player player{sim, index};
+  player.start_session();
+  // Random monotone arrival schedule.
+  Duration at = Duration::zero();
+  for (std::size_t i = 0; i < segments; ++i) {
+    at += Duration::seconds(rng.next_double() * 6.0);
+    sim.at(TimePoint::origin() + at,
+           [&player, i] { player.on_segment_downloaded(i); });
+  }
+  sim.run();
+  ASSERT_TRUE(player.finished());
+  const QoeMetrics& m = player.metrics();
+  // Conservation: completion = startup + media duration + stall time.
+  EXPECT_EQ(m.completion_time,
+            m.startup_time + index.total_duration() +
+                m.total_stall_duration);
+  EXPECT_EQ(m.stalls.size(), m.stall_count);
+  Duration sum = Duration::zero();
+  for (const StallEvent& stall : m.stalls) sum += stall.duration;
+  EXPECT_EQ(sum, m.total_stall_duration);
+  // Stalls are within the session and non-negative.
+  for (const StallEvent& stall : m.stalls) {
+    EXPECT_GE(stall.duration, Duration::zero());
+    EXPECT_LE(stall.playhead, index.total_duration());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomArrivals, PlayerTimelineProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace vsplice::streaming

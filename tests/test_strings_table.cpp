@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace vsplice {
+namespace {
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(Strings, SplitOnce) {
+  const auto kv = split_once("size@offset", '@');
+  ASSERT_TRUE(kv.has_value());
+  EXPECT_EQ(kv->first, "size");
+  EXPECT_EQ(kv->second, "offset");
+  EXPECT_FALSE(split_once("nodelim", '@').has_value());
+  const auto multi = split_once("a@b@c", '@');
+  ASSERT_TRUE(multi.has_value());
+  EXPECT_EQ(multi->second, "b@c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("#EXTINF:4.0", "#EXTINF:"));
+  EXPECT_FALSE(starts_with("#EXT", "#EXTINF:"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("x42").has_value());
+  EXPECT_FALSE(parse_int("42x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("4.25"), 4.25);
+  EXPECT_DOUBLE_EQ(*parse_double(" -1e3 "), -1000.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Table, AlignedRendering) {
+  Table t{{"Bandwidth", "GOP", "4 sec"}};
+  t.add_row({"128 kB/s", "35", "12"});
+  t.add_row({"1024 kB/s", "2", "0"});
+  const std::string s = t.to_string();
+  // Header present, separator line present, rows present.
+  EXPECT_NE(s.find("Bandwidth"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("1024 kB/s"), std::string::npos);
+  // Columns align: every line has "GOP" column starting at same offset.
+  const auto lines = split(s, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].find("GOP"), lines[2].find("35"));
+}
+
+TEST(Table, NumericRow) {
+  Table t{{"x", "a", "b"}};
+  t.add_numeric_row("row", {1.25, 2.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW((Table{std::vector<std::string>{}}), InvalidArgument);
+}
+
+TEST(Table, Csv) {
+  Table t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vsplice

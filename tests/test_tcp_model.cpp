@@ -1,0 +1,157 @@
+#include "net/tcp_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vsplice::net {
+namespace {
+
+TEST(MathisCeiling, MatchesFormula) {
+  TcpParams params;
+  params.mss = 1460;
+  params.mathis_constant = 1.2247448713915890;  // classic Reno sqrt(3/2)
+  const Rate cap =
+      mathis_ceiling(params, Duration::millis(100), 0.05);
+  // C*MSS/(RTT*sqrt(p)) = 1.2247*1460/(0.1*0.2236) ~ 79.96 kB/s.
+  EXPECT_NEAR(cap.bytes_per_second(), 79'966.0, 100.0);
+}
+
+TEST(MathisCeiling, ScalesInverselyWithRttAndSqrtLoss) {
+  TcpParams params;
+  const Rate a = mathis_ceiling(params, Duration::millis(100), 0.05);
+  const Rate b = mathis_ceiling(params, Duration::millis(200), 0.05);
+  EXPECT_NEAR(a.bytes_per_second() / b.bytes_per_second(), 2.0, 1e-9);
+  const Rate c = mathis_ceiling(params, Duration::millis(100), 0.0125);
+  EXPECT_NEAR(c.bytes_per_second() / a.bytes_per_second(), 2.0, 1e-9);
+}
+
+TEST(MathisCeiling, NoLossMeansNoCeiling) {
+  TcpParams params;
+  EXPECT_TRUE(mathis_ceiling(params, Duration::millis(50), 0.0)
+                  .is_infinite());
+}
+
+TEST(MathisCeiling, RejectsBadInputs) {
+  TcpParams params;
+  EXPECT_THROW((void)mathis_ceiling(params, Duration::zero(), 0.05),
+               InvalidArgument);
+  EXPECT_THROW((void)mathis_ceiling(params, Duration::millis(10), 1.0),
+               InvalidArgument);
+  EXPECT_THROW((void)mathis_ceiling(params, Duration::millis(10), -0.1),
+               InvalidArgument);
+}
+
+TEST(SlowStartRate, InitialWindowRate) {
+  TcpParams params;
+  params.initial_window_segments = 10;
+  params.mss = 1460;
+  const Rate r = slow_start_rate(params, Duration::millis(100), 0.0);
+  EXPECT_NEAR(r.bytes_per_second(), 10 * 1460 / 0.1, 1.0);
+}
+
+TEST(SlowStartRate, DoublesPerRtt) {
+  TcpParams params;
+  const Rate r0 = slow_start_rate(params, Duration::millis(100), 0.0);
+  const Rate r3 = slow_start_rate(params, Duration::millis(100), 3.0);
+  EXPECT_NEAR(r3.bytes_per_second() / r0.bytes_per_second(), 8.0, 1e-9);
+}
+
+TEST(HandshakeDelay, OneRttWithoutLoss) {
+  TcpParams params;
+  Rng rng{1};
+  EXPECT_EQ(handshake_delay(params, Duration::millis(100), 0.0, rng),
+            Duration::millis(100));
+}
+
+TEST(HandshakeDelay, LossAddsRtoMultiples) {
+  TcpParams params;
+  params.retransmission_timeout = Duration::seconds(1);
+  Rng rng{2};
+  double total_extra = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const Duration d =
+        handshake_delay(params, Duration::millis(100), 0.3, rng);
+    EXPECT_GE(d, Duration::millis(100));
+    // The extra is always a whole number of RTOs.
+    const double extra = d.as_seconds() - 0.1;
+    EXPECT_NEAR(extra, std::round(extra), 1e-9);
+    total_extra += extra;
+  }
+  // Two packets, each geometric with mean p/(1-p) = 0.3/0.7 retransmits.
+  EXPECT_NEAR(total_extra / n, 2.0 * 0.3 / 0.7, 0.05);
+}
+
+TEST(PacketDelay, OneWayWithoutLoss) {
+  TcpParams params;
+  Rng rng{3};
+  EXPECT_EQ(packet_delay(params, Duration::millis(50), 0.0, rng),
+            Duration::millis(50));
+}
+
+TEST(PacketDelay, MeanWithLoss) {
+  TcpParams params;
+  Rng rng{4};
+  double total = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    total +=
+        packet_delay(params, Duration::millis(50), 0.05, rng).as_seconds();
+  }
+  EXPECT_NEAR(total / n, 0.05 + 1.0 * 0.05 / 0.95, 0.01);
+}
+
+TEST(CongestionWindow, StartsAtInitialWindow) {
+  TcpParams params;
+  CongestionWindow cwnd{params, Duration::millis(100), 0.05};
+  EXPECT_NEAR(cwnd.rate().bytes_per_second(),
+              params.initial_window_segments * 1460 / 0.1, 1.0);
+  EXPECT_FALSE(cwnd.at_ceiling());
+}
+
+TEST(CongestionWindow, RampReachesAndHoldsCeiling) {
+  TcpParams params;
+  CongestionWindow cwnd{params, Duration::millis(100), 0.05};
+  const Rate ceiling = mathis_ceiling(params, Duration::millis(100), 0.05);
+  for (int i = 0; i < 30; ++i) cwnd.on_round_trip();
+  EXPECT_TRUE(cwnd.at_ceiling());
+  EXPECT_EQ(cwnd.rate(), ceiling);
+  const Rate before = cwnd.rate();
+  cwnd.on_round_trip();
+  EXPECT_EQ(cwnd.rate(), before);  // pinned at the ceiling
+}
+
+TEST(CongestionWindow, MonotoneRamp) {
+  TcpParams params;
+  CongestionWindow cwnd{params, Duration::millis(100), 0.05};
+  Rate prev = cwnd.rate();
+  for (int i = 0; i < 10; ++i) {
+    cwnd.on_round_trip();
+    EXPECT_GE(cwnd.rate(), prev);
+    prev = cwnd.rate();
+  }
+}
+
+TEST(CongestionWindow, ResetAfterIdleRestartsSlowStart) {
+  TcpParams params;
+  CongestionWindow cwnd{params, Duration::millis(100), 0.05};
+  const Rate initial = cwnd.rate();
+  for (int i = 0; i < 10; ++i) cwnd.on_round_trip();
+  EXPECT_GT(cwnd.rate(), initial);
+  cwnd.reset_after_idle();
+  EXPECT_EQ(cwnd.rate(), initial);
+}
+
+TEST(CongestionWindow, NoLossRampIsUnbounded) {
+  TcpParams params;
+  CongestionWindow cwnd{params, Duration::millis(100), 0.0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(cwnd.at_ceiling());
+    cwnd.on_round_trip();
+  }
+  EXPECT_GT(cwnd.rate().bytes_per_second(), 1e9);
+}
+
+}  // namespace
+}  // namespace vsplice::net

@@ -1,0 +1,134 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace vsplice {
+namespace {
+
+TEST(Duration, FactoryAndAccessors) {
+  EXPECT_EQ(Duration::micros(1500).count_micros(), 1500);
+  EXPECT_EQ(Duration::millis(3).count_micros(), 3000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2.5).as_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::minutes(2).as_seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::millis(250).as_millis(), 250.0);
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE(Duration::infinity().is_infinite());
+  EXPECT_FALSE(Duration::seconds(1).is_infinite());
+  EXPECT_TRUE(Duration::micros(-1).is_negative());
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(2);
+  const Duration b = Duration::seconds(0.5);
+  EXPECT_EQ((a + b).count_micros(), 2'500'000);
+  EXPECT_EQ((a - b).count_micros(), 1'500'000);
+  EXPECT_EQ((a * 2.0).count_micros(), 4'000'000);
+  EXPECT_EQ((a / 4.0).count_micros(), 500'000);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c, Duration::seconds(2.5));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+  EXPECT_LE(Duration::seconds(2), Duration::seconds(2));
+  EXPECT_GT(Duration::infinity(), Duration::seconds(1e9));
+}
+
+TEST(Duration, RoundsToMicroseconds) {
+  EXPECT_EQ(Duration::seconds(1e-7).count_micros(), 0);
+  EXPECT_EQ(Duration::seconds(1.5e-6).count_micros(), 2);  // round-half-up
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::seconds(1.5).to_string(), "1.500s");
+  EXPECT_EQ(Duration::millis(2).to_string(), "2.000ms");
+  EXPECT_EQ(Duration::micros(7).to_string(), "7us");
+  EXPECT_EQ(Duration::infinity().to_string(), "inf");
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::seconds(10);
+  EXPECT_EQ((t1 - t0).as_seconds(), 10.0);
+  EXPECT_EQ(t1 - Duration::seconds(4), t0 + Duration::seconds(6));
+  EXPECT_LT(t0, t1);
+  EXPECT_TRUE(TimePoint::infinity().is_infinite());
+  TimePoint t = t0;
+  t += Duration::millis(1);
+  EXPECT_EQ(t.count_micros(), 1000);
+}
+
+TEST(Rate, FactoriesAgree) {
+  EXPECT_DOUBLE_EQ(Rate::kilobytes_per_second(128).bytes_per_second(),
+                   128'000.0);
+  EXPECT_DOUBLE_EQ(Rate::megabits_per_second(1.0).bytes_per_second(),
+                   125'000.0);
+  EXPECT_DOUBLE_EQ(
+      Rate::bytes_per_second(256'000).kilobytes_per_second(), 256.0);
+  EXPECT_DOUBLE_EQ(
+      Rate::bytes_per_second(125'000).megabits_per_second(), 1.0);
+}
+
+TEST(Rate, BytesOverDuration) {
+  const Rate r = Rate::kilobytes_per_second(100);
+  EXPECT_EQ(r.bytes_over(Duration::seconds(2)), 200'000);
+  EXPECT_EQ(r.bytes_over(Duration::zero()), 0);
+  EXPECT_EQ(Rate::zero().bytes_over(Duration::seconds(5)), 0);
+  EXPECT_EQ(r.bytes_over(Duration::micros(-5)), 0);
+}
+
+TEST(Rate, TimeToSendRoundsUp) {
+  const Rate r = Rate::bytes_per_second(1'000'000);
+  // 1 byte at 1 MB/s = 1 microsecond exactly.
+  EXPECT_EQ(r.time_to_send(1).count_micros(), 1);
+  // 1.5 us worth of bytes rounds up to 2 us.
+  EXPECT_EQ(Rate::bytes_per_second(2'000'000).time_to_send(3).count_micros(),
+            2);
+  EXPECT_TRUE(Rate::zero().time_to_send(10).is_infinite());
+  EXPECT_EQ(Rate::infinity().time_to_send(10), Duration::zero());
+  EXPECT_EQ(r.time_to_send(0), Duration::zero());
+}
+
+TEST(Rate, SendThenWaitDeliversAtLeastTheBytes) {
+  // Property: waiting time_to_send(n) at rate r always moves >= n bytes.
+  for (double bps : {37.0, 999.0, 128'000.0, 1.23e7}) {
+    const Rate r = Rate::bytes_per_second(bps);
+    for (Bytes n : {1_B, 17_B, 1500_B, 1_MiB}) {
+      const Duration t = r.time_to_send(n);
+      EXPECT_GE(r.bytes_over(t), n)
+          << "rate=" << bps << " bytes=" << n;
+    }
+  }
+}
+
+TEST(Rate, Arithmetic) {
+  const Rate a = Rate::kilobytes_per_second(100);
+  const Rate b = Rate::kilobytes_per_second(28);
+  EXPECT_EQ(a + b, Rate::kilobytes_per_second(128));
+  EXPECT_EQ(a - b, Rate::kilobytes_per_second(72));
+  EXPECT_EQ(a * 2.0, Rate::kilobytes_per_second(200));
+  EXPECT_EQ(a / 2.0, Rate::kilobytes_per_second(50));
+  EXPECT_DOUBLE_EQ(a / b, 100.0 / 28.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(UnitsLiterals, ByteLiterals) {
+  EXPECT_EQ(5_B, 5);
+  EXPECT_EQ(2_KiB, 2048);
+  EXPECT_EQ(1_MiB, 1048576);
+  EXPECT_EQ(128_kB, 128000);
+  EXPECT_EQ(20_MB, 20'000'000);
+}
+
+TEST(UnitsFormat, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(20'000), "20.0 kB");
+  EXPECT_EQ(format_bytes(15'000'000), "15.00 MB");
+}
+
+}  // namespace
+}  // namespace vsplice

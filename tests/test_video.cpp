@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "video/encoder.h"
+#include "video/frame.h"
+#include "video/scene.h"
+#include "video/video_stream.h"
+
+namespace vsplice::video {
+namespace {
+
+Frame frame(FrameType type, Bytes size) {
+  return Frame{type, size, Duration::millis(40)};
+}
+
+TEST(Gop, ValidConstruction) {
+  const Gop gop{{frame(FrameType::I, 8000), frame(FrameType::B, 300),
+                 frame(FrameType::B, 320), frame(FrameType::P, 900)}};
+  EXPECT_EQ(gop.frame_count(), 4u);
+  EXPECT_EQ(gop.byte_size(), 9520);
+  EXPECT_EQ(gop.duration(), Duration::millis(160));
+  EXPECT_TRUE(gop.keyframe().is_keyframe());
+}
+
+TEST(Gop, RejectsInvalidStructures) {
+  EXPECT_THROW(Gop{{}}, InvalidArgument);
+  // Must start with an I-frame.
+  EXPECT_THROW(Gop{{frame(FrameType::P, 100)}}, InvalidArgument);
+  // Exactly one I-frame.
+  EXPECT_THROW((Gop{{frame(FrameType::I, 100), frame(FrameType::I, 100)}}),
+               InvalidArgument);
+  // Positive sizes and durations.
+  EXPECT_THROW((Gop{{frame(FrameType::I, 0)}}), InvalidArgument);
+  EXPECT_THROW((Gop{{Frame{FrameType::I, 10, Duration::zero()}}}),
+               InvalidArgument);
+}
+
+TEST(FrameType, Names) {
+  EXPECT_STREQ(to_string(FrameType::I), "I");
+  EXPECT_STREQ(to_string(FrameType::P), "P");
+  EXPECT_STREQ(to_string(FrameType::B), "B");
+}
+
+TEST(VideoStream, AggregatesGops) {
+  std::vector<Gop> gops;
+  gops.emplace_back(std::vector<Frame>{frame(FrameType::I, 5000),
+                                       frame(FrameType::P, 1000)});
+  gops.emplace_back(std::vector<Frame>{frame(FrameType::I, 4000)});
+  const VideoStream stream{std::move(gops), 25.0};
+  EXPECT_EQ(stream.gop_count(), 2u);
+  EXPECT_EQ(stream.frame_count(), 3u);
+  EXPECT_EQ(stream.byte_size(), 10'000);
+  EXPECT_EQ(stream.duration(), Duration::millis(120));
+  EXPECT_NEAR(stream.average_bitrate().bytes_per_second(),
+              10'000 / 0.12, 1.0);
+  EXPECT_EQ(stream.longest_gop(), Duration::millis(80));
+  EXPECT_EQ(stream.shortest_gop(), Duration::millis(40));
+}
+
+TEST(VideoStream, TimelineIsContiguousDisplayOrder) {
+  std::vector<Gop> gops;
+  gops.emplace_back(std::vector<Frame>{frame(FrameType::I, 5000),
+                                       frame(FrameType::P, 1000)});
+  gops.emplace_back(std::vector<Frame>{frame(FrameType::I, 4000)});
+  const VideoStream stream{std::move(gops), 25.0};
+  const auto timeline = stream.timeline();
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].pts, Duration::zero());
+  EXPECT_EQ(timeline[1].pts, Duration::millis(40));
+  EXPECT_EQ(timeline[2].pts, Duration::millis(80));
+  EXPECT_EQ(timeline[0].gop_index, 0u);
+  EXPECT_EQ(timeline[2].gop_index, 1u);
+  EXPECT_EQ(timeline[2].frame_index, 2u);
+}
+
+TEST(VideoStream, RejectsEmptyAndBadFps) {
+  EXPECT_THROW((VideoStream{{}, 25.0}), InvalidArgument);
+  std::vector<Gop> gops;
+  gops.emplace_back(std::vector<Frame>{frame(FrameType::I, 100)});
+  EXPECT_THROW((VideoStream{std::move(gops), 0.0}), InvalidArgument);
+}
+
+TEST(Scene, TotalDuration) {
+  const SceneScript script{{Motion::Static, Duration::seconds(10)},
+                           {Motion::High, Duration::seconds(5)}};
+  EXPECT_EQ(total_duration(script), Duration::seconds(15));
+  EXPECT_EQ(total_duration({}), Duration::zero());
+}
+
+TEST(Scene, PaperScriptIsTwoMinutes) {
+  EXPECT_EQ(total_duration(paper_scene_script()), Duration::seconds(120));
+}
+
+TEST(Scene, RandomScriptCoversRequestedDuration) {
+  Rng rng{5};
+  const SceneScript script =
+      random_scene_script(Duration::seconds(300), rng);
+  EXPECT_EQ(total_duration(script), Duration::seconds(300));
+  EXPECT_GT(script.size(), 5u);
+}
+
+TEST(Scene, UniformScript) {
+  const SceneScript script =
+      uniform_scene_script(Motion::Static, Duration::seconds(60));
+  ASSERT_EQ(script.size(), 1u);
+  EXPECT_EQ(script[0].motion, Motion::Static);
+}
+
+TEST(Encoder, HitsTargetBitrate) {
+  EncoderParams params;
+  params.target_bitrate = Rate::megabits_per_second(1.0);
+  const SyntheticEncoder encoder{params};
+  const VideoStream stream = encoder.encode(paper_scene_script(), 1);
+  const double actual = stream.average_bitrate().bytes_per_second();
+  EXPECT_NEAR(actual, 125'000.0, 125'000.0 * 0.03);
+}
+
+TEST(Encoder, EveryGopIsClosedAndFrameAccurate) {
+  const VideoStream stream = make_paper_video(3);
+  for (const Gop& gop : stream.gops()) {
+    EXPECT_TRUE(gop.keyframe().is_keyframe());
+    for (std::size_t i = 1; i < gop.frames().size(); ++i) {
+      EXPECT_NE(gop.frames()[i].type, FrameType::I);
+    }
+  }
+  EXPECT_EQ(stream.duration(), Duration::seconds(120));
+}
+
+TEST(Encoder, StaticScenesMakeLongGops) {
+  EncoderParams params;
+  const SyntheticEncoder encoder{params};
+  const VideoStream still =
+      encoder.encode(uniform_scene_script(Motion::Static,
+                                          Duration::seconds(60)),
+                     7);
+  const VideoStream action =
+      encoder.encode(uniform_scene_script(Motion::High,
+                                          Duration::seconds(60)),
+                     7);
+  // The paper's observation: stationary scenes yield very long GOPs,
+  // action yields sub-second GOPs.
+  EXPECT_GT(still.longest_gop(), Duration::seconds(10));
+  EXPECT_LT(action.longest_gop(), Duration::seconds(1.5));
+  EXPECT_GT(action.gop_count(), still.gop_count() * 10);
+}
+
+TEST(Encoder, IFramesAreMuchLargerThanPAndB) {
+  const VideoStream stream = make_paper_video(11);
+  double i_total = 0;
+  double p_total = 0;
+  double b_total = 0;
+  std::size_t i_n = 0;
+  std::size_t p_n = 0;
+  std::size_t b_n = 0;
+  for (const auto& tf : stream.timeline()) {
+    switch (tf.frame.type) {
+      case FrameType::I:
+        i_total += static_cast<double>(tf.frame.size);
+        ++i_n;
+        break;
+      case FrameType::P:
+        p_total += static_cast<double>(tf.frame.size);
+        ++p_n;
+        break;
+      case FrameType::B:
+        b_total += static_cast<double>(tf.frame.size);
+        ++b_n;
+        break;
+    }
+  }
+  ASSERT_GT(i_n, 0u);
+  ASSERT_GT(p_n, 0u);
+  ASSERT_GT(b_n, 0u);
+  const double i_mean = i_total / static_cast<double>(i_n);
+  const double p_mean = p_total / static_cast<double>(p_n);
+  const double b_mean = b_total / static_cast<double>(b_n);
+  EXPECT_GT(i_mean, p_mean * 2.0);
+  EXPECT_GT(p_mean, b_mean);
+}
+
+TEST(Encoder, DeterministicPerSeed) {
+  const VideoStream a = make_paper_video(42);
+  const VideoStream b = make_paper_video(42);
+  EXPECT_EQ(a, b);
+  const VideoStream c = make_paper_video(43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Encoder, KeyframeIntervalByMotion) {
+  EncoderParams params;
+  EXPECT_EQ(keyframe_interval(params, Motion::Static), params.max_gop);
+  EXPECT_LT(keyframe_interval(params, Motion::High),
+            keyframe_interval(params, Motion::Moderate));
+  EXPECT_LT(keyframe_interval(params, Motion::Moderate),
+            keyframe_interval(params, Motion::Low));
+}
+
+TEST(Encoder, MotionComplexityMonotone) {
+  EXPECT_LT(motion_complexity(Motion::Static),
+            motion_complexity(Motion::Low));
+  EXPECT_LT(motion_complexity(Motion::Low),
+            motion_complexity(Motion::Moderate));
+  EXPECT_LT(motion_complexity(Motion::Moderate),
+            motion_complexity(Motion::High));
+}
+
+TEST(Encoder, RejectsBadParams) {
+  EncoderParams params;
+  params.fps = 0;
+  EXPECT_THROW(SyntheticEncoder{params}, InvalidArgument);
+  params = EncoderParams{};
+  params.target_bitrate = Rate::zero();
+  EXPECT_THROW(SyntheticEncoder{params}, InvalidArgument);
+  params = EncoderParams{};
+  params.i_to_p_ratio = 0.5;
+  EXPECT_THROW(SyntheticEncoder{params}, InvalidArgument);
+  const SyntheticEncoder ok{EncoderParams{}};
+  EXPECT_THROW((void)ok.encode({}, 1), InvalidArgument);
+}
+
+class EncoderBitrateSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(EncoderBitrateSweep, BitrateCalibrationHolds) {
+  const auto [mbps, seed] = GetParam();
+  EncoderParams params;
+  params.target_bitrate = Rate::megabits_per_second(mbps);
+  const SyntheticEncoder encoder{params};
+  Rng rng{seed};
+  const VideoStream stream =
+      encoder.encode(random_scene_script(Duration::seconds(90), rng), seed);
+  EXPECT_NEAR(stream.average_bitrate().megabits_per_second(), mbps,
+              mbps * 0.04);
+  // Duration is preserved to within one frame per scene.
+  EXPECT_GE(stream.duration(), Duration::seconds(89));
+  EXPECT_LE(stream.duration(), Duration::seconds(90));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, EncoderBitrateSweep,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 4.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace vsplice::video
