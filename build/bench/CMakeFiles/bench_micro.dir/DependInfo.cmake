@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/vsplice_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/vsplice_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/vsplice_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/vsplice_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vsplice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vsplice_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vsplice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vsplice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsplice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

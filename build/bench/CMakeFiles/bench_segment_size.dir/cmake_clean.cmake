@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segment_size.dir/bench_segment_size.cpp.o"
+  "CMakeFiles/bench_segment_size.dir/bench_segment_size.cpp.o.d"
+  "bench_segment_size"
+  "bench_segment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

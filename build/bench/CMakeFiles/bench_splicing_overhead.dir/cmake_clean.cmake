@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_splicing_overhead.dir/bench_splicing_overhead.cpp.o"
+  "CMakeFiles/bench_splicing_overhead.dir/bench_splicing_overhead.cpp.o.d"
+  "bench_splicing_overhead"
+  "bench_splicing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_splicing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

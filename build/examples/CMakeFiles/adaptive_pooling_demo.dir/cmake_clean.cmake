@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pooling_demo.dir/adaptive_pooling_demo.cpp.o"
+  "CMakeFiles/adaptive_pooling_demo.dir/adaptive_pooling_demo.cpp.o.d"
+  "adaptive_pooling_demo"
+  "adaptive_pooling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pooling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_cdn.dir/hybrid_cdn.cpp.o"
+  "CMakeFiles/hybrid_cdn.dir/hybrid_cdn.cpp.o.d"
+  "hybrid_cdn"
+  "hybrid_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

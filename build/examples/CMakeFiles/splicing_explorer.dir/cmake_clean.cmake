@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splicing_explorer.dir/splicing_explorer.cpp.o"
+  "CMakeFiles/splicing_explorer.dir/splicing_explorer.cpp.o.d"
+  "splicing_explorer"
+  "splicing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splicing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

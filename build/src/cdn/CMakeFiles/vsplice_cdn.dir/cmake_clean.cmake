@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_cdn.dir/cdn.cc.o"
+  "CMakeFiles/vsplice_cdn.dir/cdn.cc.o.d"
+  "libvsplice_cdn.a"
+  "libvsplice_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

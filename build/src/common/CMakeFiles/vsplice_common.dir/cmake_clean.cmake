@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_common.dir/bytes_io.cc.o"
+  "CMakeFiles/vsplice_common.dir/bytes_io.cc.o.d"
+  "CMakeFiles/vsplice_common.dir/histogram.cc.o"
+  "CMakeFiles/vsplice_common.dir/histogram.cc.o.d"
+  "CMakeFiles/vsplice_common.dir/log.cc.o"
+  "CMakeFiles/vsplice_common.dir/log.cc.o.d"
+  "CMakeFiles/vsplice_common.dir/rng.cc.o"
+  "CMakeFiles/vsplice_common.dir/rng.cc.o.d"
+  "CMakeFiles/vsplice_common.dir/stats.cc.o"
+  "CMakeFiles/vsplice_common.dir/stats.cc.o.d"
+  "CMakeFiles/vsplice_common.dir/strings.cc.o"
+  "CMakeFiles/vsplice_common.dir/strings.cc.o.d"
+  "CMakeFiles/vsplice_common.dir/table.cc.o"
+  "CMakeFiles/vsplice_common.dir/table.cc.o.d"
+  "CMakeFiles/vsplice_common.dir/units.cc.o"
+  "CMakeFiles/vsplice_common.dir/units.cc.o.d"
+  "libvsplice_common.a"
+  "libvsplice_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

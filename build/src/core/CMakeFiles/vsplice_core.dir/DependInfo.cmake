@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandwidth_estimator.cc" "src/core/CMakeFiles/vsplice_core.dir/bandwidth_estimator.cc.o" "gcc" "src/core/CMakeFiles/vsplice_core.dir/bandwidth_estimator.cc.o.d"
+  "/root/repo/src/core/extraction.cc" "src/core/CMakeFiles/vsplice_core.dir/extraction.cc.o" "gcc" "src/core/CMakeFiles/vsplice_core.dir/extraction.cc.o.d"
+  "/root/repo/src/core/playlist.cc" "src/core/CMakeFiles/vsplice_core.dir/playlist.cc.o" "gcc" "src/core/CMakeFiles/vsplice_core.dir/playlist.cc.o.d"
+  "/root/repo/src/core/pool_policy.cc" "src/core/CMakeFiles/vsplice_core.dir/pool_policy.cc.o" "gcc" "src/core/CMakeFiles/vsplice_core.dir/pool_policy.cc.o.d"
+  "/root/repo/src/core/segment.cc" "src/core/CMakeFiles/vsplice_core.dir/segment.cc.o" "gcc" "src/core/CMakeFiles/vsplice_core.dir/segment.cc.o.d"
+  "/root/repo/src/core/segment_sizing.cc" "src/core/CMakeFiles/vsplice_core.dir/segment_sizing.cc.o" "gcc" "src/core/CMakeFiles/vsplice_core.dir/segment_sizing.cc.o.d"
+  "/root/repo/src/core/splicer.cc" "src/core/CMakeFiles/vsplice_core.dir/splicer.cc.o" "gcc" "src/core/CMakeFiles/vsplice_core.dir/splicer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsplice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vsplice_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_core.dir/bandwidth_estimator.cc.o"
+  "CMakeFiles/vsplice_core.dir/bandwidth_estimator.cc.o.d"
+  "CMakeFiles/vsplice_core.dir/extraction.cc.o"
+  "CMakeFiles/vsplice_core.dir/extraction.cc.o.d"
+  "CMakeFiles/vsplice_core.dir/playlist.cc.o"
+  "CMakeFiles/vsplice_core.dir/playlist.cc.o.d"
+  "CMakeFiles/vsplice_core.dir/pool_policy.cc.o"
+  "CMakeFiles/vsplice_core.dir/pool_policy.cc.o.d"
+  "CMakeFiles/vsplice_core.dir/segment.cc.o"
+  "CMakeFiles/vsplice_core.dir/segment.cc.o.d"
+  "CMakeFiles/vsplice_core.dir/segment_sizing.cc.o"
+  "CMakeFiles/vsplice_core.dir/segment_sizing.cc.o.d"
+  "CMakeFiles/vsplice_core.dir/splicer.cc.o"
+  "CMakeFiles/vsplice_core.dir/splicer.cc.o.d"
+  "libvsplice_core.a"
+  "libvsplice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_experiments.dir/paper_setup.cc.o"
+  "CMakeFiles/vsplice_experiments.dir/paper_setup.cc.o.d"
+  "CMakeFiles/vsplice_experiments.dir/sweep.cc.o"
+  "CMakeFiles/vsplice_experiments.dir/sweep.cc.o.d"
+  "libvsplice_experiments.a"
+  "libvsplice_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

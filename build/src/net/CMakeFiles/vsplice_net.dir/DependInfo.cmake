@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_schedule.cc" "src/net/CMakeFiles/vsplice_net.dir/bandwidth_schedule.cc.o" "gcc" "src/net/CMakeFiles/vsplice_net.dir/bandwidth_schedule.cc.o.d"
+  "/root/repo/src/net/connection.cc" "src/net/CMakeFiles/vsplice_net.dir/connection.cc.o" "gcc" "src/net/CMakeFiles/vsplice_net.dir/connection.cc.o.d"
+  "/root/repo/src/net/cross_traffic.cc" "src/net/CMakeFiles/vsplice_net.dir/cross_traffic.cc.o" "gcc" "src/net/CMakeFiles/vsplice_net.dir/cross_traffic.cc.o.d"
+  "/root/repo/src/net/fair_share.cc" "src/net/CMakeFiles/vsplice_net.dir/fair_share.cc.o" "gcc" "src/net/CMakeFiles/vsplice_net.dir/fair_share.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/vsplice_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/vsplice_net.dir/network.cc.o.d"
+  "/root/repo/src/net/tcp_model.cc" "src/net/CMakeFiles/vsplice_net.dir/tcp_model.cc.o" "gcc" "src/net/CMakeFiles/vsplice_net.dir/tcp_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsplice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vsplice_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_net.dir/bandwidth_schedule.cc.o"
+  "CMakeFiles/vsplice_net.dir/bandwidth_schedule.cc.o.d"
+  "CMakeFiles/vsplice_net.dir/connection.cc.o"
+  "CMakeFiles/vsplice_net.dir/connection.cc.o.d"
+  "CMakeFiles/vsplice_net.dir/cross_traffic.cc.o"
+  "CMakeFiles/vsplice_net.dir/cross_traffic.cc.o.d"
+  "CMakeFiles/vsplice_net.dir/fair_share.cc.o"
+  "CMakeFiles/vsplice_net.dir/fair_share.cc.o.d"
+  "CMakeFiles/vsplice_net.dir/network.cc.o"
+  "CMakeFiles/vsplice_net.dir/network.cc.o.d"
+  "CMakeFiles/vsplice_net.dir/tcp_model.cc.o"
+  "CMakeFiles/vsplice_net.dir/tcp_model.cc.o.d"
+  "libvsplice_net.a"
+  "libvsplice_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

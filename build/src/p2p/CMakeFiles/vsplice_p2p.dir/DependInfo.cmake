@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/bitfield.cc" "src/p2p/CMakeFiles/vsplice_p2p.dir/bitfield.cc.o" "gcc" "src/p2p/CMakeFiles/vsplice_p2p.dir/bitfield.cc.o.d"
+  "/root/repo/src/p2p/churn.cc" "src/p2p/CMakeFiles/vsplice_p2p.dir/churn.cc.o" "gcc" "src/p2p/CMakeFiles/vsplice_p2p.dir/churn.cc.o.d"
+  "/root/repo/src/p2p/leecher.cc" "src/p2p/CMakeFiles/vsplice_p2p.dir/leecher.cc.o" "gcc" "src/p2p/CMakeFiles/vsplice_p2p.dir/leecher.cc.o.d"
+  "/root/repo/src/p2p/peer.cc" "src/p2p/CMakeFiles/vsplice_p2p.dir/peer.cc.o" "gcc" "src/p2p/CMakeFiles/vsplice_p2p.dir/peer.cc.o.d"
+  "/root/repo/src/p2p/swarm.cc" "src/p2p/CMakeFiles/vsplice_p2p.dir/swarm.cc.o" "gcc" "src/p2p/CMakeFiles/vsplice_p2p.dir/swarm.cc.o.d"
+  "/root/repo/src/p2p/tracker.cc" "src/p2p/CMakeFiles/vsplice_p2p.dir/tracker.cc.o" "gcc" "src/p2p/CMakeFiles/vsplice_p2p.dir/tracker.cc.o.d"
+  "/root/repo/src/p2p/wire.cc" "src/p2p/CMakeFiles/vsplice_p2p.dir/wire.cc.o" "gcc" "src/p2p/CMakeFiles/vsplice_p2p.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsplice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vsplice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vsplice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vsplice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/vsplice_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vsplice_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

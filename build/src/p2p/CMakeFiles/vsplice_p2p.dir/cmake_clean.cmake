@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_p2p.dir/bitfield.cc.o"
+  "CMakeFiles/vsplice_p2p.dir/bitfield.cc.o.d"
+  "CMakeFiles/vsplice_p2p.dir/churn.cc.o"
+  "CMakeFiles/vsplice_p2p.dir/churn.cc.o.d"
+  "CMakeFiles/vsplice_p2p.dir/leecher.cc.o"
+  "CMakeFiles/vsplice_p2p.dir/leecher.cc.o.d"
+  "CMakeFiles/vsplice_p2p.dir/peer.cc.o"
+  "CMakeFiles/vsplice_p2p.dir/peer.cc.o.d"
+  "CMakeFiles/vsplice_p2p.dir/swarm.cc.o"
+  "CMakeFiles/vsplice_p2p.dir/swarm.cc.o.d"
+  "CMakeFiles/vsplice_p2p.dir/tracker.cc.o"
+  "CMakeFiles/vsplice_p2p.dir/tracker.cc.o.d"
+  "CMakeFiles/vsplice_p2p.dir/wire.cc.o"
+  "CMakeFiles/vsplice_p2p.dir/wire.cc.o.d"
+  "libvsplice_p2p.a"
+  "libvsplice_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

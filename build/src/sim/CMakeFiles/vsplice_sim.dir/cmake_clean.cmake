@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_sim.dir/simulator.cc.o"
+  "CMakeFiles/vsplice_sim.dir/simulator.cc.o.d"
+  "libvsplice_sim.a"
+  "libvsplice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_streaming.dir/metrics.cc.o"
+  "CMakeFiles/vsplice_streaming.dir/metrics.cc.o.d"
+  "CMakeFiles/vsplice_streaming.dir/playback_buffer.cc.o"
+  "CMakeFiles/vsplice_streaming.dir/playback_buffer.cc.o.d"
+  "CMakeFiles/vsplice_streaming.dir/player.cc.o"
+  "CMakeFiles/vsplice_streaming.dir/player.cc.o.d"
+  "libvsplice_streaming.a"
+  "libvsplice_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/encoder.cc" "src/video/CMakeFiles/vsplice_video.dir/encoder.cc.o" "gcc" "src/video/CMakeFiles/vsplice_video.dir/encoder.cc.o.d"
+  "/root/repo/src/video/frame.cc" "src/video/CMakeFiles/vsplice_video.dir/frame.cc.o" "gcc" "src/video/CMakeFiles/vsplice_video.dir/frame.cc.o.d"
+  "/root/repo/src/video/mp4.cc" "src/video/CMakeFiles/vsplice_video.dir/mp4.cc.o" "gcc" "src/video/CMakeFiles/vsplice_video.dir/mp4.cc.o.d"
+  "/root/repo/src/video/scene.cc" "src/video/CMakeFiles/vsplice_video.dir/scene.cc.o" "gcc" "src/video/CMakeFiles/vsplice_video.dir/scene.cc.o.d"
+  "/root/repo/src/video/video_stream.cc" "src/video/CMakeFiles/vsplice_video.dir/video_stream.cc.o" "gcc" "src/video/CMakeFiles/vsplice_video.dir/video_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsplice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsplice_video.dir/encoder.cc.o"
+  "CMakeFiles/vsplice_video.dir/encoder.cc.o.d"
+  "CMakeFiles/vsplice_video.dir/frame.cc.o"
+  "CMakeFiles/vsplice_video.dir/frame.cc.o.d"
+  "CMakeFiles/vsplice_video.dir/mp4.cc.o"
+  "CMakeFiles/vsplice_video.dir/mp4.cc.o.d"
+  "CMakeFiles/vsplice_video.dir/scene.cc.o"
+  "CMakeFiles/vsplice_video.dir/scene.cc.o.d"
+  "CMakeFiles/vsplice_video.dir/video_stream.cc.o"
+  "CMakeFiles/vsplice_video.dir/video_stream.cc.o.d"
+  "libvsplice_video.a"
+  "libvsplice_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsplice_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsplice_video.a"
+)

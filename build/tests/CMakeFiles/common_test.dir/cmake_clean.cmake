@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/test_bytes_io.cpp.o"
+  "CMakeFiles/common_test.dir/test_bytes_io.cpp.o.d"
+  "CMakeFiles/common_test.dir/test_rng.cpp.o"
+  "CMakeFiles/common_test.dir/test_rng.cpp.o.d"
+  "CMakeFiles/common_test.dir/test_stats.cpp.o"
+  "CMakeFiles/common_test.dir/test_stats.cpp.o.d"
+  "CMakeFiles/common_test.dir/test_strings_table.cpp.o"
+  "CMakeFiles/common_test.dir/test_strings_table.cpp.o.d"
+  "CMakeFiles/common_test.dir/test_units.cpp.o"
+  "CMakeFiles/common_test.dir/test_units.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

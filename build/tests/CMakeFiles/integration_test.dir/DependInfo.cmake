@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cdn.cpp" "tests/CMakeFiles/integration_test.dir/test_cdn.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/test_cdn.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/integration_test.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_swarm_integration.cpp" "tests/CMakeFiles/integration_test.dir/test_swarm_integration.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/test_swarm_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/vsplice_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/vsplice_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/vsplice_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/vsplice_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vsplice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vsplice_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vsplice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vsplice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsplice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

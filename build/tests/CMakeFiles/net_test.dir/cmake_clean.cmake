@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/test_connection.cpp.o"
+  "CMakeFiles/net_test.dir/test_connection.cpp.o.d"
+  "CMakeFiles/net_test.dir/test_fair_share.cpp.o"
+  "CMakeFiles/net_test.dir/test_fair_share.cpp.o.d"
+  "CMakeFiles/net_test.dir/test_network.cpp.o"
+  "CMakeFiles/net_test.dir/test_network.cpp.o.d"
+  "CMakeFiles/net_test.dir/test_tcp_model.cpp.o"
+  "CMakeFiles/net_test.dir/test_tcp_model.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_test.dir/test_mp4.cpp.o"
+  "CMakeFiles/video_test.dir/test_mp4.cpp.o.d"
+  "CMakeFiles/video_test.dir/test_video.cpp.o"
+  "CMakeFiles/video_test.dir/test_video.cpp.o.d"
+  "video_test"
+  "video_test.pdb"
+  "video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
