@@ -5,15 +5,30 @@
 // duration-based splicing, with the peer bandwidth swept over
 // {128, 256, 512, 768} kB/s. Three runs per cell, rounded average, as in
 // Section VI-A.
+//
+//   ./bench_fig2_stalls [--trace BASE]
+//
+// With --trace, every grid cell writes BASE.<bandwidth>.<series>.runN
+// JSONL traces for offline stall attribution.
 #include <cstdio>
+#include <string>
 
 #include "experiments/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsplice;
   using namespace vsplice::experiments;
 
   ScenarioConfig base;  // the paper topology: 20 nodes, 50 ms, 5% loss
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      base.trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace BASE]\n", argv[0]);
+      return 2;
+    }
+  }
   const std::vector<Rate> bandwidths{
       Rate::kilobytes_per_second(128), Rate::kilobytes_per_second(256),
       Rate::kilobytes_per_second(512), Rate::kilobytes_per_second(768)};

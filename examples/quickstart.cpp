@@ -2,13 +2,20 @@
 // through a small P2P swarm on a simulated star network, and print the
 // QoE metrics the paper reports.
 //
-//   ./quickstart [bandwidth_kBps] [splicer] [policy]
+//   ./quickstart [bandwidth_kBps] [splicer] [policy] [flags]
 //   e.g. ./quickstart 256 4s adaptive
 //        ./quickstart 128 gop fixed:4
+//
+// Observability flags:
+//   --trace PATH        write a JSONL event trace of the swarm run
+//                       (also honoured via the VSPLICE_TRACE env var)
+//   --metrics-csv PATH  dump the metrics registry as CSV
+//   --timeline          print the per-viewer stall-attribution timeline
 
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "core/playlist.h"
@@ -22,9 +29,30 @@ int main(int argc, char** argv) {
   double bandwidth_kBps = 256;
   std::string splicer_spec = "4s";
   std::string policy_spec = "adaptive";
-  if (argc > 1) bandwidth_kBps = parse_double(argv[1]).value_or(256);
-  if (argc > 2) splicer_spec = argv[2];
-  if (argc > 3) policy_spec = argv[3];
+  std::string trace_path;
+  std::string metrics_csv_path;
+  bool timeline = false;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-csv" && i + 1 < argc) {
+      metrics_csv_path = argv[++i];
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() > 0)
+    bandwidth_kBps = parse_double(positional[0]).value_or(256);
+  if (positional.size() > 1) splicer_spec = positional[1];
+  if (positional.size() > 2) policy_spec = positional[2];
 
   // 1. The content: a 2-minute, 1 Mbps synthetic MPEG-4 video.
   const video::VideoStream stream = video::make_paper_video();
@@ -69,6 +97,9 @@ int main(int argc, char** argv) {
   config.splicer = splicer_spec;
   config.policy = policy_spec;
   config.bandwidth = Rate::kilobytes_per_second(bandwidth_kBps);
+  config.trace_path = trace_path;
+  config.metrics_csv_path = metrics_csv_path;
+  config.timeline_summary = timeline;
   std::printf("\nstreaming through a %zu-node swarm at %.0f kB/s "
               "(splicer=%s, policy=%s)...\n",
               config.nodes, bandwidth_kBps, splicer_spec.c_str(),
@@ -103,5 +134,11 @@ int main(int argc, char** argv) {
     std::printf("  viewer %zu: %s\n", i + 1,
                 result.viewers[i].summary().c_str());
   }
+
+  if (timeline) std::printf("\n%s", result.timeline.c_str());
+  if (!trace_path.empty())
+    std::printf("\ntrace written to %s\n", trace_path.c_str());
+  if (!metrics_csv_path.empty())
+    std::printf("metrics written to %s\n", metrics_csv_path.c_str());
   return 0;
 }

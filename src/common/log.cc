@@ -1,16 +1,52 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace vsplice {
 
 namespace {
 LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;  // empty = log_to_stderr
+
+// VSPLICE_LOG_LEVEL is applied once, lazily, so it overrides whatever a
+// binary compiled in before its first log call; explicit set_log_level
+// calls made afterwards still win (a deliberate runtime decision beats
+// the environment).
+void apply_env_level_once() {
+  static const bool applied = [] {
+    if (const char* env = std::getenv("VSPLICE_LOG_LEVEL")) {
+      LogLevel parsed;
+      if (parse_log_level(env, parsed)) {
+        g_level = parsed;
+      } else {
+        std::fprintf(stderr,
+                     "[warn] log: unrecognized VSPLICE_LOG_LEVEL '%s' "
+                     "(want debug|info|warn|error|off)\n",
+                     env);
+      }
+    }
+    return true;
+  }();
+  (void)applied;
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  apply_env_level_once();
+  g_level = level;
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  apply_env_level_once();
+  return g_level;
+}
+
+LogSink set_log_sink(LogSink sink) {
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
 
 const char* to_string(LogLevel level) {
   switch (level) {
@@ -28,11 +64,31 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
-void log_message(LogLevel level, const std::string& component,
-                 const std::string& message) {
-  if (level < g_level) return;
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                         LogLevel::Error, LogLevel::Off}) {
+    if (name == to_string(level)) {
+      out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+void log_to_stderr(LogLevel level, const std::string& component,
+                   const std::string& message) {
   std::fprintf(stderr, "[%s] %s: %s\n", to_string(level), component.c_str(),
                message.c_str());
+}
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (level < log_level()) return;
+  if (g_sink) {
+    g_sink(level, component, message);
+    return;
+  }
+  log_to_stderr(level, component, message);
 }
 
 }  // namespace vsplice

@@ -1,11 +1,18 @@
-// Minimal leveled logger.
+// Minimal leveled logger with a pluggable sink.
 //
 // Simulations are run thousands of times inside benchmark sweeps, so the
 // default level is Warn; examples raise it to Info/Debug to narrate what
-// the swarm is doing. Not thread-safe by design — the simulator is
-// single-threaded (discrete-event), so there is nothing to synchronize.
+// the swarm is doing. The VSPLICE_LOG_LEVEL environment variable
+// (debug|info|warn|error|off) overrides the compiled-in default at first
+// use, so benches and examples can raise verbosity without recompiling.
+// Messages route through an installable sink (default: stderr) — the
+// observability layer installs a TraceBus-aware sink that mirrors log
+// lines into the event trace. Not thread-safe by design — the simulator
+// is single-threaded (discrete-event), so there is nothing to
+// synchronize.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,14 +21,33 @@ namespace vsplice {
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 /// Process-wide minimum level; messages below it are discarded.
+/// VSPLICE_LOG_LEVEL, when set, wins over values established before the
+/// first log call; later set_log_level calls win over the environment.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line to stderr: "[level] component: message".
+/// Receives every message that passes the level filter.
+using LogSink =
+    std::function<void(LogLevel, const std::string& component,
+                       const std::string& message)>;
+
+/// Installs `sink` in place of the default stderr writer and returns the
+/// previous sink (empty = default). Pass an empty function to restore
+/// the default. Sinks that still want terminal output should call
+/// log_to_stderr themselves.
+LogSink set_log_sink(LogSink sink);
+
+/// The default sink: one line to stderr, "[level] component: message".
+void log_to_stderr(LogLevel level, const std::string& component,
+                   const std::string& message);
+
+/// Filters by level, then hands the message to the installed sink.
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
 
 [[nodiscard]] const char* to_string(LogLevel level);
+/// Inverse of to_string; returns false on an unrecognized name.
+bool parse_log_level(const std::string& name, LogLevel& out);
 
 namespace detail {
 

@@ -1,7 +1,9 @@
 #include "experiments/paper_setup.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -10,12 +12,22 @@
 #include "core/pool_policy.h"
 #include "core/splicer.h"
 #include "net/network.h"
+#include "obs/exporters.h"
 #include "p2p/churn.h"
 #include "p2p/swarm.h"
 #include "sim/simulator.h"
 #include "video/encoder.h"
 
 namespace vsplice::experiments {
+
+namespace {
+/// The configured trace path, or the VSPLICE_TRACE fallback.
+std::string resolve_trace_path(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  const char* env = std::getenv("VSPLICE_TRACE");
+  return env != nullptr ? std::string{env} : std::string{};
+}
+}  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   require(config.nodes >= 2, "need at least a seeder and one viewer");
@@ -41,6 +53,23 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // --- Network: star topology, per-node loss contribution chosen so the
   // end-to-end loss between any two peers matches the configured value.
   sim::Simulator sim;
+
+  // Observability: installed for the scope of this run when any output
+  // was requested. Nests under any context the caller pre-installed
+  // (tests drive their own Observability; then none is created here
+  // and the caller's bus sees every event).
+  const std::string trace_path = resolve_trace_path(config.trace_path);
+  std::optional<obs::Observability> observability;
+  if (!trace_path.empty() || config.timeline_summary ||
+      !config.metrics_csv_path.empty()) {
+    obs::ObsOptions obs_options;
+    obs_options.trace_path = trace_path;
+    obs_options.collect_events = config.timeline_summary;
+    obs_options.metrics_csv_path = config.metrics_csv_path;
+    obs_options.clock = [&sim] { return sim.now(); };
+    observability.emplace(std::move(obs_options));
+  }
+
   net::Network network{sim};
   const double node_loss = 1.0 - std::sqrt(1.0 - config.pair_loss);
 
@@ -153,6 +182,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   result.pieces_aborted = swarm.stats().pieces_aborted;
   result.network_bytes_delivered = network.stats().bytes_delivered;
+  if (observability && config.timeline_summary) {
+    result.timeline = observability->timeline();
+  }
   return result;
 }
 
@@ -163,8 +195,15 @@ RepeatedResult run_repeated(ScenarioConfig config, int repetitions) {
   std::vector<double> stall_seconds;
   std::vector<double> startup;
   std::vector<double> per_viewer;
+  // Each repetition gets its own trace file; a shared path would be
+  // truncated by every run after the first.
+  const std::string base_trace = resolve_trace_path(config.trace_path);
   for (int r = 0; r < repetitions; ++r) {
     config.seed = static_cast<std::uint64_t>(r + 1) * std::uint64_t{1000003};
+    config.trace_path = base_trace;
+    if (!base_trace.empty() && repetitions > 1) {
+      config.trace_path = base_trace + ".run" + std::to_string(r + 1);
+    }
     ScenarioResult run = run_scenario(config);
     stalls.push_back(run.total_stalls);
     stall_seconds.push_back(run.total_stall_seconds);

@@ -52,6 +52,16 @@ struct ScenarioConfig {
   /// Enable churn (off for the paper's figures).
   bool churn = false;
   Duration churn_mean_lifetime = Duration::seconds(90.0);
+
+  /// JSONL event-trace destination for this run. Empty = fall back to
+  /// the VSPLICE_TRACE environment variable (empty there too = no
+  /// trace). Identical seeds produce byte-identical files.
+  std::string trace_path;
+  /// Metrics-registry CSV destination; empty = none.
+  std::string metrics_csv_path;
+  /// Keep the event stream in memory and fill ScenarioResult::timeline
+  /// with the per-viewer stall-attribution summary.
+  bool timeline_summary = false;
 };
 
 struct ScenarioResult {
@@ -89,6 +99,9 @@ struct ScenarioResult {
   Bytes seeder_uploaded = 0;
   Bytes peers_uploaded = 0;
   double network_bytes_delivered = 0;
+
+  /// Stall-attribution timeline (only when timeline_summary was set).
+  std::string timeline;
 };
 
 /// Runs one full swarm simulation.

@@ -6,6 +6,24 @@
 
 namespace vsplice::experiments {
 
+namespace {
+/// "256 kB/s" + "GOP based" -> "256kBs_GOP_based" (filesystem-safe).
+std::string sanitize_label(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else if (c == ' ' || c == '-' || c == '_') {
+      if (!out.empty() && out.back() != '_') out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+}  // namespace
+
 Table SweepResult::table(
     const std::function<double(const RepeatedResult&)>& metric,
     int decimals) const {
@@ -48,6 +66,12 @@ SweepResult run_sweep(const ScenarioConfig& base,
       ScenarioConfig config = base;
       config.bandwidth = bandwidth;
       s.apply(config);
+      if (!base.trace_path.empty()) {
+        // One trace per grid cell; run_repeated adds .runN per seed.
+        config.trace_path = base.trace_path + "." +
+                            sanitize_label(bandwidth_label(bandwidth)) +
+                            "." + sanitize_label(s.label);
+      }
       row.push_back(SweepCell{run_repeated(config, repetitions)});
     }
     result.cells.push_back(std::move(row));

@@ -1,6 +1,8 @@
 #include "net/connection.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vsplice::net {
 
@@ -37,6 +39,11 @@ void Connection::connect(std::function<void()> on_established) {
         connect_event_ = sim::kInvalidEventId;
         state_ = State::Established;
         last_activity_ = net_.simulator().now();
+        obs::count("net.connections_opened");
+        obs::emit(net_.simulator().now(),
+                  obs::ConnectionOpened{
+                      id_, static_cast<std::int64_t>(client_.value),
+                      static_cast<std::int64_t>(server_.value)});
         cb();
       });
 }
@@ -174,8 +181,16 @@ void Connection::finish_fetch(bool aborted, Bytes delivered) {
 
 void Connection::close() {
   if (state_ == State::Closed) return;
+  const bool was_established = state_ == State::Established;
   state_ = State::Closed;
   cancel_tracked_events();
+  if (was_established) {
+    obs::count("net.connections_closed");
+    obs::emit(net_.simulator().now(),
+              obs::ConnectionClosed{
+                  id_, static_cast<std::int64_t>(client_.value),
+                  static_cast<std::int64_t>(server_.value)});
+  }
   if (fetch_.has_value()) {
     // Detach the flow first so its on_abort sees no active fetch, then
     // report the abort to the caller ourselves.

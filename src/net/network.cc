@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace vsplice::net {
 
@@ -11,6 +12,10 @@ namespace {
 // A flow is done when less than this many bytes remain; absorbs the
 // microsecond rounding of completion times.
 constexpr double kDoneTolerance = 1e-3;
+
+// Flow lifetime/size distributions for the metrics registry.
+constexpr obs::HistogramSpec kFlowSecondsSpec{0.0, 1.0, 120};
+constexpr obs::HistogramSpec kFlowKilobytesSpec{0.0, 50.0, 100};
 }  // namespace
 
 Network::Network(sim::Simulator& sim, TcpParams tcp)
@@ -89,11 +94,13 @@ FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size, Rate cap,
 
   const FlowId id{next_flow_++};
   ++stats_.flows_started;
+  obs::count("net.flows_started");
 
   advance_progress();
   Flow flow;
   flow.src = src;
   flow.dst = dst;
+  flow.started = sim_.now();
   flow.path = {LinkId{0}, uplink_of(src), downlink_of(dst)};
   flow.total = static_cast<double>(size);
   flow.remaining = static_cast<double>(size);
@@ -121,6 +128,10 @@ bool Network::abort_flow(FlowId id) {
     sim_.cancel(flow.completion_event);
   flows_.erase(it);
   ++stats_.flows_aborted;
+  obs::count("net.flows_aborted");
+  obs::count("net.bytes_wasted",
+             static_cast<std::uint64_t>(
+                 std::max(0.0, flow.total - flow.remaining)));
   reallocate();
   if (flow.callbacks.on_abort) {
     flow.callbacks.on_abort(
@@ -277,6 +288,13 @@ void Network::finish_flow(FlowId id) {
   Flow done = std::move(flow);
   flows_.erase(it);
   ++stats_.flows_completed;
+  obs::count("net.flows_completed");
+  obs::count("net.bytes_delivered",
+             static_cast<std::uint64_t>(done.total));
+  obs::observe("net.flow_duration_s",
+               (sim_.now() - done.started).as_seconds(), kFlowSecondsSpec);
+  obs::observe("net.flow_kilobytes", done.total / 1000.0,
+               kFlowKilobytesSpec);
   reallocate();
   done.callbacks.on_complete();
 }

@@ -115,6 +115,7 @@ class Network {
   struct Flow {
     NodeId src;
     NodeId dst;
+    TimePoint started;
     std::vector<LinkId> path;
     double total = 0.0;      // bytes requested at start
     double remaining = 0.0;  // bytes; fractional to avoid rounding drift

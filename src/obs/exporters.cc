@@ -1,0 +1,627 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vsplice::obs {
+
+// ----------------------------------------------------------------- JSONL
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Serializer keeps one fixed field order per kind so identical seeded
+// runs produce byte-identical traces.
+class FieldWriter {
+ public:
+  explicit FieldWriter(std::string& out) : out_{out} {}
+
+  void field(const char* key, std::int64_t v) {
+    begin(key);
+    out_ += std::to_string(v);
+  }
+  // std::size_t binds here too (it is unsigned long on this toolchain; a
+  // separate overload would be a redefinition).
+  void field(const char* key, std::uint64_t v) {
+    begin(key);
+    out_ += std::to_string(v);
+  }
+  void field(const char* key, int v) {
+    field(key, static_cast<std::int64_t>(v));
+  }
+  void field(const char* key, double v) {
+    begin(key);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+  }
+  void field(const char* key, Duration d) { field(key, d.count_micros()); }
+  void field(const char* key, const std::string& v) {
+    begin(key);
+    append_escaped(out_, v);
+  }
+
+ private:
+  void begin(const char* key) {
+    out_ += ",\"";
+    out_ += key;
+    out_ += "\":";
+  }
+  std::string& out_;
+};
+
+struct PayloadSerializer {
+  FieldWriter& w;
+
+  void operator()(const SegmentRequested& p) const {
+    w.field("node", p.node);
+    w.field("holder", p.holder);
+    w.field("segment", p.segment);
+    w.field("bytes", p.bytes);
+  }
+  void operator()(const SegmentReceived& p) const {
+    w.field("node", p.node);
+    w.field("holder", p.holder);
+    w.field("segment", p.segment);
+    w.field("bytes", p.bytes);
+    w.field("elapsed_us", p.elapsed);
+  }
+  void operator()(const SegmentAborted& p) const {
+    w.field("node", p.node);
+    w.field("holder", p.holder);
+    w.field("segment", p.segment);
+    w.field("bytes_wasted", p.bytes_wasted);
+  }
+  void operator()(const StallBegin& p) const {
+    w.field("node", p.node);
+    w.field("playhead_us", p.playhead);
+    w.field("segment", p.segment);
+  }
+  void operator()(const StallEnd& p) const {
+    w.field("node", p.node);
+    w.field("playhead_us", p.playhead);
+    w.field("duration_us", p.duration);
+    w.field("segment", p.segment);
+  }
+  void operator()(const PoolSizeChanged& p) const {
+    w.field("node", p.node);
+    w.field("pool", p.pool);
+    w.field("bandwidth_bps", p.bandwidth_bps);
+    w.field("buffered_us", p.buffered);
+  }
+  void operator()(const BufferLevel& p) const {
+    w.field("node", p.node);
+    w.field("buffered_us", p.buffered);
+  }
+  void operator()(const PeerJoined& p) const { w.field("node", p.node); }
+  void operator()(const PeerLeft& p) const { w.field("node", p.node); }
+  void operator()(const ConnectionOpened& p) const {
+    w.field("conn", p.conn);
+    w.field("client", p.client);
+    w.field("server", p.server);
+  }
+  void operator()(const ConnectionClosed& p) const {
+    w.field("conn", p.conn);
+    w.field("client", p.client);
+    w.field("server", p.server);
+  }
+  void operator()(const PlaybackStarted& p) const {
+    w.field("node", p.node);
+    w.field("startup_us", p.startup);
+  }
+  void operator()(const PlaybackFinished& p) const {
+    w.field("node", p.node);
+    w.field("completion_us", p.completion);
+  }
+  void operator()(const LogMessage& p) const {
+    w.field("level", p.level);
+    w.field("component", p.component);
+    w.field("text", p.text);
+  }
+};
+
+}  // namespace
+
+std::string to_jsonl(const Event& event) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"t_us\":";
+  out += std::to_string(event.time.count_micros());
+  out += ",\"seq\":";
+  out += std::to_string(event.seq);
+  out += ",\"kind\":\"";
+  out += kind_name(event.payload);
+  out += '"';
+  FieldWriter writer{out};
+  std::visit(PayloadSerializer{writer}, event.payload);
+  out += '}';
+  return out;
+}
+
+namespace {
+
+// Minimal parser for the flat objects to_jsonl writes: string keys,
+// string-or-number values, no nesting.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_{line} {}
+
+  bool parse(std::map<std::string, std::string>& out) {
+    skip_ws();
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return done();
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      std::string value;
+      if (peek() == '"') {
+        if (!parse_string(value)) return false;
+      } else {
+        if (!parse_number(value)) return false;
+      }
+      out.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) {
+        skip_ws();
+        continue;
+      }
+      if (consume('}')) return done();
+      return false;
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+  bool done() {
+    skip_ws();
+    return pos_ == s_.size() || s_[pos_] == '\r';
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          if (std::sscanf(s_.c_str() + pos_, "%4x", &code) != 1)
+            return false;
+          pos_ += 4;
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(std::string& out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == 'i' ||
+            s_[pos_] == 'n' || s_[pos_] == 'f' || s_[pos_] == 'a')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<ParsedEvent> parse_jsonl_line(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  LineParser parser{line};
+  if (!parser.parse(fields)) return std::nullopt;
+  const auto t = fields.find("t_us");
+  const auto seq = fields.find("seq");
+  const auto kind = fields.find("kind");
+  if (t == fields.end() || seq == fields.end() || kind == fields.end()) {
+    return std::nullopt;
+  }
+  ParsedEvent out;
+  try {
+    out.t_us = std::stoll(t->second);
+    out.seq = std::stoull(seq->second);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  out.kind = kind->second;
+  fields.erase(t->first);
+  fields.erase("seq");
+  fields.erase("kind");
+  out.fields = std::move(fields);
+  return out;
+}
+
+void JsonlWriter::write(const Event& event) {
+  out_ << to_jsonl(event) << '\n';
+  ++lines_;
+}
+
+TraceBus::SubscriptionId JsonlWriter::attach(TraceBus& bus) {
+  return bus.subscribe([this](const Event& event) { write(event); });
+}
+
+TraceBus::SubscriptionId TraceRecorder::attach(TraceBus& bus) {
+  return bus.subscribe(
+      [this](const Event& event) { events_.push_back(event); });
+}
+
+// ----------------------------------------------------- stall attribution
+
+namespace {
+
+std::string node_name(std::int64_t node) {
+  return node < 0 ? "node?" : "node" + std::to_string(node);
+}
+
+std::string seconds(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", t.as_seconds());
+  return buf;
+}
+
+std::string seconds(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", d.as_seconds());
+  return buf;
+}
+
+std::string kilobytes(Bytes b) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f kB", static_cast<double>(b) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<StallExplanation> explain_stalls(
+    const std::vector<Event>& events) {
+  // Median transfer size across the whole trace — the yardstick for
+  // calling a blocking segment "oversized" (a static-scene GOP is several
+  // times the typical segment).
+  std::vector<Bytes> sizes;
+  for (const Event& e : events) {
+    if (const auto* r = std::get_if<SegmentRequested>(&e.payload)) {
+      sizes.push_back(r->bytes);
+    }
+  }
+  Bytes median_size = 0;
+  if (!sizes.empty()) {
+    std::nth_element(
+        sizes.begin(),
+        sizes.begin() + static_cast<std::ptrdiff_t>(sizes.size() / 2),
+        sizes.end());
+    median_size = sizes[sizes.size() / 2];
+  }
+
+  std::vector<StallExplanation> out;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto* begin = std::get_if<StallBegin>(&events[i].payload);
+    if (begin == nullptr) continue;
+
+    StallExplanation ex;
+    ex.node = begin->node;
+    ex.start = events[i].time;
+    ex.segment = begin->segment;
+
+    // Pair with this viewer's next StallEnd.
+    bool resolved = false;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const auto* end = std::get_if<StallEnd>(&events[j].payload);
+      if (end != nullptr && end->node == begin->node) {
+        ex.end = events[j].time;
+        ex.duration = end->duration;
+        resolved = true;
+        break;
+      }
+    }
+    const TimePoint window_end = resolved ? ex.end : TimePoint::infinity();
+
+    // Everything the trace knows about the blocking segment.
+    TimePoint first_request = TimePoint::infinity();
+    std::size_t request_count = 0;
+    Bytes segment_bytes = 0;
+    const SegmentAborted* last_abort = nullptr;
+    TimePoint last_abort_time;
+    const SegmentReceived* received = nullptr;
+    int pool_at_stall = -1;
+    for (const Event& e : events) {
+      if (e.time > window_end) break;
+      if (const auto* r = std::get_if<SegmentRequested>(&e.payload)) {
+        if (r->node == ex.node && r->segment == ex.segment) {
+          first_request = std::min(first_request, e.time);
+          ++request_count;
+          segment_bytes = r->bytes;
+        }
+      } else if (const auto* a = std::get_if<SegmentAborted>(&e.payload)) {
+        if (a->node == ex.node && a->segment == ex.segment &&
+            e.time >= first_request) {
+          last_abort = a;
+          last_abort_time = e.time;
+        }
+      } else if (const auto* r2 = std::get_if<SegmentReceived>(&e.payload)) {
+        if (r2->node == ex.node && r2->segment == ex.segment) received = r2;
+      } else if (const auto* p = std::get_if<PoolSizeChanged>(&e.payload)) {
+        if (p->node == ex.node && e.time <= ex.start) {
+          pool_at_stall = p->pool;
+        }
+      }
+    }
+
+    const std::string seg = "segment " + std::to_string(ex.segment);
+    if (request_count == 0) {
+      ex.category = "never_requested";
+      ex.cause = seg + " was never requested before the stall " +
+                 (resolved ? "ended" : "and the trace ran out") +
+                 " (scheduler starvation)";
+    } else if (last_abort != nullptr) {
+      // A dead transfer forced a re-fetch; was it churn or a hangup?
+      bool holder_left = false;
+      for (const Event& e : events) {
+        if (e.time > last_abort_time) break;
+        const auto* left = std::get_if<PeerLeft>(&e.payload);
+        if (left != nullptr && left->node == last_abort->holder &&
+            e.time >= first_request) {
+          holder_left = true;
+        }
+      }
+      if (holder_left) {
+        ex.category = "holder_left";
+        ex.cause = "holder " + node_name(last_abort->holder) +
+                   " left the swarm mid-transfer of " + seg + " (" +
+                   kilobytes(last_abort->bytes_wasted) +
+                   " wasted); re-fetched from another holder";
+      } else {
+        ex.category = "transfer_aborted";
+        ex.cause = "transfer of " + seg + " from " +
+                   node_name(last_abort->holder) + " aborted (" +
+                   kilobytes(last_abort->bytes_wasted) +
+                   " wasted); re-fetched from another holder";
+      }
+    } else if (!resolved) {
+      ex.category = "unresolved";
+      ex.cause = seg + " (" + kilobytes(segment_bytes) +
+                 ") was still in flight when the trace ended";
+    } else if (median_size > 0 && segment_bytes > 2 * median_size) {
+      ex.category = "oversized_segment";
+      ex.cause = seg + " is " + kilobytes(segment_bytes) + " vs a median of " +
+                 kilobytes(median_size) +
+                 " — an oversized (static-scene GOP) segment outlasted the "
+                 "buffer";
+    } else if (pool_at_stall >= 0 && pool_at_stall <= 1) {
+      ex.category = "pool_collapsed";
+      ex.cause = "download pool collapsed to " +
+                 std::to_string(pool_at_stall) +
+                 " (Eq. 1: B*T < W), serializing behind " + seg + " (" +
+                 kilobytes(segment_bytes) + ")";
+    } else {
+      ex.category = "bandwidth_shortfall";
+      const Duration transfer = received != nullptr
+                                    ? received->elapsed
+                                    : ex.end - first_request;
+      ex.cause = "bandwidth shortfall: " + seg + " (" +
+                 kilobytes(segment_bytes) + ") took " + seconds(transfer) +
+                 " s to arrive";
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::string summarize_timeline(const std::vector<Event>& events) {
+  struct SessionInfo {
+    bool joined = false;
+    TimePoint join_time;
+    bool started = false;
+    TimePoint start_time;
+    Duration startup = Duration::zero();
+    bool finished = false;
+    TimePoint finish_time;
+    Duration completion = Duration::zero();
+    bool left = false;
+    TimePoint left_time;
+  };
+  std::map<std::int64_t, SessionInfo> sessions;
+  for (const Event& e : events) {
+    if (const auto* p = std::get_if<PeerJoined>(&e.payload)) {
+      SessionInfo& s = sessions[p->node];
+      s.joined = true;
+      s.join_time = e.time;
+    } else if (const auto* p2 = std::get_if<PlaybackStarted>(&e.payload)) {
+      SessionInfo& s = sessions[p2->node];
+      s.started = true;
+      s.start_time = e.time;
+      s.startup = p2->startup;
+    } else if (const auto* p3 = std::get_if<PlaybackFinished>(&e.payload)) {
+      SessionInfo& s = sessions[p3->node];
+      s.finished = true;
+      s.finish_time = e.time;
+      s.completion = p3->completion;
+    } else if (const auto* p4 = std::get_if<PeerLeft>(&e.payload)) {
+      SessionInfo& s = sessions[p4->node];
+      s.left = true;
+      s.left_time = e.time;
+    }
+  }
+
+  const std::vector<StallExplanation> stalls = explain_stalls(events);
+
+  std::ostringstream out;
+  out << "=== session timeline: " << sessions.size() << " viewers, "
+      << stalls.size() << " stalls, " << events.size() << " events ===\n";
+  for (const auto& [node, s] : sessions) {
+    out << node_name(node) << ":";
+    if (s.joined) out << " joined " << seconds(s.join_time) << "s;";
+    if (s.started) {
+      out << " started " << seconds(s.start_time) << "s (startup "
+          << seconds(s.startup) << "s);";
+    }
+    if (s.finished) {
+      out << " finished " << seconds(s.finish_time) << "s (session "
+          << seconds(s.completion) << "s);";
+    }
+    if (s.left) out << " left " << seconds(s.left_time) << "s;";
+    if (!s.joined && !s.started) out << " (no session events);";
+    out << "\n";
+    std::size_t n = 0;
+    for (const StallExplanation& ex : stalls) {
+      if (ex.node != node) continue;
+      ++n;
+      out << "  stall #" << n << " at " << seconds(ex.start) << "s";
+      if (ex.end.is_infinite()) {
+        out << " (unresolved)";
+      } else {
+        out << " for " << seconds(ex.duration) << "s";
+      }
+      out << " waiting on segment " << ex.segment << ": " << ex.cause
+          << "\n";
+    }
+  }
+
+  std::map<std::string, std::size_t> tally;
+  for (const StallExplanation& ex : stalls) ++tally[ex.category];
+  out << "=== stall causes ===\n";
+  if (tally.empty()) out << "  (no stalls)\n";
+  for (const auto& [category, count] : tally) {
+    out << "  " << category << ": " << count << "\n";
+  }
+  return out.str();
+}
+
+// --------------------------------------------------------------- metrics
+
+std::string metrics_csv(const MetricsRegistry& registry) {
+  return registry.to_csv();
+}
+
+// ---------------------------------------------------------- Observability
+
+Observability::Observability(ObsOptions options)
+    : options_{std::move(options)}, scope_{&bus_, &registry_} {
+  if (!options_.trace_path.empty()) {
+    trace_file_.open(options_.trace_path, std::ios::trunc);
+    require(trace_file_.is_open(),
+            "cannot open trace file '" + options_.trace_path + "'");
+    file_writer_ = std::make_unique<JsonlWriter>(trace_file_);
+    file_writer_->attach(bus_);
+  }
+  if (options_.trace_stream != nullptr) {
+    stream_writer_ = std::make_unique<JsonlWriter>(*options_.trace_stream);
+    stream_writer_->attach(bus_);
+  }
+  if (options_.collect_events) recorder_.attach(bus_);
+  if (options_.capture_logs) {
+    previous_sink_ = set_log_sink(
+        [this](LogLevel level, const std::string& component,
+               const std::string& message) {
+          log_to_stderr(level, component, message);
+          bus_.emit(options_.clock ? options_.clock()
+                                   : TimePoint::origin(),
+                    LogMessage{static_cast<int>(level), component, message});
+        });
+    sink_installed_ = true;
+  }
+}
+
+Observability::~Observability() {
+  if (sink_installed_) set_log_sink(std::move(previous_sink_));
+  if (!options_.metrics_csv_path.empty()) {
+    write_metrics_csv(options_.metrics_csv_path);
+  }
+  if (trace_file_.is_open()) trace_file_.flush();
+}
+
+std::string Observability::timeline() const {
+  return summarize_timeline(recorder_.events());
+}
+
+void Observability::write_metrics_csv(const std::string& path) const {
+  std::ofstream out{path, std::ios::trunc};
+  require(out.is_open(), "cannot open metrics CSV '" + path + "'");
+  out << registry_.to_csv();
+}
+
+}  // namespace vsplice::obs

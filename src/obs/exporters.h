@@ -1,0 +1,180 @@
+// Trace and metrics exporters.
+//
+// Three consumers of the TraceBus:
+//   - JsonlWriter: one JSON object per event, append-only, deterministic
+//     field order — identical seeded runs produce byte-identical files.
+//   - TraceRecorder: keeps events in memory for post-run analysis.
+//   - explain_stalls()/summarize_timeline(): joins each stall against the
+//     in-flight segment, churn, and pool-size events around it and names
+//     the cause (holder left, transfer aborted, oversized GOP, pool
+//     collapse, plain bandwidth shortfall, ...).
+// Plus metrics_csv() for the MetricsRegistry, parse_jsonl_line() for
+// round-tripping traces back in, and Observability — the one-stop bundle
+// (bus + registry + exporters + scoped install + log capture) that
+// run_scenario and the CLI tools use.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vsplice::obs {
+
+// ----------------------------------------------------------------- JSONL
+
+/// One event as a single-line JSON object:
+///   {"t_us":120000,"seq":7,"kind":"stall_begin","node":3,...}
+[[nodiscard]] std::string to_jsonl(const Event& event);
+
+/// A parsed trace line: the envelope plus every payload field as raw
+/// text (numbers unquoted as written, strings unescaped).
+struct ParsedEvent {
+  std::int64_t t_us = 0;
+  std::uint64_t seq = 0;
+  std::string kind;
+  std::map<std::string, std::string> fields;
+};
+
+/// Parses one line written by to_jsonl (flat JSON object, string and
+/// number values). Returns nullopt on malformed input.
+[[nodiscard]] std::optional<ParsedEvent> parse_jsonl_line(
+    const std::string& line);
+
+/// Streams every event of the bus it subscribes to as JSONL.
+class JsonlWriter {
+ public:
+  /// `out` must outlive the subscription.
+  explicit JsonlWriter(std::ostream& out) : out_{out} {}
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  void write(const Event& event);
+  /// Subscribes this writer; caller owns the subscription id.
+  TraceBus::SubscriptionId attach(TraceBus& bus);
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t lines_ = 0;
+};
+
+// -------------------------------------------------------------- recorder
+
+/// Buffers events in memory, in emission order.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  TraceBus::SubscriptionId attach(TraceBus& bus);
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+// ----------------------------------------------------- stall attribution
+
+/// Why a viewer stalled, derived purely from the event trace.
+struct StallExplanation {
+  std::int64_t node = -1;
+  TimePoint start;
+  /// Infinite when the stall never resolved within the trace.
+  TimePoint end = TimePoint::infinity();
+  Duration duration = Duration::zero();
+  /// The segment whose absence blocked playback.
+  std::size_t segment = 0;
+  /// Machine-checkable bucket: holder_left | transfer_aborted |
+  /// oversized_segment | pool_collapsed | bandwidth_shortfall |
+  /// never_requested | unresolved.
+  std::string category;
+  /// Human-readable one-liner with the numbers behind the verdict.
+  std::string cause;
+};
+
+/// Joins every StallBegin against the segment/churn/pool events around
+/// it. Every stall receives a non-empty category and cause.
+[[nodiscard]] std::vector<StallExplanation> explain_stalls(
+    const std::vector<Event>& events);
+
+/// Per-viewer session timelines (join/start/stalls/finish) with each
+/// stall attributed, followed by a cause tally.
+[[nodiscard]] std::string summarize_timeline(
+    const std::vector<Event>& events);
+
+// --------------------------------------------------------------- metrics
+
+/// Same rows as MetricsRegistry::to_csv (kept as a free function so the
+/// exporter set is discoverable in one header).
+[[nodiscard]] std::string metrics_csv(const MetricsRegistry& registry);
+
+// --------------------------------------------------- one-stop session API
+
+struct ObsOptions {
+  /// JSONL trace destination; empty = no file.
+  std::string trace_path;
+  /// Alternative trace sink for tests (used in addition to trace_path).
+  std::ostream* trace_stream = nullptr;
+  /// Keep events in memory so timeline()/events() work after the run.
+  bool collect_events = false;
+  /// Metrics CSV destination, written on destruction; empty = none.
+  std::string metrics_csv_path;
+  /// Stamps events derived from log lines (pass the scenario's
+  /// [&sim] { return sim.now(); }); origin timestamps when absent.
+  std::function<TimePoint()> clock;
+  /// Mirror log lines that pass the level filter into the trace.
+  bool capture_logs = true;
+};
+
+/// Owns a TraceBus + MetricsRegistry, installs them as the scoped
+/// globals, attaches the requested exporters, and (optionally) hooks the
+/// log sink so VSPLICE_LOG output lands in the trace too. Destruction
+/// flushes files and restores the previous context.
+class Observability {
+ public:
+  explicit Observability(ObsOptions options);
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+  ~Observability();
+
+  [[nodiscard]] TraceBus& bus() { return bus_; }
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+
+  /// Recorded events; empty unless collect_events was requested.
+  [[nodiscard]] const std::vector<Event>& events() const {
+    return recorder_.events();
+  }
+  /// summarize_timeline over the recorded events.
+  [[nodiscard]] std::string timeline() const;
+
+  /// Writes the metrics CSV now (also done automatically on destruction
+  /// when metrics_csv_path is set).
+  void write_metrics_csv(const std::string& path) const;
+
+ private:
+  ObsOptions options_;
+  TraceBus bus_;
+  MetricsRegistry registry_;
+  TraceRecorder recorder_;
+  std::ofstream trace_file_;
+  std::unique_ptr<JsonlWriter> file_writer_;
+  std::unique_ptr<JsonlWriter> stream_writer_;
+  LogSink previous_sink_;
+  bool sink_installed_ = false;
+  ScopedObs scope_;
+};
+
+}  // namespace vsplice::obs

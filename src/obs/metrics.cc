@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vsplice::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    require(it->second.counter != nullptr,
+            "metric '" + std::string{name} + "' is not a counter");
+    return *it->second.counter;
+  }
+  Metric metric;
+  metric.counter = std::make_unique<Counter>();
+  Counter& ref = *metric.counter;
+  metrics_.emplace(std::string{name}, std::move(metric));
+  return ref;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    require(it->second.gauge != nullptr,
+            "metric '" + std::string{name} + "' is not a gauge");
+    return *it->second.gauge;
+  }
+  Metric metric;
+  metric.gauge = std::make_unique<Gauge>();
+  Gauge& ref = *metric.gauge;
+  metrics_.emplace(std::string{name}, std::move(metric));
+  return ref;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            const HistogramSpec& spec) {
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    require(it->second.histogram != nullptr,
+            "metric '" + std::string{name} + "' is not a histogram");
+    return *it->second.histogram;
+  }
+  require(spec.buckets > 0, "histogram needs at least one bucket");
+  require(spec.bucket_width > 0.0, "histogram bucket width must be > 0");
+  Metric metric;
+  metric.histogram = std::make_unique<HistogramMetric>(spec);
+  HistogramMetric& ref = *metric.histogram;
+  metrics_.emplace(std::string{name}, std::move(metric));
+  return ref;
+}
+
+std::size_t MetricsRegistry::size() const { return metrics_.size(); }
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) out.push_back(name);
+  return out;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.gauge.get();
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : it->second.histogram.get();
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_csv() const {
+  std::ostringstream out;
+  out << "metric,type,count,value,mean,min,max\n";
+  for (const auto& [name, metric] : metrics_) {
+    if (metric.counter) {
+      out << name << ",counter,," << metric.counter->value() << ",,,\n";
+    } else if (metric.gauge) {
+      const OnlineStats& s = metric.gauge->samples();
+      out << name << ",gauge," << s.count() << ","
+          << format_double(metric.gauge->value()) << ","
+          << format_double(s.mean()) << "," << format_double(s.min()) << ","
+          << format_double(s.max()) << "\n";
+    } else if (metric.histogram) {
+      const OnlineStats& s = metric.histogram->stats();
+      out << name << ",histogram," << s.count() << ","
+          << format_double(s.sum()) << "," << format_double(s.mean()) << ","
+          << format_double(s.min()) << "," << format_double(s.max()) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace vsplice::obs

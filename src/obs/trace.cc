@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace vsplice::obs {
+
+namespace {
+
+struct KindNamer {
+  const char* operator()(const SegmentRequested&) const {
+    return "segment_requested";
+  }
+  const char* operator()(const SegmentReceived&) const {
+    return "segment_received";
+  }
+  const char* operator()(const SegmentAborted&) const {
+    return "segment_aborted";
+  }
+  const char* operator()(const StallBegin&) const { return "stall_begin"; }
+  const char* operator()(const StallEnd&) const { return "stall_end"; }
+  const char* operator()(const PoolSizeChanged&) const {
+    return "pool_size_changed";
+  }
+  const char* operator()(const BufferLevel&) const { return "buffer_level"; }
+  const char* operator()(const PeerJoined&) const { return "peer_joined"; }
+  const char* operator()(const PeerLeft&) const { return "peer_left"; }
+  const char* operator()(const ConnectionOpened&) const {
+    return "connection_opened";
+  }
+  const char* operator()(const ConnectionClosed&) const {
+    return "connection_closed";
+  }
+  const char* operator()(const PlaybackStarted&) const {
+    return "playback_started";
+  }
+  const char* operator()(const PlaybackFinished&) const {
+    return "playback_finished";
+  }
+  const char* operator()(const LogMessage&) const { return "log"; }
+};
+
+}  // namespace
+
+const char* kind_name(const Payload& payload) {
+  return std::visit(KindNamer{}, payload);
+}
+
+TraceBus::SubscriptionId TraceBus::subscribe(Sink sink) {
+  const SubscriptionId id = next_subscription_++;
+  sinks_.push_back(Subscription{id, std::move(sink)});
+  return id;
+}
+
+bool TraceBus::unsubscribe(SubscriptionId id) {
+  const auto it =
+      std::find_if(sinks_.begin(), sinks_.end(),
+                   [id](const Subscription& s) { return s.id == id; });
+  if (it == sinks_.end()) return false;
+  sinks_.erase(it);
+  return true;
+}
+
+void TraceBus::emit(TimePoint time, Payload payload) {
+  Event event;
+  event.time = time;
+  event.seq = next_seq_++;
+  event.payload = std::move(payload);
+  for (const Subscription& subscription : sinks_) {
+    subscription.sink(event);
+  }
+}
+
+}  // namespace vsplice::obs

@@ -1,0 +1,236 @@
+// Event tracing for the simulation stack.
+//
+// A TraceBus carries typed, timestamped events (segment lifecycle, stalls,
+// pool-size decisions, peer churn, connection lifecycle, playback
+// milestones) from every layer to any number of subscribed sinks (JSONL
+// writer, in-memory recorder, ...). Timestamps are the emitting
+// component's Simulator::now(), so traces are bit-deterministic across
+// identical seeded runs.
+//
+// Emission is zero-overhead when disabled: call sites go through the
+// inline obs::emit() helper, which is a single pointer test when no bus
+// is installed (or the installed bus has no sinks). The simulation is
+// single-threaded, so the installed bus is a plain global with scoped
+// install/restore (ScopedObs) — no synchronization, no indirection on
+// the hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vsplice::obs {
+
+class MetricsRegistry;
+
+// ----------------------------------------------------------- event types
+//
+// All payloads are plain structs of integral/duration fields (plus the
+// log text), cheap to build even when a bus is installed. Node/peer ids
+// are raw integers (-1 = not applicable) so obs stays below net/p2p in
+// the layering.
+
+/// A leecher asked `holder` for a segment (REQUEST sent).
+struct SegmentRequested {
+  std::int64_t node = -1;
+  std::int64_t holder = -1;
+  std::size_t segment = 0;
+  Bytes bytes = 0;  // transfer size of the segment
+};
+
+/// The segment's PIECE payload fully arrived.
+struct SegmentReceived {
+  std::int64_t node = -1;
+  std::int64_t holder = -1;
+  std::size_t segment = 0;
+  Bytes bytes = 0;
+  /// Download start (first request) -> last byte.
+  Duration elapsed = Duration::zero();
+};
+
+/// An in-flight transfer died (holder left, connection closed, stale).
+struct SegmentAborted {
+  std::int64_t node = -1;
+  std::int64_t holder = -1;
+  std::size_t segment = 0;
+  Bytes bytes_wasted = 0;
+};
+
+/// The playhead caught the download frontier.
+struct StallBegin {
+  std::int64_t node = -1;
+  /// Media position at which playback froze.
+  Duration playhead = Duration::zero();
+  /// The segment whose absence blocks playback (the buffer frontier).
+  std::size_t segment = 0;
+};
+
+/// The blocking segment arrived and playback resumed.
+struct StallEnd {
+  std::int64_t node = -1;
+  Duration playhead = Duration::zero();
+  Duration duration = Duration::zero();
+  std::size_t segment = 0;
+};
+
+/// The adaptive pool target (Eq. 1) changed.
+struct PoolSizeChanged {
+  std::int64_t node = -1;
+  int pool = 0;
+  /// The B and T the policy saw.
+  double bandwidth_bps = 0.0;
+  Duration buffered = Duration::zero();
+};
+
+/// Playable runway after a segment landed (sampled buffer level).
+struct BufferLevel {
+  std::int64_t node = -1;
+  Duration buffered = Duration::zero();
+};
+
+struct PeerJoined {
+  std::int64_t node = -1;
+};
+
+struct PeerLeft {
+  std::int64_t node = -1;
+};
+
+/// A connection finished its handshake.
+struct ConnectionOpened {
+  std::uint64_t conn = 0;
+  std::int64_t client = -1;
+  std::int64_t server = -1;
+};
+
+struct ConnectionClosed {
+  std::uint64_t conn = 0;
+  std::int64_t client = -1;
+  std::int64_t server = -1;
+};
+
+/// First frame rendered.
+struct PlaybackStarted {
+  std::int64_t node = -1;
+  Duration startup = Duration::zero();
+};
+
+/// Last frame rendered.
+struct PlaybackFinished {
+  std::int64_t node = -1;
+  Duration completion = Duration::zero();
+};
+
+/// A log line routed through the TraceBus-aware sink (common/log.h).
+struct LogMessage {
+  int level = 0;  // LogLevel as int, to keep obs independent of log.h
+  std::string component;
+  std::string text;
+};
+
+using Payload =
+    std::variant<SegmentRequested, SegmentReceived, SegmentAborted,
+                 StallBegin, StallEnd, PoolSizeChanged, BufferLevel,
+                 PeerJoined, PeerLeft, ConnectionOpened, ConnectionClosed,
+                 PlaybackStarted, PlaybackFinished, LogMessage>;
+
+struct Event {
+  /// Simulated time at emission (the emitter's Simulator::now()).
+  TimePoint time;
+  /// Emission order, unique per bus; tie-breaks equal timestamps.
+  std::uint64_t seq = 0;
+  Payload payload;
+};
+
+/// Stable snake_case name of the payload alternative ("stall_begin", ...).
+[[nodiscard]] const char* kind_name(const Payload& payload);
+
+// ------------------------------------------------------------- TraceBus
+
+class TraceBus {
+ public:
+  using Sink = std::function<void(const Event&)>;
+  using SubscriptionId = std::uint64_t;
+
+  TraceBus() = default;
+  TraceBus(const TraceBus&) = delete;
+  TraceBus& operator=(const TraceBus&) = delete;
+
+  /// Registers a sink; every subsequent event is delivered to it in
+  /// emission order.
+  SubscriptionId subscribe(Sink sink);
+  /// Returns false if the id was never issued or already removed.
+  bool unsubscribe(SubscriptionId id);
+
+  /// True when at least one sink is listening.
+  [[nodiscard]] bool active() const { return !sinks_.empty(); }
+
+  void emit(TimePoint time, Payload payload);
+
+  [[nodiscard]] std::uint64_t events_emitted() const { return next_seq_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    Sink sink;
+  };
+  std::vector<Subscription> sinks_;
+  SubscriptionId next_subscription_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+// ----------------------------------------------- installed global context
+
+namespace detail {
+// Inline globals: the simulation stack is single-threaded by design (see
+// sim/simulator.h), so these are plain pointers, null when observability
+// is off.
+inline TraceBus* g_bus = nullptr;
+inline MetricsRegistry* g_metrics = nullptr;
+}  // namespace detail
+
+[[nodiscard]] inline TraceBus* bus() { return detail::g_bus; }
+[[nodiscard]] inline MetricsRegistry* metrics() { return detail::g_metrics; }
+
+/// True when emitted events actually reach a sink — use to skip building
+/// expensive payloads.
+[[nodiscard]] inline bool tracing() {
+  return detail::g_bus != nullptr && detail::g_bus->active();
+}
+
+/// Emits `payload` at simulated time `time` to the installed bus, if any.
+template <typename P>
+inline void emit(TimePoint time, P&& payload) {
+  if (TraceBus* b = detail::g_bus; b != nullptr && b->active()) {
+    b->emit(time, Payload{std::forward<P>(payload)});
+  }
+}
+
+/// Installs a bus and/or metrics registry for the enclosing scope and
+/// restores the previous ones on destruction (scopes nest; the innermost
+/// wins).
+class ScopedObs {
+ public:
+  ScopedObs(TraceBus* bus, MetricsRegistry* metrics)
+      : previous_bus_{detail::g_bus}, previous_metrics_{detail::g_metrics} {
+    detail::g_bus = bus;
+    detail::g_metrics = metrics;
+  }
+  ScopedObs(const ScopedObs&) = delete;
+  ScopedObs& operator=(const ScopedObs&) = delete;
+  ~ScopedObs() {
+    detail::g_bus = previous_bus_;
+    detail::g_metrics = previous_metrics_;
+  }
+
+ private:
+  TraceBus* previous_bus_;
+  MetricsRegistry* previous_metrics_;
+};
+
+}  // namespace vsplice::obs

@@ -5,7 +5,15 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "p2p/swarm.h"
+
+namespace {
+// Per-segment download latency distribution, 0-60s in quarter-second
+// buckets (segment fetches beyond a minute land in the overflow bucket).
+constexpr vsplice::obs::HistogramSpec kSegmentLatencySpec{0.0, 0.25, 240};
+}  // namespace
 
 namespace vsplice::p2p {
 
@@ -40,6 +48,9 @@ void Leecher::join() {
   require(swarm_.has_seeder(), "cannot join a swarm without a seeder");
   joined_ = true;
   join_time_ = swarm_.simulator().now();
+  obs::emit(join_time_,
+            obs::PeerJoined{static_cast<std::int64_t>(node_.value)});
+  obs::count("p2p.peers_joined");
   fetch_metadata();
 }
 
@@ -121,6 +132,7 @@ void Leecher::on_metadata(const std::string& playlist_text) {
 
   // Our own availability bitfield was sized by the base class from the
   // swarm's ground truth; it matches the playlist (checked above).
+  config_.player.trace_id = static_cast<std::int64_t>(node_.value);
   player_ = std::make_unique<streaming::Player>(swarm_.simulator(), *index_,
                                                 config_.player);
   player_->on_started = [this] { schedule_downloads(); };
@@ -209,6 +221,15 @@ void Leecher::schedule_downloads() {
   if (!online_ || !index_ || !player_) return;
   if (player_->buffer().complete()) return;
   const int pool = current_pool_target();
+  if (pool != last_pool_emitted_) {
+    last_pool_emitted_ = pool;
+    obs::emit(swarm_.simulator().now(),
+              obs::PoolSizeChanged{
+                  static_cast<std::int64_t>(node_.value), pool,
+                  current_bandwidth_estimate().bytes_per_second() * 8.0,
+                  player_->buffered_ahead()});
+    obs::set_gauge("p2p.pool_target", static_cast<double>(pool));
+  }
   while (downloads_.size() < static_cast<std::size_t>(pool)) {
     const auto next = next_segment_to_fetch();
     if (!next) break;
@@ -292,6 +313,11 @@ void Leecher::attempt_download(Download& download) {
 void Leecher::request_from(Download& download, net::NodeId holder) {
   const std::size_t segment = download.segment;
   download.holder = holder;
+  obs::emit(swarm_.simulator().now(),
+            obs::SegmentRequested{static_cast<std::int64_t>(node_.value),
+                                  static_cast<std::int64_t>(holder.value),
+                                  segment, index_->at(segment).size});
+  obs::count("p2p.segment_requests");
   if (download.conn) swarm_.dispose_connection(std::move(download.conn));
   download.conn = std::make_unique<net::Connection>(swarm_.network(), rng_,
                                                     node_, holder);
@@ -372,12 +398,22 @@ void Leecher::on_piece_outcome(std::size_t segment, net::NodeId holder,
     // Stale: a transfer we already cancelled or reassigned.
     player_->metrics().bytes_wasted += result.bytes_delivered;
     player_->metrics().bytes_downloaded += result.bytes_delivered;
+    obs::emit(swarm_.simulator().now(),
+              obs::SegmentAborted{static_cast<std::int64_t>(node_.value),
+                                  static_cast<std::int64_t>(holder.value),
+                                  segment, result.bytes_delivered});
+    obs::count("p2p.segments_aborted");
     return;
   }
   Download& download = it->second;
   player_->metrics().bytes_downloaded += result.bytes_delivered;
   if (result.aborted) {
     player_->metrics().bytes_wasted += result.bytes_delivered;
+    obs::emit(swarm_.simulator().now(),
+              obs::SegmentAborted{static_cast<std::int64_t>(node_.value),
+                                  static_cast<std::int64_t>(holder.value),
+                                  segment, result.bytes_delivered});
+    obs::count("p2p.segments_aborted");
     download.tried.insert(holder);
     if (download.conn) swarm_.dispose_connection(std::move(download.conn));
     attempt_download(download);
@@ -391,6 +427,16 @@ void Leecher::on_segment_complete(std::size_t segment, Bytes bytes,
                                   Duration elapsed) {
   const auto it = downloads_.find(segment);
   if (it != downloads_.end()) last_server_ = it->second.holder;
+  const std::int64_t holder_id =
+      it != downloads_.end()
+          ? static_cast<std::int64_t>(it->second.holder.value)
+          : -1;
+  obs::emit(swarm_.simulator().now(),
+            obs::SegmentReceived{static_cast<std::int64_t>(node_.value),
+                                 holder_id, segment, bytes, elapsed});
+  obs::count("p2p.segments_received");
+  obs::observe("p2p.segment_latency_s", elapsed.as_seconds(),
+               kSegmentLatencySpec);
   cancel_download(segment);
   have_.set(segment);
   if (config_.estimate_bandwidth) estimator_.record(bytes, elapsed);

@@ -167,6 +167,10 @@ class Leecher final : public Peer {
 
   std::map<std::size_t, Download> downloads_;
   std::unique_ptr<sim::PeriodicTask> tick_;
+  /// Last pool target reported on the trace bus (-1 = none yet); pool
+  /// changes are only interesting as transitions, so equal values are
+  /// suppressed.
+  int last_pool_emitted_ = -1;
 };
 
 }  // namespace vsplice::p2p

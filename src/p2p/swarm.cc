@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vsplice::p2p {
 
@@ -82,9 +84,11 @@ void Swarm::deliver(net::NodeId from, net::NodeId to, net::Connection& conn,
   Peer* target = find(to);
   if (target == nullptr || !target->online()) {
     ++stats_.messages_dropped;
+    obs::count("swarm.messages_dropped");
     return;
   }
   ++stats_.messages_routed;
+  obs::count("swarm.messages_routed");
   target->handle_message(from, conn, bytes);
 }
 
@@ -105,6 +109,9 @@ void Swarm::notify_piece_outcome(net::NodeId client, net::NodeId server,
 
 void Swarm::broadcast_peer_left(net::NodeId who) {
   VSPLICE_INFO("swarm") << who.to_string() << " left the swarm";
+  obs::emit(simulator().now(),
+            obs::PeerLeft{static_cast<std::int64_t>(who.value)});
+  obs::count("p2p.peers_left");
   for (auto& peer : peers_) {
     if (peer->node() != who && peer->online()) peer->on_peer_left(who);
   }

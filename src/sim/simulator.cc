@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace vsplice::sim {
 
@@ -12,6 +13,7 @@ EventId Simulator::at(TimePoint t, std::function<void()> fn) {
   queue_.push(Entry{t, next_sequence_++, id});
   pending_.insert(id);
   callbacks_.emplace(id, std::move(fn));
+  obs::count("sim.events_scheduled");
   return id;
 }
 
@@ -26,6 +28,7 @@ bool Simulator::cancel(EventId id) {
   pending_.erase(it);
   callbacks_.erase(id);
   cancelled_.insert(id);
+  obs::count("sim.events_cancelled");
   return true;
 }
 
@@ -47,6 +50,8 @@ void Simulator::fire(const Entry& entry) {
   auto node = callbacks_.extract(entry.id);
   check_invariant(!node.empty(), "pending event without a callback");
   ++fired_count_;
+  obs::count("sim.events_fired");
+  obs::set_gauge("sim.queue_depth", static_cast<double>(pending_.size()));
   if (event_limit_ != 0 && fired_count_ > event_limit_) {
     throw InternalError{"simulator event limit exceeded (" +
                         std::to_string(event_limit_) +

@@ -1,17 +1,46 @@
 #include "streaming/metrics.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace vsplice::streaming {
+
+Duration QoeMetrics::mean_stall_duration() const {
+  if (stall_count == 0) return Duration::zero();
+  return total_stall_duration / static_cast<double>(stall_count);
+}
+
+Duration QoeMetrics::max_stall_duration() const {
+  Duration worst = Duration::zero();
+  for (const StallEvent& stall : stalls) {
+    if (stall.duration > worst) worst = stall.duration;
+  }
+  return worst;
+}
+
+double QoeMetrics::wasted_fraction() const {
+  if (bytes_downloaded <= 0) return 0.0;
+  return static_cast<double>(bytes_wasted) /
+         static_cast<double>(bytes_downloaded);
+}
 
 std::string QoeMetrics::summary() const {
   std::ostringstream out;
   out << "startup=" << (started ? startup_time.to_string() : "never")
       << " stalls=" << stall_count
-      << " stall_time=" << total_stall_duration.to_string()
-      << " finished=" << (finished ? completion_time.to_string() : "no")
+      << " stall_time=" << total_stall_duration.to_string();
+  if (stall_count > 0) {
+    out << " stall_mean=" << mean_stall_duration().to_string()
+        << " stall_max=" << max_stall_duration().to_string();
+  }
+  out << " finished=" << (finished ? completion_time.to_string() : "no")
       << " downloaded=" << format_bytes(bytes_downloaded)
       << " wasted=" << format_bytes(bytes_wasted);
+  if (bytes_downloaded > 0) {
+    char pct[16];
+    std::snprintf(pct, sizeof pct, "%.1f%%", 100.0 * wasted_fraction());
+    out << " (" << pct << ")";
+  }
   return out.str();
 }
 

@@ -34,6 +34,13 @@ struct QoeMetrics {
   /// Bytes fetched that were thrown away (aborted transfers, duplicates).
   Bytes bytes_wasted = 0;
 
+  /// Average length of a stall; zero when there were none.
+  [[nodiscard]] Duration mean_stall_duration() const;
+  /// Longest single stall; zero when there were none.
+  [[nodiscard]] Duration max_stall_duration() const;
+  /// Fraction of downloaded bytes that were discarded, in [0, 1].
+  [[nodiscard]] double wasted_fraction() const;
+
   [[nodiscard]] std::string summary() const;
 };
 

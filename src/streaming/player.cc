@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vsplice::streaming {
 
@@ -31,6 +33,12 @@ void Player::start_session(TimePoint session_start) {
 
 void Player::on_segment_downloaded(std::size_t segment) {
   buffer_.mark_downloaded(segment);
+  if (obs::tracing()) {
+    obs::emit(sim_.now(), obs::BufferLevel{config_.trace_id,
+                                           buffer_.buffered_ahead(playhead())});
+  }
+  obs::set_gauge("player.buffer_level_s",
+                 buffer_.buffered_ahead(playhead()).as_seconds());
   switch (state_) {
     case State::WaitingForStart:
       if (session_started_) maybe_start_playback();
@@ -48,6 +56,11 @@ void Player::on_segment_downloaded(std::size_t segment) {
         anchor_time_ = sim_.now();
         anchor_media_ = metrics_.stalls.back().playhead;
         state_ = State::Playing;
+        obs::emit(sim_.now(),
+                  obs::StallEnd{config_.trace_id,
+                                metrics_.stalls.back().playhead, stalled,
+                                stall_segment_});
+        obs::observe("player.stall_duration_s", stalled.as_seconds());
         schedule_exhaustion();
         if (on_resume) on_resume();
       }
@@ -63,6 +76,9 @@ void Player::maybe_start_playback() {
   if (buffer_.frontier() < need) return;
   metrics_.started = true;
   metrics_.startup_time = sim_.now() - session_start_;
+  obs::emit(sim_.now(),
+            obs::PlaybackStarted{config_.trace_id, metrics_.startup_time});
+  obs::observe("player.startup_s", metrics_.startup_time.as_seconds());
   begin_playing();
   if (on_started) on_started();
 }
@@ -115,11 +131,15 @@ void Player::handle_exhaustion() {
   }
   state_ = State::Stalled;
   stall_started_ = sim_.now();
+  stall_segment_ = buffer_.frontier();
   StallEvent stall;
   stall.start = sim_.now();
   stall.playhead = buffer_.frontier_time();
   metrics_.stalls.push_back(stall);
   ++metrics_.stall_count;
+  obs::emit(sim_.now(), obs::StallBegin{config_.trace_id, stall.playhead,
+                                        stall_segment_});
+  obs::count("player.stalls");
   VSPLICE_DEBUG("player") << "stall #" << metrics_.stall_count << " at media "
                           << stall.playhead.to_string();
   if (on_stall) on_stall();
@@ -129,6 +149,9 @@ void Player::finish() {
   state_ = State::Finished;
   metrics_.finished = true;
   metrics_.completion_time = sim_.now() - session_start_;
+  obs::emit(sim_.now(), obs::PlaybackFinished{config_.trace_id,
+                                              metrics_.completion_time});
+  obs::count("player.finished");
   if (on_finished) on_finished();
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "common/units.h"
@@ -23,6 +24,9 @@ struct PlayerConfig {
   /// Contiguous segments required before the first frame renders
   /// (HLS players typically render after one full segment).
   std::size_t startup_segments = 1;
+  /// Identity stamped on this player's trace events (the owning
+  /// leecher's node id); -1 for anonymous/unit-test players.
+  std::int64_t trace_id = -1;
 };
 
 class Player {
@@ -90,6 +94,8 @@ class Player {
   Duration anchor_media_ = Duration::zero();
 
   TimePoint stall_started_ = TimePoint::origin();
+  /// Frontier segment whose absence caused the current stall.
+  std::size_t stall_segment_ = 0;
   sim::EventId exhaustion_event_ = sim::kInvalidEventId;
 };
 

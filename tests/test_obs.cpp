@@ -1,0 +1,360 @@
+// Observability stack: TraceBus ordering, registry correctness, JSONL
+// round-trips, cross-run determinism, and stall attribution.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "experiments/paper_setup.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace vsplice;
+using namespace vsplice::obs;
+
+// ----------------------------------------------------------------- bus
+
+TEST(TraceBus, DeliversInEmissionOrderWithSequentialSeq) {
+  TraceBus bus;
+  std::vector<Event> seen;
+  bus.subscribe([&](const Event& e) { seen.push_back(e); });
+
+  bus.emit(TimePoint::from_seconds(1.0), PeerJoined{3});
+  bus.emit(TimePoint::from_seconds(1.0), StallBegin{3, Duration::zero(), 7});
+  bus.emit(TimePoint::from_seconds(2.0),
+           StallEnd{3, Duration::zero(), Duration::seconds(1.0), 7});
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].seq, 0u);
+  EXPECT_EQ(seen[1].seq, 1u);
+  EXPECT_EQ(seen[2].seq, 2u);
+  EXPECT_STREQ(kind_name(seen[0].payload), "peer_joined");
+  EXPECT_STREQ(kind_name(seen[1].payload), "stall_begin");
+  EXPECT_STREQ(kind_name(seen[2].payload), "stall_end");
+  // Equal timestamps keep emission order via seq.
+  EXPECT_EQ(seen[0].time, seen[1].time);
+  EXPECT_LT(seen[0].seq, seen[1].seq);
+}
+
+TEST(TraceBus, UnsubscribeStopsDelivery) {
+  TraceBus bus;
+  int delivered = 0;
+  const auto id = bus.subscribe([&](const Event&) { ++delivered; });
+  EXPECT_TRUE(bus.active());
+  bus.emit(TimePoint::origin(), PeerJoined{1});
+  EXPECT_TRUE(bus.unsubscribe(id));
+  EXPECT_FALSE(bus.unsubscribe(id));
+  EXPECT_FALSE(bus.active());
+  bus.emit(TimePoint::origin(), PeerJoined{2});
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(ScopedObs, InstallsAndRestoresNested) {
+  EXPECT_EQ(obs::bus(), nullptr);
+  EXPECT_FALSE(tracing());
+  // Emitting with nothing installed is a safe no-op.
+  emit(TimePoint::origin(), PeerJoined{1});
+  count("nobody.home");
+
+  TraceBus outer_bus;
+  MetricsRegistry outer_registry;
+  std::vector<Event> outer_seen;
+  outer_bus.subscribe([&](const Event& e) { outer_seen.push_back(e); });
+  {
+    ScopedObs outer{&outer_bus, &outer_registry};
+    EXPECT_EQ(obs::bus(), &outer_bus);
+    emit(TimePoint::origin(), PeerJoined{1});
+    {
+      TraceBus inner_bus;
+      std::vector<Event> inner_seen;
+      inner_bus.subscribe([&](const Event& e) { inner_seen.push_back(e); });
+      ScopedObs inner{&inner_bus, nullptr};
+      emit(TimePoint::origin(), PeerJoined{2});
+      count("lost.metric");  // no registry installed: dropped
+      EXPECT_EQ(inner_seen.size(), 1u);
+    }
+    // Inner scope ended: back to the outer bus.
+    emit(TimePoint::origin(), PeerJoined{3});
+    count("outer.metric");
+  }
+  EXPECT_EQ(obs::bus(), nullptr);
+  ASSERT_EQ(outer_seen.size(), 2u);
+  EXPECT_EQ(std::get<PeerJoined>(outer_seen[0].payload).node, 1);
+  EXPECT_EQ(std::get<PeerJoined>(outer_seen[1].payload).node, 3);
+  ASSERT_NE(outer_registry.find_counter("outer.metric"), nullptr);
+  EXPECT_EQ(outer_registry.find_counter("outer.metric")->value(), 1u);
+  EXPECT_EQ(outer_registry.find_counter("lost.metric"), nullptr);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(2);
+  registry.counter("a.count").add(3);
+  EXPECT_EQ(registry.counter("a.count").value(), 5u);
+
+  registry.gauge("b.gauge").set(1.0);
+  registry.gauge("b.gauge").set(4.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("b.gauge").value(), 4.0);
+  EXPECT_EQ(registry.gauge("b.gauge").samples().count(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("b.gauge").samples().min(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("b.gauge").samples().max(), 4.0);
+
+  const HistogramSpec spec{0.0, 1.0, 10};
+  auto& hist = registry.histogram("c.hist", spec);
+  hist.observe(0.5);
+  hist.observe(2.5);
+  hist.observe(2.7);
+  EXPECT_EQ(hist.stats().count(), 3u);
+  EXPECT_EQ(hist.histogram().total_count(), 3u);
+
+  EXPECT_EQ(registry.size(), 3u);
+  const std::vector<std::string> names = registry.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.count");  // sorted
+  EXPECT_EQ(names[1], "b.gauge");
+  EXPECT_EQ(names[2], "c.hist");
+}
+
+TEST(MetricsRegistry, NameCannotChangeKind) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_ANY_THROW(registry.gauge("x"));
+  EXPECT_ANY_THROW(registry.histogram("x"));
+  registry.gauge("y");
+  EXPECT_ANY_THROW(registry.counter("y"));
+}
+
+TEST(MetricsRegistry, CsvIsSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.gauge("zz").set(2.5);
+  registry.counter("aa").add(7);
+  const std::string csv = registry.to_csv();
+  const std::vector<std::string> lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "metric,type,count,value,mean,min,max");
+  EXPECT_EQ(lines[1], "aa,counter,,7,,,");
+  EXPECT_EQ(lines[2], "zz,gauge,1,2.5,2.5,2.5,2.5");
+}
+
+// ---------------------------------------------------------------- JSONL
+
+TEST(Jsonl, RoundTripsEveryKind) {
+  const std::vector<Payload> payloads{
+      SegmentRequested{1, 2, 3, 4096},
+      SegmentReceived{1, 2, 3, 4096, Duration::seconds(1.5)},
+      SegmentAborted{1, 2, 3, 1024},
+      StallBegin{1, Duration::seconds(10.0), 5},
+      StallEnd{1, Duration::seconds(10.0), Duration::seconds(2.0), 5},
+      PoolSizeChanged{1, 4, 1.048576e6, Duration::seconds(8.0)},
+      BufferLevel{1, Duration::seconds(6.0)},
+      PeerJoined{7},
+      PeerLeft{7},
+      ConnectionOpened{42, 1, 2},
+      ConnectionClosed{42, 1, 2},
+      PlaybackStarted{1, Duration::seconds(3.25)},
+      PlaybackFinished{1, Duration::seconds(130.0)},
+      LogMessage{2, "swarm", "hello \"world\"\nsecond line"},
+  };
+  std::uint64_t seq = 0;
+  for (const Payload& payload : payloads) {
+    Event event{TimePoint::from_seconds(12.5), seq++, payload};
+    const std::string line = to_jsonl(event);
+    const auto parsed = parse_jsonl_line(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->t_us, 12500000);
+    EXPECT_EQ(parsed->seq, event.seq);
+    EXPECT_EQ(parsed->kind, kind_name(payload)) << line;
+  }
+}
+
+TEST(Jsonl, FieldValuesSurviveTheTrip) {
+  const Event event{TimePoint::from_seconds(2.0), 9,
+                    SegmentReceived{4, 0, 17, 250000,
+                                    Duration::seconds(1.25)}};
+  const auto parsed = parse_jsonl_line(to_jsonl(event));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->fields.at("node"), "4");
+  EXPECT_EQ(parsed->fields.at("holder"), "0");
+  EXPECT_EQ(parsed->fields.at("segment"), "17");
+  EXPECT_EQ(parsed->fields.at("bytes"), "250000");
+  EXPECT_EQ(parsed->fields.at("elapsed_us"), "1250000");
+}
+
+TEST(Jsonl, EscapedStringsRoundTrip) {
+  const Event event{TimePoint::origin(), 0,
+                    LogMessage{1, "net", "tab\there \"quoted\" \\slash"}};
+  const auto parsed = parse_jsonl_line(to_jsonl(event));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->fields.at("component"), "net");
+  EXPECT_EQ(parsed->fields.at("text"), "tab\there \"quoted\" \\slash");
+}
+
+TEST(Jsonl, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_jsonl_line("").has_value());
+  EXPECT_FALSE(parse_jsonl_line("not json").has_value());
+  EXPECT_FALSE(parse_jsonl_line("{\"t_us\":1}").has_value());
+  EXPECT_FALSE(parse_jsonl_line("{\"t_us\":1,\"seq\":0,\"kind\":\"x\"")
+                   .has_value());
+}
+
+// ---------------------------------------------------- scenario determinism
+
+experiments::ScenarioConfig small_scenario() {
+  experiments::ScenarioConfig config;
+  config.nodes = 5;
+  config.bandwidth = Rate::kilobytes_per_second(192);
+  config.splicer = "4s";
+  config.join_spread = Duration::seconds(10.0);
+  config.time_limit = Duration::minutes(20.0);
+  config.seed = 42;
+  return config;
+}
+
+std::string traced_run(const experiments::ScenarioConfig& config) {
+  std::ostringstream trace;
+  ObsOptions options;
+  options.trace_stream = &trace;
+  options.capture_logs = false;  // log text goes to stderr, not the diff
+  Observability observability{options};
+  (void)experiments::run_scenario(config);
+  return trace.str();
+}
+
+TEST(TraceDeterminism, IdenticalSeedsProduceIdenticalTraces) {
+  const auto config = small_scenario();
+  const std::string first = traced_run(config);
+  const std::string second = traced_run(config);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  // The trace carries the event families the tooling joins on.
+  EXPECT_NE(first.find("\"kind\":\"segment_requested\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"segment_received\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"pool_size_changed\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"peer_joined\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"playback_started\""), std::string::npos);
+
+  // Every line is parseable JSONL.
+  for (const std::string& line : split(first, '\n')) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(parse_jsonl_line(line).has_value()) << line;
+  }
+}
+
+TEST(TraceDeterminism, DifferentSeedsDiverge) {
+  auto config = small_scenario();
+  const std::string first = traced_run(config);
+  config.seed = 43;
+  const std::string second = traced_run(config);
+  EXPECT_NE(first, second);
+}
+
+// ------------------------------------------------------ stall attribution
+
+TEST(StallAttribution, SyntheticHolderLeft) {
+  std::vector<Event> events;
+  std::uint64_t seq = 0;
+  auto push = [&](double t, Payload p) {
+    events.push_back(Event{TimePoint::from_seconds(t), seq++, std::move(p)});
+  };
+  push(0.0, PeerJoined{1});
+  push(0.5, SegmentRequested{1, 2, 4, 500000});
+  push(2.0, PeerLeft{2});
+  push(2.0, SegmentAborted{1, 2, 4, 120000});
+  push(2.1, SegmentRequested{1, 0, 4, 500000});
+  push(3.0, StallBegin{1, Duration::seconds(8.0), 4});
+  push(6.0, SegmentReceived{1, 0, 4, 500000, Duration::seconds(5.5)});
+  push(6.0, StallEnd{1, Duration::seconds(8.0), Duration::seconds(3.0), 4});
+
+  const auto explained = explain_stalls(events);
+  ASSERT_EQ(explained.size(), 1u);
+  EXPECT_EQ(explained[0].node, 1);
+  EXPECT_EQ(explained[0].segment, 4u);
+  EXPECT_EQ(explained[0].category, "holder_left");
+  EXPECT_NE(explained[0].cause.find("node2"), std::string::npos);
+  EXPECT_EQ(explained[0].duration, Duration::seconds(3.0));
+}
+
+TEST(StallAttribution, SyntheticNeverRequested) {
+  std::vector<Event> events;
+  events.push_back(
+      Event{TimePoint::from_seconds(1.0), 0,
+            StallBegin{3, Duration::seconds(4.0), 9}});
+  const auto explained = explain_stalls(events);
+  ASSERT_EQ(explained.size(), 1u);
+  EXPECT_EQ(explained[0].category, "never_requested");
+  EXPECT_TRUE(explained[0].end.is_infinite());
+}
+
+TEST(StallAttribution, EveryStallInAStarvedSwarmGetsACause) {
+  // Fig. 2's worst cell in miniature: GOP splicing at a bandwidth well
+  // below the video bitrate guarantees stalls.
+  experiments::ScenarioConfig config;
+  config.nodes = 6;
+  config.bandwidth = Rate::kilobytes_per_second(64);
+  config.splicer = "gop";
+  config.join_spread = Duration::seconds(10.0);
+  config.time_limit = Duration::minutes(30.0);
+  config.seed = 7;
+
+  ObsOptions options;
+  options.collect_events = true;
+  options.capture_logs = false;
+  Observability observability{options};
+  const experiments::ScenarioResult result =
+      experiments::run_scenario(config);
+  ASSERT_GT(result.total_stalls, 0.0);
+
+  const auto explained = explain_stalls(observability.events());
+  EXPECT_EQ(static_cast<double>(explained.size()), result.total_stalls);
+  const std::set<std::string> known{
+      "holder_left",    "transfer_aborted",    "oversized_segment",
+      "pool_collapsed", "bandwidth_shortfall", "never_requested",
+      "unresolved"};
+  for (const auto& ex : explained) {
+    EXPECT_FALSE(ex.category.empty());
+    EXPECT_FALSE(ex.cause.empty());
+    EXPECT_TRUE(known.contains(ex.category)) << ex.category;
+  }
+
+  const std::string timeline = summarize_timeline(observability.events());
+  EXPECT_NE(timeline.find("=== session timeline:"), std::string::npos);
+  EXPECT_NE(timeline.find("=== stall causes ==="), std::string::npos);
+  EXPECT_NE(timeline.find("stall #1"), std::string::npos);
+}
+
+// -------------------------------------------------------- scenario wiring
+
+TEST(ScenarioObservability, TimelineSummaryLandsInTheResult) {
+  auto config = small_scenario();
+  config.timeline_summary = true;
+  const experiments::ScenarioResult result =
+      experiments::run_scenario(config);
+  EXPECT_NE(result.timeline.find("=== session timeline:"),
+            std::string::npos);
+}
+
+TEST(ScenarioObservability, MetricsFlowIntoTheInstalledRegistry) {
+  MetricsRegistry registry;
+  {
+    ScopedObs scope{nullptr, &registry};
+    (void)experiments::run_scenario(small_scenario());
+  }
+  ASSERT_NE(registry.find_counter("p2p.segments_received"), nullptr);
+  EXPECT_GT(registry.find_counter("p2p.segments_received")->value(), 0u);
+  ASSERT_NE(registry.find_counter("net.flows_completed"), nullptr);
+  ASSERT_NE(registry.find_counter("sim.events_fired"), nullptr);
+  ASSERT_NE(registry.find_histogram("p2p.segment_latency_s"), nullptr);
+  EXPECT_GT(
+      registry.find_histogram("p2p.segment_latency_s")->stats().count(), 0u);
+}
+
+}  // namespace

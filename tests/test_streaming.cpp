@@ -224,6 +224,42 @@ TEST(Player, MetricsSummaryIsReadable) {
   const std::string s = f.player.metrics().summary();
   EXPECT_NE(s.find("stalls=0"), std::string::npos);
   EXPECT_NE(s.find("startup="), std::string::npos);
+  // No stalls and no downloads: the stall-shape and waste-percentage
+  // fields stay out of the way.
+  EXPECT_EQ(s.find("stall_mean="), std::string::npos);
+  EXPECT_EQ(s.find("stall_max="), std::string::npos);
+  EXPECT_EQ(s.find('%'), std::string::npos);
+}
+
+TEST(QoeMetrics, StallShapeAndWastedFraction) {
+  QoeMetrics m;
+  m.started = true;
+  m.startup_time = Duration::seconds(1.0);
+  m.stall_count = 2;
+  StallEvent first;
+  first.duration = Duration::seconds(1.0);
+  StallEvent second;
+  second.duration = Duration::seconds(3.0);
+  m.stalls = {first, second};
+  m.total_stall_duration = Duration::seconds(4.0);
+  m.bytes_downloaded = 1000;
+  m.bytes_wasted = 250;
+
+  EXPECT_EQ(m.mean_stall_duration(), Duration::seconds(2.0));
+  EXPECT_EQ(m.max_stall_duration(), Duration::seconds(3.0));
+  EXPECT_DOUBLE_EQ(m.wasted_fraction(), 0.25);
+
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("stall_mean=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("stall_max=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("25.0%"), std::string::npos) << s;
+}
+
+TEST(QoeMetrics, ShapeHelpersAreSafeOnEmptyMetrics) {
+  const QoeMetrics m;
+  EXPECT_EQ(m.mean_stall_duration(), Duration::zero());
+  EXPECT_EQ(m.max_stall_duration(), Duration::zero());
+  EXPECT_DOUBLE_EQ(m.wasted_fraction(), 0.0);
 }
 
 // Property sweep: for any arrival pattern, accounting invariants hold.
