@@ -6,29 +6,30 @@
 // {128, 256, 512, 768} kB/s. Three runs per cell, rounded average, as in
 // Section VI-A.
 //
-//   ./bench_fig2_stalls [--trace BASE]
+//   ./bench_fig2_stalls [--trace BASE] [--report OUT.html]
+//                       [--snapshot OUT.json] [--sample-interval S]
+//                       [--log-level LEVEL]
 //
 // With --trace, every grid cell writes BASE.<bandwidth>.<series>.runN
-// JSONL traces for offline stall attribution.
+// JSONL traces for offline stall attribution. --report/--snapshot run
+// one representative scenario (GOP splicing at 256 kB/s — the cell the
+// paper's discussion centers on) and emit its swarm-health report.
+// Every run writes BENCH_fig2_stalls.json with the tables and checks.
 #include <cstdio>
-#include <string>
 
+#include "bench_cli.h"
+#include "bench_json.h"
 #include "experiments/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace vsplice;
   using namespace vsplice::experiments;
 
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  if (!opts.parsed) return 2;
+
   ScenarioConfig base;  // the paper topology: 20 nodes, 50 ms, 5% loss
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--trace" && i + 1 < argc) {
-      base.trace_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--trace BASE]\n", argv[0]);
-      return 2;
-    }
-  }
+  base.trace_path = opts.trace_base;
   const std::vector<Rate> bandwidths{
       Rate::kilobytes_per_second(128), Rate::kilobytes_per_second(256),
       Rate::kilobytes_per_second(512), Rate::kilobytes_per_second(768)};
@@ -59,27 +60,40 @@ int main(int argc, char** argv) {
                   .to_string()
                   .c_str());
 
+  bench::BenchResults results{"fig2_stalls"};
+  results.add_sweep("stalls", sweep, [](const RepeatedResult& r) {
+    return r.stalls;
+  });
+  results.add_sweep("stalls_per_viewer", sweep, [](const RepeatedResult& r) {
+    return r.mean_stalls_per_viewer;
+  });
+
   // The paper's qualitative findings for this figure.
   std::printf("paper expectations:\n");
   auto stalls = [&](std::size_t b, std::size_t s) {
     return sweep.at(b, s).stalls;
   };
-  const bool gop_worst_mid =
-      stalls(1, 0) >= stalls(1, 2) && stalls(1, 0) >= stalls(1, 3);
-  std::printf("  [%s] GOP splicing stalls more than 4s/8s at 256 kB/s\n",
-              gop_worst_mid ? "ok" : "DIFFERS");
-  const bool two_bad_low = stalls(0, 1) > stalls(0, 2);
-  std::printf("  [%s] 2 sec worse than 4 sec at low bandwidth "
-              "(many small TCP connections)\n",
-              two_bad_low ? "ok" : "DIFFERS");
-  const bool two_converges =
-      stalls(3, 1) <= stalls(0, 1) / 4 ||
-      stalls(3, 1) <= stalls(3, 2) + 10;
-  std::printf("  [%s] 2 sec converges towards 4 sec at high bandwidth\n",
-              two_converges ? "ok" : "DIFFERS");
-  const bool falls_with_bandwidth =
-      stalls(3, 2) < stalls(0, 2) && stalls(3, 1) < stalls(0, 1);
-  std::printf("  [%s] stalls fall as bandwidth grows\n",
-              falls_with_bandwidth ? "ok" : "DIFFERS");
+  results.check("gop_worst_mid",
+                stalls(1, 0) >= stalls(1, 2) && stalls(1, 0) >= stalls(1, 3),
+                "GOP splicing stalls more than 4s/8s at 256 kB/s");
+  results.check("two_bad_low", stalls(0, 1) > stalls(0, 2),
+                "2 sec worse than 4 sec at low bandwidth "
+                "(many small TCP connections)");
+  results.check("two_converges",
+                stalls(3, 1) <= stalls(0, 1) / 4 ||
+                    stalls(3, 1) <= stalls(3, 2) + 10,
+                "2 sec converges towards 4 sec at high bandwidth");
+  results.check("falls_with_bandwidth",
+                stalls(3, 2) < stalls(0, 2) && stalls(3, 1) < stalls(0, 1),
+                "stalls fall as bandwidth grows");
+  results.write();
+
+  // Representative report: the mid-bandwidth GOP cell, where the paper's
+  // splicing argument (and most of the stalls) live.
+  ScenarioConfig representative = base;
+  representative.splicer = "gop";
+  representative.bandwidth = Rate::kilobytes_per_second(256);
+  bench::write_representative_report(representative, opts,
+                                     "Figure 2 — GOP splicing @ 256 kB/s");
   return 0;
 }

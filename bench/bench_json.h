@@ -1,0 +1,148 @@
+// Machine-readable bench output: every figure bench records its swept
+// tables and the pass/fail state of its paper-expectation checks, then
+// writes BENCH_<name>.json next to the working directory so regression
+// tooling can diff runs without scraping stdout.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/sweep.h"
+#include "obs/exporters.h"
+
+namespace vsplice::bench {
+
+/// Accumulates tables, scalar values, and named boolean checks; write()
+/// emits them as deterministic JSON (sorted keys via std::map, %.6g
+/// floats, non-finite values as null).
+class BenchResults {
+ public:
+  explicit BenchResults(std::string name) : name_{std::move(name)} {}
+
+  /// Records one metric view of a sweep grid as rows-by-bandwidth.
+  void add_sweep(
+      const std::string& table,
+      const experiments::SweepResult& sweep,
+      const std::function<double(const experiments::RepeatedResult&)>&
+          metric) {
+    SweepTable& t = tables_[table];
+    t.bandwidths_kBps.clear();
+    for (Rate bw : sweep.bandwidths) {
+      t.bandwidths_kBps.push_back(bw.kilobytes_per_second());
+    }
+    t.series.clear();
+    for (std::size_t s = 0; s < sweep.series_labels.size(); ++s) {
+      std::vector<double> column;
+      for (std::size_t b = 0; b < sweep.bandwidths.size(); ++b) {
+        column.push_back(metric(sweep.at(b, s)));
+      }
+      t.series.emplace_back(sweep.series_labels[s], std::move(column));
+    }
+  }
+
+  /// Prints the usual "  [ok] description" line AND records the verdict
+  /// under `key`. Returns `ok` so callers can chain.
+  bool check(const std::string& key, bool ok, const std::string& text) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "DIFFERS", text.c_str());
+    checks_[key] = ok;
+    return ok;
+  }
+
+  void add_value(const std::string& key, double value) {
+    values_[key] = value;
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a stderr note) when
+  /// the file could not be opened.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+      return false;
+    }
+    out << to_json();
+    out.flush();
+    const bool ok = static_cast<bool>(out);
+    if (ok) std::printf("\nbench data written to %s\n", path.c_str());
+    return ok;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string json = "{\"bench\":" + obs::json_escape(name_);
+    json += ",\"checks\":{";
+    bool first = true;
+    for (const auto& [key, ok] : checks_) {
+      if (!first) json += ",";
+      first = false;
+      json += obs::json_escape(key) + ":";
+      json += ok ? "true" : "false";
+    }
+    json += "},\"tables\":{";
+    first = true;
+    for (const auto& [name, table] : tables_) {
+      if (!first) json += ",";
+      first = false;
+      json += obs::json_escape(name) + ":{\"bandwidths_kBps\":[";
+      for (std::size_t i = 0; i < table.bandwidths_kBps.size(); ++i) {
+        if (i > 0) json += ",";
+        json += number(table.bandwidths_kBps[i]);
+      }
+      json += "],\"series\":{";
+      for (std::size_t s = 0; s < table.series.size(); ++s) {
+        if (s > 0) json += ",";
+        json += obs::json_escape(table.series[s].first) + ":[";
+        const std::vector<double>& column = table.series[s].second;
+        for (std::size_t i = 0; i < column.size(); ++i) {
+          if (i > 0) json += ",";
+          json += number(column[i]);
+        }
+        json += "]";
+      }
+      json += "}}";
+    }
+    json += "},\"values\":{";
+    first = true;
+    for (const auto& [key, value] : values_) {
+      if (!first) json += ",";
+      first = false;
+      json += obs::json_escape(key) + ":" + number(value);
+    }
+    json += "}}";
+    return json;
+  }
+
+  [[nodiscard]] bool all_checks_passed() const {
+    for (const auto& [key, ok] : checks_) {
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct SweepTable {
+    std::vector<double> bandwidths_kBps;
+    // Insertion order preserved: series order is part of the figure.
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+  };
+
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::map<std::string, bool> checks_;
+  std::map<std::string, SweepTable> tables_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace vsplice::bench

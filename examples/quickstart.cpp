@@ -7,16 +7,22 @@
 //        ./quickstart 128 gop fixed:4
 //
 // Observability flags:
-//   --trace PATH        write a JSONL event trace of the swarm run
-//                       (also honoured via the VSPLICE_TRACE env var)
-//   --metrics-csv PATH  dump the metrics registry as CSV
-//   --timeline          print the per-viewer stall-attribution timeline
+//   --trace PATH          write a JSONL event trace of the swarm run
+//                         (also honoured via the VSPLICE_TRACE env var)
+//   --metrics-csv PATH    dump the metrics registry as CSV
+//   --timeline            print the per-viewer stall-attribution timeline
+//   --report OUT.html     self-contained HTML swarm-health report
+//   --snapshot OUT.json   deterministic JSON time-series snapshot
+//   --sample-interval S   swarm sampling cadence in seconds (default 1)
+//   --log-level LEVEL     debug|info|warn|error|off; wins over
+//                         VSPLICE_LOG_LEVEL
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/strings.h"
 #include "core/playlist.h"
 #include "core/splicer.h"
@@ -31,6 +37,9 @@ int main(int argc, char** argv) {
   std::string policy_spec = "adaptive";
   std::string trace_path;
   std::string metrics_csv_path;
+  std::string report_html_path;
+  std::string snapshot_json_path;
+  double sample_interval_s = 0;
   bool timeline = false;
 
   std::vector<std::string> positional;
@@ -40,6 +49,24 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--metrics-csv" && i + 1 < argc) {
       metrics_csv_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_html_path = argv[++i];
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      snapshot_json_path = argv[++i];
+    } else if (arg == "--sample-interval" && i + 1 < argc) {
+      const auto parsed = parse_double(argv[++i]);
+      if (!parsed || *parsed <= 0) {
+        std::fprintf(stderr, "bad --sample-interval: %s\n", argv[i]);
+        return 2;
+      }
+      sample_interval_s = *parsed;
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      LogLevel level{};
+      if (!parse_log_level(argv[++i], level)) {
+        std::fprintf(stderr, "bad --log-level: %s\n", argv[i]);
+        return 2;
+      }
+      set_log_level(level);  // explicit set wins over VSPLICE_LOG_LEVEL
     } else if (arg == "--timeline") {
       timeline = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -100,6 +127,11 @@ int main(int argc, char** argv) {
   config.trace_path = trace_path;
   config.metrics_csv_path = metrics_csv_path;
   config.timeline_summary = timeline;
+  config.report_html_path = report_html_path;
+  config.snapshot_json_path = snapshot_json_path;
+  if (sample_interval_s > 0) {
+    config.sample_interval = Duration::seconds(sample_interval_s);
+  }
   std::printf("\nstreaming through a %zu-node swarm at %.0f kB/s "
               "(splicer=%s, policy=%s)...\n",
               config.nodes, bandwidth_kBps, splicer_spec.c_str(),
@@ -136,9 +168,15 @@ int main(int argc, char** argv) {
   }
 
   if (timeline) std::printf("\n%s", result.timeline.c_str());
+  if (!report_html_path.empty() || !snapshot_json_path.empty())
+    std::printf("\nanomalies flagged: %zu\n", result.anomaly_count);
   if (!trace_path.empty())
     std::printf("\ntrace written to %s\n", trace_path.c_str());
   if (!metrics_csv_path.empty())
     std::printf("metrics written to %s\n", metrics_csv_path.c_str());
+  if (!report_html_path.empty())
+    std::printf("report written to %s\n", report_html_path.c_str());
+  if (!snapshot_json_path.empty())
+    std::printf("snapshot written to %s\n", snapshot_json_path.c_str());
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "experiments/paper_setup.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
@@ -13,6 +14,9 @@
 #include "core/splicer.h"
 #include "net/network.h"
 #include "obs/exporters.h"
+#include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/timeseries.h"
 #include "p2p/churn.h"
 #include "p2p/swarm.h"
 #include "sim/simulator.h"
@@ -26,6 +30,48 @@ std::string resolve_trace_path(const std::string& configured) {
   if (!configured.empty()) return configured;
   const char* env = std::getenv("VSPLICE_TRACE");
   return env != nullptr ? std::string{env} : std::string{};
+}
+
+/// "fig2.html" + run 2 -> "fig2.run2.html" (keeps the extension so the
+/// per-seed reports still open in a browser; traces, which have no
+/// meaningful extension, keep their append-suffix scheme).
+std::string with_run_suffix(const std::string& path, int run) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  const std::string suffix = ".run" + std::to_string(run);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/// The report's run-parameter list, sorted by key for deterministic
+/// snapshots.
+std::vector<std::pair<std::string, std::string>> report_params(
+    const ScenarioConfig& config, Duration sample_interval) {
+  const auto fmt = [](const char* f, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, f, v);
+    return std::string{buf};
+  };
+  std::vector<std::pair<std::string, std::string>> params;
+  params.emplace_back("bandwidth",
+                      fmt("%.0f kB/s", config.bandwidth.kilobytes_per_second()));
+  params.emplace_back("churn", config.churn ? "on" : "off");
+  params.emplace_back("join_spread_s",
+                      fmt("%g", config.join_spread.as_seconds()));
+  params.emplace_back("nodes", std::to_string(config.nodes));
+  params.emplace_back("pair_loss", fmt("%g", config.pair_loss));
+  params.emplace_back("policy", config.policy);
+  params.emplace_back("sample_interval_s",
+                      fmt("%g", sample_interval.as_seconds()));
+  params.emplace_back("seed", std::to_string(config.seed));
+  params.emplace_back("splicer", config.splicer);
+  params.emplace_back("time_limit_s",
+                      fmt("%g", config.time_limit.as_seconds()));
+  params.emplace_back("upload_slots", std::to_string(config.upload_slots));
+  return params;
 }
 }  // namespace
 
@@ -59,12 +105,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // (tests drive their own Observability; then none is created here
   // and the caller's bus sees every event).
   const std::string trace_path = resolve_trace_path(config.trace_path);
+  // The report/snapshot outputs need the swarm sampler, and the sampler's
+  // anomaly scan needs the in-memory event stream for stall attribution.
+  const bool wants_sampling = config.sample_interval.count_micros() > 0 ||
+                              !config.report_html_path.empty() ||
+                              !config.snapshot_json_path.empty();
   std::optional<obs::Observability> observability;
   if (!trace_path.empty() || config.timeline_summary ||
-      !config.metrics_csv_path.empty()) {
+      !config.metrics_csv_path.empty() || wants_sampling) {
     obs::ObsOptions obs_options;
     obs_options.trace_path = trace_path;
-    obs_options.collect_events = config.timeline_summary;
+    obs_options.collect_events = config.timeline_summary || wants_sampling;
     obs_options.metrics_csv_path = config.metrics_csv_path;
     obs_options.clock = [&sim] { return sim.now(); };
     observability.emplace(std::move(obs_options));
@@ -126,6 +177,24 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
            [&churn] { churn->install(); });
   }
 
+  // --- Swarm-health sampling: a periodic probe into a downsampling
+  // time-series store. The sampler lives in obs/ and never sees p2p
+  // types; the swarm hands it plain-data observations.
+  const Duration sample_interval = config.sample_interval.count_micros() > 0
+                                       ? config.sample_interval
+                                       : Duration::seconds(1.0);
+  std::optional<obs::TimeSeriesStore> series_store;
+  std::optional<obs::SwarmSampler> sampler;
+  std::optional<sim::PeriodicTask> sampling_task;
+  if (wants_sampling) {
+    series_store.emplace();
+    sampler.emplace(*series_store, [&swarm] { return swarm.observe(); });
+    sampler->sample(sim.now());  // t=0 baseline
+    sampling_task.emplace(sim, sample_interval,
+                          [&sampler, &sim] { sampler->sample(sim.now()); });
+    sampling_task->start();
+  }
+
   // --- Run until every online viewer finished (checked at a coarse
   // cadence) or the time limit.
   const TimePoint deadline = TimePoint::origin() + config.time_limit;
@@ -185,6 +254,33 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (observability && config.timeline_summary) {
     result.timeline = observability->timeline();
   }
+
+  if (wants_sampling) {
+    sampling_task->stop();
+    sampler->sample(sim.now());  // closing sample at the run's end
+    obs::RunInfo info;
+    info.title = config.report_title;
+    if (info.title.empty()) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.0f kB/s",
+                    config.bandwidth.kilobytes_per_second());
+      info.title = config.splicer + " splicing, " + config.policy +
+                   " pool @ " + buf;
+    }
+    info.params = report_params(config, sample_interval);
+    const obs::ReportData report =
+        obs::build_report(std::move(info), *series_store,
+                          observability->events(), &observability->registry());
+    result.anomaly_count = report.anomalies.size();
+    if (!config.snapshot_json_path.empty()) {
+      obs::write_text_file(config.snapshot_json_path,
+                           obs::render_json_snapshot(report));
+    }
+    if (!config.report_html_path.empty()) {
+      obs::write_text_file(config.report_html_path,
+                           obs::render_html_report(report));
+    }
+  }
   return result;
 }
 
@@ -198,11 +294,23 @@ RepeatedResult run_repeated(ScenarioConfig config, int repetitions) {
   // Each repetition gets its own trace file; a shared path would be
   // truncated by every run after the first.
   const std::string base_trace = resolve_trace_path(config.trace_path);
+  const std::string base_report = config.report_html_path;
+  const std::string base_snapshot = config.snapshot_json_path;
   for (int r = 0; r < repetitions; ++r) {
     config.seed = static_cast<std::uint64_t>(r + 1) * std::uint64_t{1000003};
     config.trace_path = base_trace;
     if (!base_trace.empty() && repetitions > 1) {
       config.trace_path = base_trace + ".run" + std::to_string(r + 1);
+    }
+    config.report_html_path = base_report;
+    config.snapshot_json_path = base_snapshot;
+    if (repetitions > 1) {
+      if (!base_report.empty()) {
+        config.report_html_path = with_run_suffix(base_report, r + 1);
+      }
+      if (!base_snapshot.empty()) {
+        config.snapshot_json_path = with_run_suffix(base_snapshot, r + 1);
+      }
     }
     ScenarioResult run = run_scenario(config);
     stalls.push_back(run.total_stalls);

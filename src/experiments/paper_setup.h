@@ -62,6 +62,18 @@ struct ScenarioConfig {
   /// Keep the event stream in memory and fill ScenarioResult::timeline
   /// with the per-viewer stall-attribution summary.
   bool timeline_summary = false;
+
+  /// Swarm-state sampling cadence for the report/snapshot outputs.
+  /// Zero = default to 1 s when either output below is requested (no
+  /// sampling otherwise); setting it alone also enables sampling.
+  Duration sample_interval = Duration::zero();
+  /// Self-contained HTML run-report destination; empty = none.
+  std::string report_html_path;
+  /// Deterministic JSON snapshot destination; empty = none. Identical
+  /// seeds + sample interval produce byte-identical files.
+  std::string snapshot_json_path;
+  /// Report title; defaults to "<splicer> splicing, <policy> pool @ B".
+  std::string report_title;
 };
 
 struct ScenarioResult {
@@ -102,6 +114,8 @@ struct ScenarioResult {
 
   /// Stall-attribution timeline (only when timeline_summary was set).
   std::string timeline;
+  /// Anomalies flagged by the sampler scan (only when sampling ran).
+  std::size_t anomaly_count = 0;
 };
 
 /// Runs one full swarm simulation.

@@ -22,6 +22,20 @@ std::string sanitize_label(const std::string& label) {
   while (!out.empty() && out.back() == '_') out.pop_back();
   return out;
 }
+
+/// "fig2.html" + "256kBs_GOP_based" -> "fig2.256kBs_GOP_based.html":
+/// the per-cell tag slots in before the extension so every cell's
+/// report still opens in a browser.
+std::string with_cell_suffix(const std::string& path,
+                             const std::string& cell) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + cell;
+  }
+  return path.substr(0, dot) + "." + cell + path.substr(dot);
+}
 }  // namespace
 
 Table SweepResult::table(
@@ -66,11 +80,20 @@ SweepResult run_sweep(const ScenarioConfig& base,
       ScenarioConfig config = base;
       config.bandwidth = bandwidth;
       s.apply(config);
+      const std::string cell_tag =
+          sanitize_label(bandwidth_label(bandwidth)) + "." +
+          sanitize_label(s.label);
       if (!base.trace_path.empty()) {
         // One trace per grid cell; run_repeated adds .runN per seed.
-        config.trace_path = base.trace_path + "." +
-                            sanitize_label(bandwidth_label(bandwidth)) +
-                            "." + sanitize_label(s.label);
+        config.trace_path = base.trace_path + "." + cell_tag;
+      }
+      if (!base.report_html_path.empty()) {
+        config.report_html_path =
+            with_cell_suffix(base.report_html_path, cell_tag);
+      }
+      if (!base.snapshot_json_path.empty()) {
+        config.snapshot_json_path =
+            with_cell_suffix(base.snapshot_json_path, cell_tag);
       }
       row.push_back(SweepCell{run_repeated(config, repetitions)});
     }

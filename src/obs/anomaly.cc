@@ -1,0 +1,242 @@
+#include "obs/anomaly.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <variant>
+
+#include "obs/sampler.h"
+
+namespace vsplice::obs {
+
+namespace {
+
+/// Walks `series` for maximal runs where the value sits at or below
+/// `low`, armed only once an earlier bucket reached `arm` (so a series
+/// that *starts* low — a pool at k=1 from the first sample, a segment
+/// held only by the seeder — is the initial condition, not a collapse).
+/// Reports each run's [start, end] plus the highest mean seen before it.
+template <typename Callback>
+void scan_low_runs(const Series& series, double arm, double low,
+                   Callback&& on_run) {
+  const std::vector<Sample>& samples = series.samples();
+  bool armed = false;
+  double peak = 0.0;
+  bool in_run = false;
+  TimePoint run_start;
+  TimePoint run_end;
+  for (const Sample& s : samples) {
+    if (in_run) {
+      if (s.min <= low) {
+        run_end = s.time;
+      } else {
+        on_run(run_start, run_end, peak);
+        in_run = false;
+      }
+    }
+    if (!in_run && armed && s.min <= low) {
+      in_run = true;
+      run_start = s.time;
+      run_end = s.time;
+    }
+    if (s.max >= arm) {
+      armed = true;
+      peak = std::max(peak, s.mean);
+    }
+  }
+  if (in_run) on_run(run_start, run_end, peak);
+}
+
+void scan_buffer_drains(const TimeSeriesStore& store,
+                        const std::vector<Event>& events,
+                        std::vector<Anomaly>& out) {
+  for (const Event& event : events) {
+    const StallBegin* stall = std::get_if<StallBegin>(&event.payload);
+    if (stall == nullptr) continue;
+
+    Anomaly anomaly;
+    anomaly.kind = "buffer_drain";
+    anomaly.node = stall->node;
+    anomaly.segment = static_cast<std::int64_t>(stall->segment);
+    anomaly.onset = event.time;
+    anomaly.end = event.time;
+    for (const Event& later : events) {
+      if (later.seq <= event.seq) continue;
+      const StallEnd* end = std::get_if<StallEnd>(&later.payload);
+      if (end != nullptr && end->node == stall->node) {
+        anomaly.end = later.time;
+        break;
+      }
+    }
+
+    // Onset: the last local maximum of the viewer's buffer before the
+    // stall — where the drain that caused it began.
+    double peak = 0.0;
+    const Series* buffer =
+        store.find(SwarmSampler::peer_series(stall->node, "buffer_s"));
+    if (buffer != nullptr && !buffer->empty()) {
+      const std::vector<Sample>& samples = buffer->samples();
+      std::size_t at = samples.size();
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (samples[i].time <= event.time) {
+          at = i;
+        } else {
+          break;
+        }
+      }
+      if (at < samples.size()) {
+        while (at > 0 && samples[at - 1].mean >= samples[at].mean) --at;
+        if (samples[at].time <= event.time) anomaly.onset = samples[at].time;
+        peak = samples[at].mean;
+      }
+    }
+
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "buffer drained from %.1f s to zero over %.1f s before "
+                  "stalling on segment %zu",
+                  peak, (event.time - anomaly.onset).as_seconds(),
+                  stall->segment);
+    anomaly.detail = buf;
+    out.push_back(std::move(anomaly));
+  }
+}
+
+void scan_pool_collapses(const TimeSeriesStore& store,
+                         std::vector<Anomaly>& out) {
+  for (const auto& [name, series] : store.all()) {
+    std::int64_t node = -1;
+    std::string what;
+    if (!SwarmSampler::parse_peer_series(name, node, what) || what != "pool") {
+      continue;
+    }
+    scan_low_runs(series, 2.0, 1.0,
+                  [&](TimePoint start, TimePoint end, double peak) {
+                    Anomaly anomaly;
+                    anomaly.kind = "pool_collapse";
+                    anomaly.node = node;
+                    anomaly.onset = start;
+                    anomaly.end = end;
+                    char buf[120];
+                    std::snprintf(buf, sizeof buf,
+                                  "download pool collapsed to k=1 after "
+                                  "running at k=%.0f",
+                                  peak);
+                    anomaly.detail = buf;
+                    out.push_back(std::move(anomaly));
+                  });
+  }
+}
+
+void scan_low_availability(const TimeSeriesStore& store,
+                           std::vector<Anomaly>& out) {
+  for (const auto& [name, series] : store.all()) {
+    std::size_t segment = 0;
+    if (!SwarmSampler::parse_segment_series(name, segment)) continue;
+    scan_low_runs(series, 2.0, 1.5,
+                  [&](TimePoint start, TimePoint end, double peak) {
+                    Anomaly anomaly;
+                    anomaly.kind = "low_availability";
+                    anomaly.segment = static_cast<std::int64_t>(segment);
+                    anomaly.onset = start;
+                    anomaly.end = end;
+                    char buf[140];
+                    std::snprintf(buf, sizeof buf,
+                                  "segment %zu fell below 2 online replicas "
+                                  "(had %.0f)",
+                                  segment, peak);
+                    anomaly.detail = buf;
+                    out.push_back(std::move(anomaly));
+                  });
+  }
+}
+
+void scan_seeder_saturation(const TimeSeriesStore& store,
+                            std::vector<Anomaly>& out) {
+  const Series* slots_series = store.find("swarm.seeder_upload_slots");
+  const Series* active = store.find("swarm.seeder_active_uploads");
+  if (slots_series == nullptr || active == nullptr) return;
+  const double slots = slots_series->max_value();
+  if (slots < 1.0) return;
+
+  const std::vector<Sample>& samples = active->samples();
+  bool in_run = false;
+  TimePoint run_start;
+  TimePoint run_end;
+  std::size_t run_samples = 0;
+  const auto flush = [&] {
+    // Sustained = at least 3 raw samples; a single busy instant is
+    // normal scheduling, not saturation.
+    if (in_run && run_samples >= 3) {
+      Anomaly anomaly;
+      anomaly.kind = "seeder_saturation";
+      anomaly.onset = run_start;
+      anomaly.end = run_end;
+      char buf[120];
+      std::snprintf(buf, sizeof buf,
+                    "all %.0f seeder upload slots busy for %.1f s", slots,
+                    (run_end - run_start).as_seconds());
+      anomaly.detail = buf;
+      out.push_back(std::move(anomaly));
+    }
+    in_run = false;
+    run_samples = 0;
+  };
+  for (const Sample& s : samples) {
+    if (s.min >= slots - 1e-9) {
+      if (!in_run) {
+        in_run = true;
+        run_start = s.time;
+      }
+      run_end = s.time;
+      run_samples += s.count;
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+}  // namespace
+
+std::vector<Anomaly> scan_anomalies(const TimeSeriesStore& store,
+                                    const std::vector<Event>& events) {
+  std::vector<Anomaly> out;
+  scan_buffer_drains(store, events, out);
+  scan_pool_collapses(store, out);
+  scan_low_availability(store, out);
+  scan_seeder_saturation(store, out);
+  std::sort(out.begin(), out.end(), [](const Anomaly& a, const Anomaly& b) {
+    if (a.onset.count_micros() != b.onset.count_micros()) {
+      return a.onset.count_micros() < b.onset.count_micros();
+    }
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.node != b.node) return a.node < b.node;
+    return a.segment < b.segment;
+  });
+  return out;
+}
+
+std::vector<StallAttribution> attribute_stalls(
+    const std::vector<StallExplanation>& stalls,
+    const std::vector<Anomaly>& anomalies) {
+  std::vector<StallAttribution> out;
+  out.reserve(stalls.size());
+  for (const StallExplanation& stall : stalls) {
+    StallAttribution attribution;
+    attribution.stall = stall;
+    for (std::size_t i = 0; i < anomalies.size(); ++i) {
+      const Anomaly& a = anomalies[i];
+      if (a.node >= 0 && a.node != stall.node) continue;
+      const bool begins_before_stall_ends =
+          stall.end.is_infinite() || !(a.onset > stall.end);
+      const bool ends_after_stall_begins = !(a.end < stall.start);
+      if (begins_before_stall_ends && ends_after_stall_begins) {
+        attribution.anomalies.push_back(i);
+      }
+    }
+    out.push_back(std::move(attribution));
+  }
+  return out;
+}
+
+}  // namespace vsplice::obs

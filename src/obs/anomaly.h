@@ -1,0 +1,62 @@
+// Anomaly scanning over the sampled time-series + event trace.
+//
+// Four named pathologies, each with an onset time so a report reader can
+// line the flag up against the charts:
+//   buffer_drain      — a viewer's playback buffer drained to zero ahead
+//                       of a recorded stall (one per stall, always
+//                       emitted, so every stall is attributable).
+//   pool_collapse     — the adaptive pool fell to k=1 after having run
+//                       wider (Eq. 1 starving the download pipeline).
+//   low_availability  — some segment dropped below 2 online replicas
+//                       after having been replicated (churn risk: one
+//                       departure makes it unavailable).
+//   seeder_saturation — every seeder upload slot stayed busy across
+//                       several consecutive samples (the swarm is
+//                       seeder-bound).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/exporters.h"
+#include "obs/timeseries.h"
+
+namespace vsplice::obs {
+
+struct Anomaly {
+  /// buffer_drain | pool_collapse | low_availability | seeder_saturation
+  std::string kind;
+  /// Affected viewer, or -1 for swarm-wide conditions.
+  std::int64_t node = -1;
+  /// Affected segment, or -1 when not segment-specific.
+  std::int64_t segment = -1;
+  TimePoint onset;
+  TimePoint end;
+  /// Human-readable one-liner with the numbers behind the flag.
+  std::string detail;
+};
+
+/// Scans the sampled series (and the stall events, for drain onsets) and
+/// returns every flagged condition, ordered by onset, then kind, then
+/// node/segment — a deterministic order for the snapshot writer.
+[[nodiscard]] std::vector<Anomaly> scan_anomalies(
+    const TimeSeriesStore& store, const std::vector<Event>& events);
+
+/// One explained stall joined against the anomalies that overlap it.
+struct StallAttribution {
+  StallExplanation stall;
+  /// Indices into the anomaly vector given to attribute_stalls().
+  std::vector<std::size_t> anomalies;
+};
+
+/// Maps every stall to the anomalies overlapping it in time on the same
+/// viewer (or swarm-wide ones). Every stall receives at least one
+/// anomaly because scan_anomalies emits a buffer_drain per stall.
+[[nodiscard]] std::vector<StallAttribution> attribute_stalls(
+    const std::vector<StallExplanation>& stalls,
+    const std::vector<Anomaly>& anomalies);
+
+}  // namespace vsplice::obs

@@ -32,15 +32,27 @@ void append_escaped(std::string& out, const std::string& text) {
       case '\r':
         out += "\\r";
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default: {
+        // Control characters and non-ASCII bytes both go out as \u00xx
+        // (one escape per byte, not per code point): the trace stays
+        // pure ASCII regardless of what a component logs, and the
+        // parser reassembles the original byte string exactly.
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 || byte >= 0x7f) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+                        static_cast<unsigned>(byte));
           out += buf;
         } else {
           out += c;
         }
+      }
     }
   }
   out += '"';
@@ -158,6 +170,13 @@ struct PayloadSerializer {
 
 }  // namespace
 
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  append_escaped(out, text);
+  return out;
+}
+
 std::string to_jsonl(const Event& event) {
   std::string out;
   out.reserve(96);
@@ -254,13 +273,46 @@ class LineParser {
         case 'r':
           out += '\r';
           break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case '/':
+          out += '/';
+          break;
         case 'u': {
           if (pos_ + 4 > s_.size()) return false;
           unsigned code = 0;
-          if (std::sscanf(s_.c_str() + pos_, "%4x", &code) != 1)
-            return false;
+          for (std::size_t i = 0; i < 4; ++i) {
+            const char h = s_[pos_ + i];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9') {
+              digit = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              digit = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return false;  // "%4x" would have accepted "12 3" etc.
+            }
+            code = code * 16 + digit;
+          }
           pos_ += 4;
-          out += static_cast<char>(code);
+          // Our writer only emits \u00xx (per-byte escapes), which maps
+          // straight back to a byte. Foreign traces may carry real BMP
+          // code points; encode those as UTF-8 rather than truncating.
+          if (code < 0x100) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
           break;
         }
         default:

@@ -36,6 +36,12 @@ namespace vsplice::obs {
 ///   {"t_us":120000,"seq":7,"kind":"stall_begin","node":3,...}
 [[nodiscard]] std::string to_jsonl(const Event& event);
 
+/// `text` as a quoted JSON string literal. Control characters use the
+/// named escapes (plus \u00xx), and non-ASCII bytes are escaped
+/// per-byte, so output is always pure ASCII and round-trips exactly
+/// through parse_jsonl_line. Shared by to_jsonl and the report writers.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
 /// A parsed trace line: the envelope plus every payload field as raw
 /// text (numbers unquoted as written, strings unescaped).
 struct ParsedEvent {

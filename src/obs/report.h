@@ -1,0 +1,61 @@
+// Self-contained run reports over one sampled + traced run.
+//
+// Two writers share a ReportData bundle:
+//   render_json_snapshot — deterministic machine-readable JSON (sorted
+//     series names, fixed field order, %.6g floats). Identical seeded
+//     runs with the same sample interval produce byte-identical output.
+//   render_html_report — one self-contained HTML file (inline CSS +
+//     inline SVG, no external assets): stat tiles, swarm overview
+//     charts, a segment-availability heat strip, per-viewer buffer
+//     timelines with stall shading and pool-size steps, the anomaly
+//     list, and the stall-attribution table.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/anomaly.h"
+#include "obs/exporters.h"
+#include "obs/timeseries.h"
+
+namespace vsplice::obs {
+
+struct RunInfo {
+  std::string title;
+  /// Ordered key/value parameters, rendered verbatim (callers pass them
+  /// already sorted for deterministic snapshots).
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+struct ReportData {
+  RunInfo info;
+  /// Required; must outlive the ReportData.
+  const TimeSeriesStore* series = nullptr;
+  /// Optional; enables the metrics section.
+  const MetricsRegistry* metrics = nullptr;
+  std::vector<StallExplanation> stalls;
+  std::vector<Anomaly> anomalies;
+  /// attributions[i] explains stalls[i]; its indices point into
+  /// `anomalies`.
+  std::vector<StallAttribution> attributions;
+  /// Preformatted per-viewer timeline (summarize_timeline), optional.
+  std::string timeline;
+};
+
+/// Joins everything the writers need: explains the stalls from the
+/// event trace, scans the series for anomalies, attributes one to the
+/// other, and renders the timeline text.
+[[nodiscard]] ReportData build_report(RunInfo info,
+                                      const TimeSeriesStore& store,
+                                      const std::vector<Event>& events,
+                                      const MetricsRegistry* metrics =
+                                          nullptr);
+
+[[nodiscard]] std::string render_json_snapshot(const ReportData& data);
+[[nodiscard]] std::string render_html_report(const ReportData& data);
+
+/// Writes `text` to `path` verbatim; logs and returns false on failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace vsplice::obs

@@ -1,0 +1,136 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.h"
+
+namespace vsplice::obs {
+
+SwarmSampler::SwarmSampler(TimeSeriesStore& store, Probe probe)
+    : store_{store}, probe_{std::move(probe)} {
+  require(static_cast<bool>(probe_), "sampler needs a probe");
+}
+
+std::string SwarmSampler::peer_series(std::int64_t node,
+                                      std::string_view what) {
+  std::string out = "peer.";
+  out += std::to_string(node);
+  out += '.';
+  out += what;
+  return out;
+}
+
+std::string SwarmSampler::segment_series(std::size_t segment) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "avail.seg%04zu", segment);
+  return buf;
+}
+
+bool SwarmSampler::parse_peer_series(std::string_view name,
+                                     std::int64_t& node, std::string& what) {
+  constexpr std::string_view prefix = "peer.";
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  const std::string_view rest = name.substr(prefix.size());
+  const std::size_t dot = rest.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  std::int64_t parsed = 0;
+  for (char c : rest.substr(0, dot)) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + (c - '0');
+  }
+  node = parsed;
+  what = std::string{rest.substr(dot + 1)};
+  return !what.empty();
+}
+
+bool SwarmSampler::parse_segment_series(std::string_view name,
+                                        std::size_t& segment) {
+  constexpr std::string_view prefix = "avail.seg";
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  const std::string_view digits = name.substr(prefix.size());
+  if (digits.empty()) return false;
+  std::size_t parsed = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+  }
+  segment = parsed;
+  return true;
+}
+
+void SwarmSampler::sample(TimePoint now) {
+  const SwarmObservation obs = probe_();
+  const double dt =
+      have_previous_ ? (now - previous_time_).as_seconds() : 0.0;
+
+  std::size_t online = 0;
+  for (const PeerObservation& peer : obs.peers) {
+    if (peer.online) ++online;
+    store_.series(peer_series(peer.node, "buffer_s"))
+        .append(now, peer.buffer_s);
+    store_.series(peer_series(peer.node, "pool"))
+        .append(now, static_cast<double>(peer.pool));
+    store_.series(peer_series(peer.node, "inflight_segments"))
+        .append(now, static_cast<double>(peer.inflight_segments));
+    store_.series(peer_series(peer.node, "inflight_bytes"))
+        .append(now, static_cast<double>(peer.inflight_bytes));
+    store_.series(peer_series(peer.node, "completion"))
+        .append(now, peer.completion);
+
+    double rate = 0.0;
+    if (dt > 0.0) {
+      const auto it = previous_bytes_.find(peer.node);
+      const std::int64_t before = it == previous_bytes_.end() ? 0 : it->second;
+      rate = static_cast<double>(peer.bytes_downloaded - before) / dt;
+      rate = std::max(rate, 0.0);
+    }
+    store_.series(peer_series(peer.node, "rate_Bps")).append(now, rate);
+    previous_bytes_[peer.node] = peer.bytes_downloaded;
+  }
+
+  if (!obs.replicas.empty()) {
+    std::size_t lo = obs.replicas.front();
+    double total = 0.0;
+    for (std::size_t i = 0; i < obs.replicas.size(); ++i) {
+      lo = std::min(lo, obs.replicas[i]);
+      total += static_cast<double>(obs.replicas[i]);
+      store_.series(segment_series(i))
+          .append(now, static_cast<double>(obs.replicas[i]));
+    }
+    store_.series("swarm.min_replicas")
+        .append(now, static_cast<double>(lo));
+    store_.series("swarm.mean_replicas")
+        .append(now, total / static_cast<double>(obs.replicas.size()));
+  }
+
+  store_.series("swarm.online_peers")
+      .append(now, static_cast<double>(online));
+  store_.series("swarm.seeder_active_uploads")
+      .append(now, static_cast<double>(obs.seeder_active_uploads));
+  store_.series("swarm.seeder_upload_slots")
+      .append(now, static_cast<double>(obs.seeder_upload_slots));
+
+  double seeder_rate = 0.0;
+  double goodput = 0.0;
+  if (dt > 0.0) {
+    seeder_rate = std::max(
+        static_cast<double>(obs.seeder_uploaded_bytes -
+                            previous_seeder_bytes_) /
+            dt,
+        0.0);
+    goodput = std::max(
+        (obs.network_bytes_delivered - previous_delivered_) / dt, 0.0);
+  }
+  store_.series("swarm.seeder_upload_rate_Bps").append(now, seeder_rate);
+  store_.series("swarm.goodput_Bps").append(now, goodput);
+  previous_seeder_bytes_ = obs.seeder_uploaded_bytes;
+  previous_delivered_ = obs.network_bytes_delivered;
+
+  previous_time_ = now;
+  have_previous_ = true;
+  ++samples_;
+}
+
+}  // namespace vsplice::obs

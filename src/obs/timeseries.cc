@@ -1,0 +1,85 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vsplice::obs {
+
+Series::Series(std::size_t capacity)
+    : capacity_{std::max<std::size_t>(capacity, 2)} {
+  if (capacity_ % 2 != 0) ++capacity_;
+}
+
+void Series::append(TimePoint time, double value) {
+  if (!samples_.empty()) {
+    require(!(time < samples_.back().time),
+            "series appends must be time-ordered");
+  }
+  ++raw_count_;
+  samples_.push_back(Sample{time, 1, value, value, value});
+  if (samples_.size() > capacity_) compact();
+}
+
+void Series::compact() {
+  std::vector<Sample> merged;
+  merged.reserve(samples_.size() / 2 + 1);
+  for (std::size_t i = 0; i + 1 < samples_.size(); i += 2) {
+    const Sample& a = samples_[i];
+    const Sample& b = samples_[i + 1];
+    Sample m;
+    m.time = a.time;  // the bucket covers [a.time, next bucket's time)
+    m.count = a.count + b.count;
+    m.mean = (a.mean * static_cast<double>(a.count) +
+              b.mean * static_cast<double>(b.count)) /
+             static_cast<double>(m.count);
+    m.min = std::min(a.min, b.min);
+    m.max = std::max(a.max, b.max);
+    merged.push_back(m);
+  }
+  if (samples_.size() % 2 != 0) merged.push_back(samples_.back());
+  samples_ = std::move(merged);
+}
+
+double Series::last_value() const {
+  return samples_.empty() ? 0.0 : samples_.back().mean;
+}
+
+double Series::min_value() const {
+  if (samples_.empty()) return 0.0;
+  double lo = samples_.front().min;
+  for (const Sample& s : samples_) lo = std::min(lo, s.min);
+  return lo;
+}
+
+double Series::max_value() const {
+  if (samples_.empty()) return 0.0;
+  double hi = samples_.front().max;
+  for (const Sample& s : samples_) hi = std::max(hi, s.max);
+  return hi;
+}
+
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_series)
+    : capacity_{capacity_per_series} {}
+
+Series& TimeSeriesStore::series(std::string_view name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string{name}, Series{capacity_}).first;
+  }
+  return it->second;
+}
+
+const Series* TimeSeriesStore::find(std::string_view name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, unused] : series_) out.push_back(name);
+  return out;
+}
+
+}  // namespace vsplice::obs

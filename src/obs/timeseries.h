@@ -1,0 +1,92 @@
+// Compact downsampling time-series storage for sampled swarm state.
+//
+// A Series holds at most `capacity` points. When an append would exceed
+// that, adjacent pairs are merged (count-weighted mean, min of mins, max
+// of maxes), halving the resolution while still covering the whole run;
+// min/max survive merging so the anomaly scanner can still see a buffer
+// touching zero inside a coarse bucket. Appends must be in
+// non-decreasing time order (the sampler guarantees this). Everything is
+// deterministic: identical seeded runs produce identical stores.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vsplice::obs {
+
+/// One (possibly aggregated) point: `count` raw samples beginning at
+/// `time`, summarized as mean/min/max.
+struct Sample {
+  TimePoint time;
+  std::size_t count = 1;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class Series {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// Capacity is rounded up to an even value >= 2 so compaction always
+  /// halves cleanly.
+  explicit Series(std::size_t capacity = kDefaultCapacity);
+
+  /// Records one raw observation; `time` must not precede the last one.
+  void append(TimePoint time, double value);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  /// Raw appends ever made, including those merged away.
+  [[nodiscard]] std::size_t raw_count() const { return raw_count_; }
+
+  /// Mean of the latest bucket (0 when empty).
+  [[nodiscard]] double last_value() const;
+  /// Extremes across every bucket (0 when empty).
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+ private:
+  void compact();
+
+  std::size_t capacity_;
+  std::size_t raw_count_ = 0;
+  std::vector<Sample> samples_;
+};
+
+/// Named series, iterated in lexicographic name order so every consumer
+/// (snapshot writer, report renderer, tests) sees one deterministic
+/// ordering.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(
+      std::size_t capacity_per_series = Series::kDefaultCapacity);
+
+  /// The named series, created empty on first use.
+  Series& series(std::string_view name);
+
+  [[nodiscard]] const Series* find(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool empty() const { return series_.empty(); }
+  [[nodiscard]] std::size_t size() const { return series_.size(); }
+
+  [[nodiscard]] const std::map<std::string, Series, std::less<>>& all()
+      const {
+    return series_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::string, Series, std::less<>> series_;
+};
+
+}  // namespace vsplice::obs

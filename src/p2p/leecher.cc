@@ -77,6 +77,15 @@ Rate Leecher::current_bandwidth_estimate() const {
                                     : config_.bandwidth_hint;
 }
 
+Bytes Leecher::in_flight_bytes() const {
+  if (!index_) return 0;
+  Bytes total = 0;
+  for (const auto& [segment, unused] : downloads_) {
+    if (segment < index_->count()) total += index_->at(segment).size;
+  }
+  return total;
+}
+
 int Leecher::current_pool_target() const {
   if (!index_ || !player_) return 0;
   const std::size_t frontier = player_->buffer().frontier();

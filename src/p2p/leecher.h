@@ -94,6 +94,9 @@ class Leecher final : public Peer {
   [[nodiscard]] std::size_t downloads_in_flight() const {
     return downloads_.size();
   }
+  /// Total transfer size of the segments currently being fetched (zero
+  /// until the playlist has been parsed).
+  [[nodiscard]] Bytes in_flight_bytes() const;
 
   void handle_message(net::NodeId from, net::Connection& conn,
                       const std::vector<std::uint8_t>& bytes) override;

@@ -56,6 +56,7 @@ class Peer {
 
   [[nodiscard]] const Bitfield& have() const { return have_; }
   [[nodiscard]] int active_uploads() const { return active_uploads_; }
+  [[nodiscard]] int upload_slots() const { return config_.max_upload_slots; }
   [[nodiscard]] const PeerStats& stats() const { return stats_; }
 
   /// A serialized control message from `from` arrived over `conn`

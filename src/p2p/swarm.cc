@@ -79,6 +79,46 @@ bool Swarm::all_finished() const {
   return any;
 }
 
+obs::SwarmObservation Swarm::observe() const {
+  obs::SwarmObservation out;
+  out.replicas.assign(index_.count(), 0);
+  for (const auto& peer : peers_) {
+    if (peer->online()) {
+      const Bitfield& have = peer->have();
+      const std::size_t bits = std::min(have.size(), out.replicas.size());
+      for (std::size_t i = 0; i < bits; ++i) {
+        if (have.get(i)) ++out.replicas[i];
+      }
+    }
+    if (peer->is_seeder()) {
+      out.seeder_active_uploads = peer->active_uploads();
+      out.seeder_upload_slots = peer->upload_slots();
+      out.seeder_uploaded_bytes = peer->stats().bytes_uploaded;
+      continue;
+    }
+    const auto* leecher = dynamic_cast<const Leecher*>(peer.get());
+    if (leecher == nullptr) continue;
+    obs::PeerObservation p;
+    p.node = static_cast<std::int64_t>(leecher->node().value);
+    p.online = leecher->online();
+    p.has_player = leecher->has_player();
+    if (leecher->has_player()) {
+      const streaming::Player& player = leecher->player();
+      p.stalled = player.stalled();
+      p.finished = player.finished();
+      p.buffer_s = player.buffered_seconds();
+      p.completion = player.completion_fraction();
+    }
+    p.pool = leecher->current_pool_target();
+    p.inflight_segments = leecher->downloads_in_flight();
+    p.inflight_bytes = leecher->in_flight_bytes();
+    p.bytes_downloaded = network_.downloaded_by(leecher->node());
+    out.peers.push_back(p);
+  }
+  out.network_bytes_delivered = network_.stats().bytes_delivered;
+  return out;
+}
+
 void Swarm::deliver(net::NodeId from, net::NodeId to, net::Connection& conn,
                     std::vector<std::uint8_t> bytes) {
   Peer* target = find(to);

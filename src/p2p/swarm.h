@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/segment.h"
 #include "net/network.h"
+#include "obs/sampler.h"
 #include "p2p/leecher.h"
 #include "p2p/peer.h"
 #include "p2p/tracker.h"
@@ -60,6 +61,12 @@ class Swarm {
 
   /// True once every online leecher has finished playback.
   [[nodiscard]] bool all_finished() const;
+
+  /// Plain-data snapshot for the obs::SwarmSampler probe: per-leecher
+  /// player/pool/in-flight state, per-segment replica counts across
+  /// online peers, seeder load, and the network's cumulative byte
+  /// counters.
+  [[nodiscard]] obs::SwarmObservation observe() const;
 
   // ------------------------------------------------------- routing hooks
 

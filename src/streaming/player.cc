@@ -109,6 +109,13 @@ Duration Player::buffered_ahead() const {
   return buffer_.buffered_ahead(playhead());
 }
 
+double Player::completion_fraction() const {
+  const std::size_t count = buffer_.index().count();
+  if (count == 0) return 0.0;
+  return static_cast<double>(buffer_.downloaded_count()) /
+         static_cast<double>(count);
+}
+
 void Player::schedule_exhaustion() {
   check_invariant(state_ == State::Playing,
                   "exhaustion is only scheduled while playing");

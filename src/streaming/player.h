@@ -54,6 +54,14 @@ class Player {
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] bool started() const { return metrics_.started; }
   [[nodiscard]] bool finished() const { return state_ == State::Finished; }
+  [[nodiscard]] bool stalled() const { return state_ == State::Stalled; }
+
+  /// Snapshot accessors for the swarm sampler: buffered seconds ahead of
+  /// the playhead, and the fraction of segments downloaded so far.
+  [[nodiscard]] double buffered_seconds() const {
+    return buffered_ahead().as_seconds();
+  }
+  [[nodiscard]] double completion_fraction() const;
 
   /// Current media position.
   [[nodiscard]] Duration playhead() const;
