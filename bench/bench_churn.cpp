@@ -7,12 +7,15 @@
 // sequential pool of one (no hedging).
 #include <cstdio>
 
+#include "bench_cli.h"
 #include "common/table.h"
 #include "experiments/paper_setup.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsplice;
   using namespace vsplice::experiments;
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  if (!opts.parsed) return 2;
 
   std::printf("Churn ablation: prefetching as an availability hedge\n");
   std::printf("(4 sec splicing, 256 kB/s, 20-node swarm, mean of 3 runs)\n\n");
@@ -29,7 +32,7 @@ int main() {
         config.churn = true;
         config.churn_mean_lifetime = Duration::seconds(lifetime_s);
       }
-      const RepeatedResult result = run_repeated(config, 3);
+      const RepeatedResult result = run_repeated(config, 3, opts.jobs);
       double departures = 0;
       for (const ScenarioResult& run : result.runs) {
         departures += static_cast<double>(run.churn_departures);

@@ -1,6 +1,10 @@
 // Shared command-line handling for the figure benches.
 //
-// Every bench binary accepts the same observability flags:
+// Every bench binary accepts the same flags:
+//   --jobs N                  worker threads for the sweep grid (0 = one
+//                             per hardware thread; default 1 = serial).
+//                             Results and output files are byte-identical
+//                             at any job count.
 //   --trace BASE              per-cell JSONL event traces
 //   --report OUT.html         self-contained HTML run report
 //   --snapshot OUT.json       deterministic JSON snapshot
@@ -27,6 +31,7 @@ struct BenchOptions {
   std::string report_html;
   std::string snapshot_json;
   double sample_interval_s = 0.0;  // 0 = scenario default (1 s)
+  int jobs = 1;                    // sweep worker threads; 0 = auto
   bool parsed = true;              // false after a usage error
 
   [[nodiscard]] bool wants_report() const {
@@ -36,9 +41,11 @@ struct BenchOptions {
 
 inline void print_bench_usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--trace BASE] [--report OUT.html] "
+               "usage: %s [--jobs N] [--trace BASE] [--report OUT.html] "
                "[--snapshot OUT.json]\n"
-               "          [--sample-interval SECONDS] [--log-level LEVEL]\n",
+               "          [--sample-interval SECONDS] [--log-level LEVEL]\n"
+               "  --jobs N   run sweep cells on N threads (0 = one per "
+               "hardware thread)\n",
                prog);
 }
 
@@ -47,7 +54,15 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--trace" && i + 1 < argc) {
+    if (arg == "--jobs" && i + 1 < argc) {
+      const auto parsed = parse_int(argv[++i]);
+      if (!parsed || *parsed < 0 || *parsed > 4096) {
+        std::fprintf(stderr, "bad --jobs: %s\n", argv[i]);
+        opts.parsed = false;
+        return opts;
+      }
+      opts.jobs = static_cast<int>(*parsed);
+    } else if (arg == "--trace" && i + 1 < argc) {
       opts.trace_base = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       opts.report_html = argv[++i];

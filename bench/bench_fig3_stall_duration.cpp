@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   std::printf("(20-node swarm, 2-min 1 Mbps video, 50 ms latency, 5%% "
               "loss, adaptive pooling, mean of 3 runs)\n\n");
 
-  const SweepResult sweep = run_sweep(base, bandwidths, series, 3);
+  const SweepResult sweep =
+      run_sweep(base, bandwidths, series, 3, opts.jobs);
   std::printf("%s\n", sweep
                           .table([](const RepeatedResult& r) {
                             return r.stall_seconds;

@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   std::printf("(seeder latency 500 ms, peer latency 50 ms, 5%% loss, "
               "mean of 3 runs)\n\n");
 
-  const SweepResult sweep = run_sweep(base, bandwidths, series, 3);
+  const SweepResult sweep =
+      run_sweep(base, bandwidths, series, 3, opts.jobs);
   std::printf("%s\n", sweep
                           .table([](const RepeatedResult& r) {
                             return r.startup_seconds;

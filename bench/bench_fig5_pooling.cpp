@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   std::printf("(4 sec splicing, Eq. 1 adaptive pooling vs fixed pools, "
               "3 runs rounded-averaged)\n\n");
 
-  const SweepResult sweep = run_sweep(base, bandwidths, series, 3);
+  const SweepResult sweep =
+      run_sweep(base, bandwidths, series, 3, opts.jobs);
   std::printf("%s\n", sweep
                           .table([](const RepeatedResult& r) {
                             return r.stalls;

@@ -7,6 +7,9 @@
 //        ./quickstart 128 gop fixed:4
 //
 // Observability flags:
+//   --jobs N              additionally run the paper's three-repetition
+//                         average on N worker threads (0 = one per
+//                         hardware thread; default 1 = single run only)
 //   --trace PATH          write a JSONL event trace of the swarm run
 //                         (also honoured via the VSPLICE_TRACE env var)
 //   --metrics-csv PATH    dump the metrics registry as CSV
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   std::string snapshot_json_path;
   double sample_interval_s = 0;
   bool timeline = false;
+  int jobs = 1;
 
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +71,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       set_log_level(level);  // explicit set wins over VSPLICE_LOG_LEVEL
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const auto parsed = parse_int(argv[++i]);
+      if (!parsed || *parsed < 0 || *parsed > 4096) {
+        std::fprintf(stderr, "bad --jobs: %s\n", argv[i]);
+        return 2;
+      }
+      jobs = static_cast<int>(*parsed);
     } else if (arg == "--timeline") {
       timeline = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -165,6 +176,24 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < result.viewers.size() && i < 3; ++i) {
     std::printf("  viewer %zu: %s\n", i + 1,
                 result.viewers[i].summary().c_str());
+  }
+
+  if (jobs != 1) {
+    // The paper's aggregation, fanned across worker threads: three
+    // seeded repetitions whose averages match the serial (--jobs 1)
+    // path exactly.
+    experiments::ScenarioConfig repeated_config = config;
+    repeated_config.trace_path.clear();
+    repeated_config.metrics_csv_path.clear();
+    repeated_config.report_html_path.clear();
+    repeated_config.snapshot_json_path.clear();
+    repeated_config.timeline_summary = false;
+    const experiments::RepeatedResult repeated =
+        experiments::run_repeated(repeated_config, 3, jobs);
+    std::printf("\n3-run average (--jobs %d): %.0f stalls, %.1f stall s, "
+                "%.2f s startup\n",
+                jobs, repeated.stalls, repeated.stall_seconds,
+                repeated.startup_seconds);
   }
 
   if (timeline) std::printf("\n%s", result.timeline.c_str());

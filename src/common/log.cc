@@ -1,13 +1,18 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace vsplice {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
-LogSink g_sink;  // empty = log_to_stderr
+// The level is shared across threads (relaxed atomic: a racing
+// set_log_level only decides which messages the other threads drop), but
+// the sink is per-thread — the obs layer installs a TraceBus-mirroring
+// sink per simulation run, and parallel sweep workers each run their own.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+thread_local LogSink g_sink;  // empty = log_to_stderr
 
 // VSPLICE_LOG_LEVEL is applied once, lazily, so it overrides whatever a
 // binary compiled in before its first log call; explicit set_log_level
@@ -18,7 +23,7 @@ void apply_env_level_once() {
     if (const char* env = std::getenv("VSPLICE_LOG_LEVEL")) {
       LogLevel parsed;
       if (parse_log_level(env, parsed)) {
-        g_level = parsed;
+        g_level.store(parsed, std::memory_order_relaxed);
       } else {
         std::fprintf(stderr,
                      "[warn] log: unrecognized VSPLICE_LOG_LEVEL '%s' "
@@ -34,12 +39,12 @@ void apply_env_level_once() {
 
 void set_log_level(LogLevel level) {
   apply_env_level_once();
-  g_level = level;
+  g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel log_level() {
   apply_env_level_once();
-  return g_level;
+  return g_level.load(std::memory_order_relaxed);
 }
 
 LogSink set_log_sink(LogSink sink) {

@@ -7,9 +7,11 @@
 // use, so benches and examples can raise verbosity without recompiling.
 // Messages route through an installable sink (default: stderr) — the
 // observability layer installs a TraceBus-aware sink that mirrors log
-// lines into the event trace. Not thread-safe by design — the simulator
-// is single-threaded (discrete-event), so there is nothing to
-// synchronize.
+// lines into the event trace. Threading: the level filter is a relaxed
+// atomic (shared across all threads); the installed sink is thread_local,
+// so each parallel sweep worker routes its own run's messages without
+// synchronization — install the sink on the thread that runs the
+// simulation.
 #pragma once
 
 #include <functional>

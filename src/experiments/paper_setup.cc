@@ -12,6 +12,7 @@
 #include "core/playlist.h"
 #include "core/pool_policy.h"
 #include "core/splicer.h"
+#include "experiments/parallel.h"
 #include "net/network.h"
 #include "obs/exporters.h"
 #include "obs/report.h"
@@ -284,46 +285,66 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   return result;
 }
 
-RepeatedResult run_repeated(ScenarioConfig config, int repetitions) {
+ScenarioConfig repetition_config(const ScenarioConfig& base, int run_index,
+                                 int repetitions) {
   require(repetitions >= 1, "need at least one repetition");
+  require(run_index >= 0 && run_index < repetitions,
+          "repetition index out of range");
+  ScenarioConfig config = base;
+  config.seed =
+      static_cast<std::uint64_t>(run_index + 1) * std::uint64_t{1000003};
+  // Each repetition gets its own trace/report/snapshot file; a shared
+  // path would be truncated by every run after the first (and, in a
+  // parallel sweep, raced on).
+  config.trace_path = resolve_trace_path(base.trace_path);
+  if (repetitions > 1) {
+    if (!config.trace_path.empty()) {
+      config.trace_path += ".run" + std::to_string(run_index + 1);
+    }
+    if (!config.report_html_path.empty()) {
+      config.report_html_path =
+          with_run_suffix(base.report_html_path, run_index + 1);
+    }
+    if (!config.snapshot_json_path.empty()) {
+      config.snapshot_json_path =
+          with_run_suffix(base.snapshot_json_path, run_index + 1);
+    }
+  }
+  return config;
+}
+
+RepeatedResult aggregate_repeated(std::vector<ScenarioResult> runs) {
+  require(!runs.empty(), "need at least one repetition");
   RepeatedResult repeated;
   std::vector<double> stalls;
   std::vector<double> stall_seconds;
   std::vector<double> startup;
   std::vector<double> per_viewer;
-  // Each repetition gets its own trace file; a shared path would be
-  // truncated by every run after the first.
-  const std::string base_trace = resolve_trace_path(config.trace_path);
-  const std::string base_report = config.report_html_path;
-  const std::string base_snapshot = config.snapshot_json_path;
-  for (int r = 0; r < repetitions; ++r) {
-    config.seed = static_cast<std::uint64_t>(r + 1) * std::uint64_t{1000003};
-    config.trace_path = base_trace;
-    if (!base_trace.empty() && repetitions > 1) {
-      config.trace_path = base_trace + ".run" + std::to_string(r + 1);
-    }
-    config.report_html_path = base_report;
-    config.snapshot_json_path = base_snapshot;
-    if (repetitions > 1) {
-      if (!base_report.empty()) {
-        config.report_html_path = with_run_suffix(base_report, r + 1);
-      }
-      if (!base_snapshot.empty()) {
-        config.snapshot_json_path = with_run_suffix(base_snapshot, r + 1);
-      }
-    }
-    ScenarioResult run = run_scenario(config);
+  for (const ScenarioResult& run : runs) {
     stalls.push_back(run.total_stalls);
     stall_seconds.push_back(run.total_stall_seconds);
     startup.push_back(run.mean_startup_seconds);
     per_viewer.push_back(run.mean_stalls);
-    repeated.runs.push_back(std::move(run));
   }
   repeated.stalls = static_cast<double>(rounded_average(stalls));
   repeated.stall_seconds = mean_of(stall_seconds);
   repeated.startup_seconds = mean_of(startup);
   repeated.mean_stalls_per_viewer = mean_of(per_viewer);
+  repeated.runs = std::move(runs);
   return repeated;
+}
+
+RepeatedResult run_repeated(ScenarioConfig config, int repetitions,
+                            int jobs) {
+  require(repetitions >= 1, "need at least one repetition");
+  std::vector<ScenarioResult> runs(static_cast<std::size_t>(repetitions));
+  ParallelRunner runner{jobs};
+  runner.run(static_cast<std::size_t>(repetitions), [&](std::size_t r) {
+    runs[r] =
+        run_scenario(repetition_config(config, static_cast<int>(r),
+                                       repetitions));
+  });
+  return aggregate_repeated(std::move(runs));
 }
 
 }  // namespace vsplice::experiments

@@ -131,7 +131,26 @@ struct RepeatedResult {
   double mean_stalls_per_viewer = 0;
   std::vector<ScenarioResult> runs;
 };
+
+/// The exact config repetition `run_index` (0-based) executes: the
+/// repetition seed ((i+1) * 1000003) and, when repetitions > 1, per-run
+/// ".runN" suffixes on the trace/report/snapshot paths. Both the serial
+/// and the parallel repetition paths build their runs through this, so
+/// their outputs are byte-identical.
+[[nodiscard]] ScenarioConfig repetition_config(const ScenarioConfig& base,
+                                               int run_index,
+                                               int repetitions);
+
+/// Folds per-run results (in repetition order) into the paper's rounded
+/// averages.
+[[nodiscard]] RepeatedResult aggregate_repeated(
+    std::vector<ScenarioResult> runs);
+
+/// `jobs` > 1 fans the repetitions across that many threads (0 = one per
+/// hardware thread); results are assembled in repetition order, so the
+/// aggregate and every output file match the jobs=1 run byte for byte.
 [[nodiscard]] RepeatedResult run_repeated(ScenarioConfig config,
-                                          int repetitions = 3);
+                                          int repetitions = 3,
+                                          int jobs = 1);
 
 }  // namespace vsplice::experiments

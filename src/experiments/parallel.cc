@@ -1,0 +1,60 @@
+#include "experiments/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vsplice::experiments {
+
+int resolve_jobs(int jobs) {
+  require(jobs >= 0, "--jobs must be >= 0 (0 = one per hardware thread)");
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelRunner::ParallelRunner(int jobs) : jobs_{resolve_jobs(jobs)} {}
+
+void ParallelRunner::run(std::size_t count,
+                         const std::function<void(std::size_t)>& task) {
+  require(static_cast<bool>(task), "ParallelRunner needs a task");
+  if (count == 0) return;
+
+  if (jobs_ <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), count);
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vsplice::experiments

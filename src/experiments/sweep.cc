@@ -1,8 +1,10 @@
 #include "experiments/sweep.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "common/error.h"
+#include "experiments/parallel.h"
 
 namespace vsplice::experiments {
 
@@ -66,16 +68,25 @@ const RepeatedResult& SweepResult::at(std::size_t bandwidth_index,
 SweepResult run_sweep(const ScenarioConfig& base,
                       const std::vector<Rate>& bandwidths,
                       const std::vector<SweepSeries>& series,
-                      int repetitions) {
+                      int repetitions, int jobs) {
   require(!bandwidths.empty(), "sweep needs at least one bandwidth");
   require(!series.empty(), "sweep needs at least one series");
+  require(repetitions >= 1, "need at least one repetition");
   SweepResult result;
   result.bandwidths = bandwidths;
   for (const SweepSeries& s : series) {
     result.series_labels.push_back(s.label);
   }
+
+  // Build every run's config up front (grid order: bandwidth, series,
+  // repetition), then fan the flat task list across the runner. Each run
+  // has a unique seed/output-path combination, so execution order never
+  // shows in the results; the per-cell aggregation below walks the slots
+  // in grid order, matching the serial sweep exactly.
+  const std::size_t reps = static_cast<std::size_t>(repetitions);
+  std::vector<ScenarioConfig> run_configs;
+  run_configs.reserve(bandwidths.size() * series.size() * reps);
   for (Rate bandwidth : bandwidths) {
-    std::vector<SweepCell> row;
     for (const SweepSeries& s : series) {
       ScenarioConfig config = base;
       config.bandwidth = bandwidth;
@@ -84,7 +95,7 @@ SweepResult run_sweep(const ScenarioConfig& base,
           sanitize_label(bandwidth_label(bandwidth)) + "." +
           sanitize_label(s.label);
       if (!base.trace_path.empty()) {
-        // One trace per grid cell; run_repeated adds .runN per seed.
+        // One trace per grid cell; repetition_config adds .runN per seed.
         config.trace_path = base.trace_path + "." + cell_tag;
       }
       if (!base.report_html_path.empty()) {
@@ -95,7 +106,28 @@ SweepResult run_sweep(const ScenarioConfig& base,
         config.snapshot_json_path =
             with_cell_suffix(base.snapshot_json_path, cell_tag);
       }
-      row.push_back(SweepCell{run_repeated(config, repetitions)});
+      for (int r = 0; r < repetitions; ++r) {
+        run_configs.push_back(repetition_config(config, r, repetitions));
+      }
+    }
+  }
+
+  std::vector<ScenarioResult> runs(run_configs.size());
+  ParallelRunner runner{jobs};
+  runner.run(run_configs.size(),
+             [&](std::size_t i) { runs[i] = run_scenario(run_configs[i]); });
+
+  std::size_t slot = 0;
+  for (std::size_t b = 0; b < bandwidths.size(); ++b) {
+    std::vector<SweepCell> row;
+    row.reserve(series.size());
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      std::vector<ScenarioResult> cell_runs;
+      cell_runs.reserve(reps);
+      for (std::size_t r = 0; r < reps; ++r) {
+        cell_runs.push_back(std::move(runs[slot++]));
+      }
+      row.push_back(SweepCell{aggregate_repeated(std::move(cell_runs))});
     }
     result.cells.push_back(std::move(row));
   }

@@ -39,11 +39,15 @@ struct SweepResult {
 };
 
 /// Runs the grid. `base` supplies everything the series do not override;
-/// each cell repeats `repetitions` seeds per the paper.
+/// each cell repeats `repetitions` seeds per the paper. `jobs` > 1 fans
+/// every (cell, repetition) run across that many threads (0 = one per
+/// hardware thread). Runs are independent simulations assembled in grid
+/// order, so the tables and every per-cell output file are byte-identical
+/// to the jobs=1 sweep.
 [[nodiscard]] SweepResult run_sweep(const ScenarioConfig& base,
                                     const std::vector<Rate>& bandwidths,
                                     const std::vector<SweepSeries>& series,
-                                    int repetitions = 3);
+                                    int repetitions = 3, int jobs = 1);
 
 /// Label helper: "128 kB/s".
 [[nodiscard]] std::string bandwidth_label(Rate bandwidth);

@@ -127,4 +127,112 @@ std::vector<Rate> max_min_allocation(
   return result;
 }
 
+void StarAllocator::allocate(const std::vector<StarFlowSpec>& flows,
+                             const std::vector<Rate>& link_capacity,
+                             std::vector<Rate>& out) {
+  const std::size_t n = flows.size();
+  const std::size_t links = link_capacity.size();
+  require(links >= 1, "star topology needs the hub trunk (link 0)");
+
+  remaining_.resize(links);
+  for (std::size_t l = 0; l < links; ++l) {
+    const Rate c = link_capacity[l];
+    require(c >= Rate::zero(), "link capacity must be non-negative");
+    remaining_[l] = c.is_infinite() ? kInf : c.bytes_per_second();
+  }
+
+  active_.assign(links, 0);
+  cap_.resize(n);
+  alloc_.assign(n, 0.0);
+  fixed_.assign(n, 0);
+  for (std::size_t f = 0; f < n; ++f) {
+    const StarFlowSpec& flow = flows[f];
+    require(flow.uplink < links && flow.downlink < links,
+            "flow path references unknown link");
+    ++active_[0];
+    ++active_[flow.uplink];
+    ++active_[flow.downlink];
+    cap_[f] = flow.cap.is_infinite() ? kInf : flow.cap.bytes_per_second();
+  }
+
+  std::size_t active_flows = n;
+  const auto fix_flow = [&](std::size_t f, double rate) {
+    alloc_[f] = rate;
+    fixed_[f] = 1;
+    --active_flows;
+    const std::uint32_t path[3] = {0, flows[f].uplink, flows[f].downlink};
+    for (std::uint32_t l : path) {
+      --active_[l];
+      if (remaining_[l] != kInf) {
+        remaining_[l] = std::max(0.0, remaining_[l] - rate);
+      }
+    }
+  };
+
+  while (active_flows > 0) {
+    // Equal share offered by the currently most constrained link.
+    double min_link_share = kInf;
+    for (std::size_t l = 0; l < links; ++l) {
+      if (active_[l] == 0) continue;
+      const double share = remaining_[l] / static_cast<double>(active_[l]);
+      min_link_share = std::min(min_link_share, share);
+    }
+
+    // Smallest cap among still-active flows.
+    double min_cap = kInf;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (fixed_[f] == 0) min_cap = std::min(min_cap, cap_[f]);
+    }
+
+    const double level = std::min(min_link_share, min_cap);
+
+    if (level == kInf) {
+      // No finite constraint binds the remaining flows.
+      for (std::size_t f = 0; f < n; ++f) {
+        if (fixed_[f] == 0) fix_flow(f, kInf);
+      }
+      break;
+    }
+
+    const double threshold = level * (1.0 + kEps) + 1e-12;
+
+    // First settle flows whose own cap binds at (or below) this level:
+    // they take less than their equal share, freeing capacity for others.
+    bool fixed_by_cap = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (fixed_[f] == 0 && cap_[f] <= threshold) {
+        fix_flow(f, cap_[f]);
+        fixed_by_cap = true;
+      }
+    }
+    if (fixed_by_cap) continue;
+
+    // Otherwise the level came from a bottleneck link: freeze every flow
+    // crossing a link whose share equals the level.
+    bottleneck_.assign(links, 0);
+    for (std::size_t l = 0; l < links; ++l) {
+      if (active_[l] == 0) continue;
+      const double share = remaining_[l] / static_cast<double>(active_[l]);
+      if (share <= threshold) bottleneck_[l] = 1;
+    }
+    bool fixed_any = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (fixed_[f] != 0) continue;
+      if (bottleneck_[0] != 0 || bottleneck_[flows[f].uplink] != 0 ||
+          bottleneck_[flows[f].downlink] != 0) {
+        fix_flow(f, level);
+        fixed_any = true;
+      }
+    }
+    check_invariant(fixed_any,
+                    "star allocation made no progress; bad input?");
+  }
+
+  out.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    out[f] = alloc_[f] == kInf ? Rate::infinity()
+                               : Rate::bytes_per_second(alloc_[f]);
+  }
+}
+
 }  // namespace vsplice::net

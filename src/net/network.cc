@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -101,7 +102,6 @@ FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size, Rate cap,
   flow.src = src;
   flow.dst = dst;
   flow.started = sim_.now();
-  flow.path = {LinkId{0}, uplink_of(src), downlink_of(dst)};
   flow.total = static_cast<double>(size);
   flow.remaining = static_cast<double>(size);
   flow.cap = cap;
@@ -119,34 +119,49 @@ void Network::set_flow_cap(FlowId id, Rate cap) {
   reallocate();
 }
 
-bool Network::abort_flow(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
-  advance_progress();
+Network::AbortedFlow Network::remove_aborted(
+    std::map<FlowId, Flow>::iterator it) {
   Flow flow = std::move(it->second);
   if (flow.completion_event != sim::kInvalidEventId)
     sim_.cancel(flow.completion_event);
   flows_.erase(it);
   ++stats_.flows_aborted;
   obs::count("net.flows_aborted");
-  obs::count("net.bytes_wasted",
-             static_cast<std::uint64_t>(
-                 std::max(0.0, flow.total - flow.remaining)));
+  const double delivered = std::max(0.0, flow.total - flow.remaining);
+  obs::count("net.bytes_wasted", static_cast<std::uint64_t>(delivered));
+  return AbortedFlow{std::move(flow.callbacks),
+                     static_cast<Bytes>(delivered)};
+}
+
+bool Network::abort_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_progress();
+  AbortedFlow aborted = remove_aborted(it);
+  // Rates are recomputed before the callback runs: on_abort must never
+  // observe the departed flow's share still allocated to nobody.
   reallocate();
-  if (flow.callbacks.on_abort) {
-    flow.callbacks.on_abort(
-        static_cast<Bytes>(std::max(0.0, flow.total - flow.remaining)));
-  }
+  if (aborted.callbacks.on_abort) aborted.callbacks.on_abort(aborted.delivered);
   return true;
 }
 
 void Network::abort_flows_for(NodeId nodeid) {
-  std::vector<FlowId> doomed;
-  for (const auto& [id, flow] : flows_) {
-    if (flow.src == nodeid || flow.dst == nodeid) doomed.push_back(id);
+  advance_progress();
+  // Remove every matching flow first, then reallocate ONCE; the owed
+  // callbacks run last (in FlowId order) against the updated table.
+  std::vector<AbortedFlow> aborted;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.src == nodeid || it->second.dst == nodeid) {
+      aborted.push_back(remove_aborted(it++));
+    } else {
+      ++it;
+    }
   }
-  std::sort(doomed.begin(), doomed.end());
-  for (FlowId id : doomed) abort_flow(id);
+  if (aborted.empty()) return;
+  reallocate();
+  for (AbortedFlow& flow : aborted) {
+    if (flow.callbacks.on_abort) flow.callbacks.on_abort(flow.delivered);
+  }
 }
 
 bool Network::flow_active(FlowId id) const { return flows_.contains(id); }
@@ -192,23 +207,23 @@ void Network::advance_progress() {
   }
 }
 
-std::vector<Rate> Network::effective_capacities() const {
-  std::vector<Rate> capacity = link_capacity_;
-  if (tcp_.parallel_loss_factor <= 0.0) return capacity;
+void Network::compute_effective_capacities() {
+  scratch_capacity_.assign(link_capacity_.begin(), link_capacity_.end());
+  if (tcp_.parallel_loss_factor <= 0.0 || flows_.empty()) return;
   // Count concurrent flows per downlink (link ids 2, 4, 6, ... — the
   // receiver side, where a streaming client's parallel downloads pile
   // up) and derate the aggregate goodput accordingly.
-  std::unordered_map<std::uint32_t, std::size_t> downlink_flows;
+  downlink_flows_.assign(link_capacity_.size(), 0);
   for (const auto& [id, flow] : flows_) {
-    if (flow.path.size() >= 3) ++downlink_flows[flow.path[2].value];
+    ++downlink_flows_[downlink_of(flow.dst).value];
   }
-  for (const auto& [link, n] : downlink_flows) {
-    if (n <= 1 || capacity[link].is_infinite()) continue;
+  for (std::size_t l = 2; l < downlink_flows_.size(); l += 2) {
+    const std::uint32_t n = downlink_flows_[l];
+    if (n <= 1 || scratch_capacity_[l].is_infinite()) continue;
     const double factor =
         1.0 + tcp_.parallel_loss_factor * static_cast<double>(n - 1);
-    capacity[link] = capacity[link] / factor;
+    scratch_capacity_[l] = scratch_capacity_[l] / factor;
   }
-  return capacity;
 }
 
 void Network::reallocate() {
@@ -216,25 +231,32 @@ void Network::reallocate() {
   in_reallocate_ = true;
   ++stats_.reallocations;
 
-  // Deterministic order: FlowId ascending.
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, flow] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  compute_effective_capacities();
 
-  std::vector<FlowSpec> specs;
-  specs.reserve(ids.size());
-  for (FlowId id : ids) {
-    const Flow& flow = flows_.at(id);
-    specs.push_back(FlowSpec{flow.path, flow.cap});
+  scratch_specs_.clear();
+  scratch_flows_.clear();
+  for (auto& [id, flow] : flows_) {  // FlowId order: map is sorted
+    scratch_specs_.push_back(StarFlowSpec{uplink_of(flow.src).value,
+                                          downlink_of(flow.dst).value,
+                                          flow.cap});
+    scratch_flows_.emplace_back(id, &flow);
   }
-  const std::vector<Rate> rates =
-      max_min_allocation(specs, effective_capacities());
+  allocator_.allocate(scratch_specs_, scratch_capacity_, scratch_rates_);
 
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    Flow& flow = flows_.at(ids[i]);
-    flow.rate = rates[i];
-    schedule_completion(ids[i], flow);
+  for (std::size_t i = 0; i < scratch_flows_.size(); ++i) {
+    Flow& flow = *scratch_flows_[i].second;
+    const Rate new_rate = scratch_rates_[i];
+    // A completion event stays valid while the rate it was derived from
+    // holds: the event time is absolute, and progress accrues at exactly
+    // that rate until the next reallocation. Only a rate change (or a
+    // flow that needs an event and has none) forces a reschedule.
+    const bool needs_event =
+        flow.completion_event == sim::kInvalidEventId &&
+        (flow.remaining <= kDoneTolerance || !new_rate.is_zero());
+    if (new_rate != flow.rate || needs_event) {
+      flow.rate = new_rate;
+      schedule_completion(scratch_flows_[i].first, flow);
+    }
   }
   in_reallocate_ = false;
 }
@@ -244,6 +266,7 @@ void Network::schedule_completion(FlowId id, Flow& flow) {
     sim_.cancel(flow.completion_event);
     flow.completion_event = sim::kInvalidEventId;
   }
+  ++stats_.completion_reschedules;
   if (flow.remaining <= kDoneTolerance) {
     // Zero-length (or already-drained) flow: complete on the next tick so
     // callers never see a completion inside start_flow.
@@ -252,9 +275,18 @@ void Network::schedule_completion(FlowId id, Flow& flow) {
     return;
   }
   if (flow.rate.is_zero()) return;  // stalled; a future reallocation wakes it
-  const Duration eta = flow.rate.time_to_send(
-      static_cast<Bytes>(std::ceil(flow.remaining)));
-  if (eta.is_infinite()) return;
+  if (flow.rate.is_infinite()) {
+    flow.completion_event =
+        sim_.after(Duration::zero(), [this, id] { finish_flow(id); });
+    return;
+  }
+  // Exact fractional ETA, rounded up to the next microsecond: after the
+  // wait the flow has moved at least `remaining` bytes. (Rounding the
+  // *bytes* up instead — the old std::ceil(remaining) — overshot the
+  // completion time by up to one byte-time per reschedule.)
+  const double seconds = flow.remaining / flow.rate.bytes_per_second();
+  const Duration eta = Duration::micros(
+      static_cast<std::int64_t>(std::ceil(seconds * 1e6)));
   flow.completion_event =
       sim_.after(eta, [this, id] { finish_flow(id); });
 }
@@ -295,6 +327,8 @@ void Network::finish_flow(FlowId id) {
                (sim_.now() - done.started).as_seconds(), kFlowSecondsSpec);
   obs::observe("net.flow_kilobytes", done.total / 1000.0,
                kFlowKilobytesSpec);
+  // Rates are recomputed before the callback runs: on_complete must
+  // never observe the finished flow's share still assigned.
   reallocate();
   done.callbacks.on_complete();
 }

@@ -6,10 +6,26 @@
 // fluid flows; whenever the flow set or a rate cap changes, the engine
 // advances every flow's byte progress and recomputes the max-min fair
 // allocation, then schedules the next completion event.
+//
+// Hot-path design (see DESIGN.md §9): the allocation runs through the
+// star-specialized StarAllocator over scratch buffers owned by this
+// Network, so a reallocation performs no heap allocations in steady
+// state. Reallocation is incremental at the event-queue level — only
+// flows whose rate actually changed have their completion event
+// cancelled and rescheduled. abort_flows_for removes every matching flow
+// first and reallocates once.
+//
+// Callback contract: on_complete/on_abort are ALWAYS invoked after the
+// rate table has been fully recomputed for the post-completion/post-abort
+// flow set — a callback that inspects flow_rate()/flow_remaining() or
+// starts new flows never observes stale rates. Callbacks may call back
+// into the Network (start/abort/cap changes); they are never invoked from
+// inside reallocate() itself (enforced by the non-reentrancy invariant).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -34,10 +50,11 @@ struct NodeSpec {
 };
 
 struct FlowCallbacks {
-  /// Invoked when the last byte arrives.
+  /// Invoked when the last byte arrives (rate table already updated).
   std::function<void()> on_complete;
   /// Invoked if the flow is aborted (peer left, connection closed);
-  /// receives the bytes delivered so far. May be null.
+  /// receives the bytes delivered so far. May be null. The rate table is
+  /// already updated when this runs.
   std::function<void(Bytes)> on_abort;
 };
 
@@ -46,6 +63,9 @@ struct NetworkStats {
   std::uint64_t flows_completed = 0;
   std::uint64_t flows_aborted = 0;
   std::uint64_t reallocations = 0;
+  /// Completion events actually (re)scheduled; with the incremental
+  /// reallocator this is far below reallocations × flows.
+  std::uint64_t completion_reschedules = 0;
   double bytes_delivered = 0.0;
 };
 
@@ -87,6 +107,9 @@ class Network {
   bool abort_flow(FlowId id);
 
   /// Aborts every flow with `node` as source or destination (peer churn).
+  /// All matching flows are removed first and the rates recomputed once;
+  /// the on_abort callbacks then run in FlowId order against the fully
+  /// updated table.
   void abort_flows_for(NodeId node);
 
   [[nodiscard]] bool flow_active(FlowId id) const;
@@ -116,7 +139,6 @@ class Network {
     NodeId src;
     NodeId dst;
     TimePoint started;
-    std::vector<LinkId> path;
     double total = 0.0;      // bytes requested at start
     double remaining = 0.0;  // bytes; fractional to avoid rounding drift
     Rate cap = Rate::infinity();
@@ -125,17 +147,29 @@ class Network {
     sim::EventId completion_event = sim::kInvalidEventId;
   };
 
+  /// A flow removed from the table whose on_abort is still owed.
+  struct AbortedFlow {
+    FlowCallbacks callbacks;
+    Bytes delivered = 0;
+  };
+
   [[nodiscard]] LinkId uplink_of(NodeId id) const;
   [[nodiscard]] LinkId downlink_of(NodeId id) const;
 
   /// Integrates every active flow's progress from last_update_ to now.
   void advance_progress();
-  /// Link capacities with the parallel-TCP goodput penalty applied to
-  /// oversubscribed downlinks.
-  [[nodiscard]] std::vector<Rate> effective_capacities() const;
-  /// Recomputes fair shares and reschedules completion events.
+  /// Fills scratch_capacity_ with link capacities, derating
+  /// oversubscribed downlinks by the parallel-TCP goodput penalty.
+  /// Downlink flow counts are tallied in a flat per-link vector.
+  void compute_effective_capacities();
+  /// Recomputes fair shares; reschedules completion events only for
+  /// flows whose rate changed (or that lack a needed event).
   void reallocate();
   void schedule_completion(FlowId id, Flow& flow);
+  /// Removes the flow (cancelling its event) and records the abort; the
+  /// owed on_abort callback is returned for the caller to run after
+  /// reallocation.
+  AbortedFlow remove_aborted(std::map<FlowId, Flow>::iterator it);
   void finish_flow(FlowId id);
   void credit_transfer(const Flow& flow, double bytes);
 
@@ -144,7 +178,9 @@ class Network {
   std::vector<NodeSpec> nodes_;
   /// link 0 = hub trunk; node i has uplink 1+2i, downlink 2+2i.
   std::vector<Rate> link_capacity_;
-  std::unordered_map<FlowId, Flow> flows_;
+  /// Ordered: reallocation iterates flows in FlowId order directly, so
+  /// determinism needs no per-call id sort.
+  std::map<FlowId, Flow> flows_;
   std::uint64_t next_flow_ = 1;
   TimePoint last_update_ = TimePoint::origin();
   std::vector<double> uploaded_;
@@ -153,6 +189,14 @@ class Network {
   bool in_reallocate_ = false;
   std::uint64_t next_connection_id_ = 1;
   std::unordered_map<std::uint64_t, class Connection*> connections_;
+
+  // Reallocation scratch (steady-state: zero allocations per call).
+  StarAllocator allocator_;
+  std::vector<Rate> scratch_capacity_;
+  std::vector<std::uint32_t> downlink_flows_;   // per link id
+  std::vector<StarFlowSpec> scratch_specs_;
+  std::vector<Rate> scratch_rates_;
+  std::vector<std::pair<FlowId, Flow*>> scratch_flows_;
 };
 
 }  // namespace vsplice::net

@@ -9,10 +9,10 @@
 //
 // Emission is zero-overhead when disabled: call sites go through the
 // inline obs::emit() helper, which is a single pointer test when no bus
-// is installed (or the installed bus has no sinks). The simulation is
-// single-threaded, so the installed bus is a plain global with scoped
+// is installed (or the installed bus has no sinks). Each simulation run
+// is single-threaded, so the installed bus is a thread_local with scoped
 // install/restore (ScopedObs) — no synchronization, no indirection on
-// the hot path.
+// the hot path, and concurrent sweep workers never share a bus.
 #pragma once
 
 #include <cstdint>
@@ -187,11 +187,14 @@ class TraceBus {
 // ----------------------------------------------- installed global context
 
 namespace detail {
-// Inline globals: the simulation stack is single-threaded by design (see
-// sim/simulator.h), so these are plain pointers, null when observability
-// is off.
-inline TraceBus* g_bus = nullptr;
-inline MetricsRegistry* g_metrics = nullptr;
+// Thread-local installed context: each simulation run is single-threaded
+// on its own Simulator, but experiments::ParallelRunner executes many
+// runs on concurrent worker threads. Giving every thread its own
+// installed bus/registry keeps emission lock-free (still a single
+// pointer test when observability is off) and keeps concurrent runs
+// fully isolated from each other.
+inline thread_local TraceBus* g_bus = nullptr;
+inline thread_local MetricsRegistry* g_metrics = nullptr;
 }  // namespace detail
 
 [[nodiscard]] inline TraceBus* bus() { return detail::g_bus; }

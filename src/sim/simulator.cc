@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "obs/metrics.h"
 
@@ -9,10 +11,18 @@ EventId Simulator::at(TimePoint t, std::function<void()> fn) {
   require(t >= now_, "cannot schedule an event in the past (" +
                          t.to_string() + " < " + now_.to_string() + ")");
   require(static_cast<bool>(fn), "cannot schedule a null callback");
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, next_sequence_++, id});
-  pending_.insert(id);
-  callbacks_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(generation_.size());
+    generation_.push_back(1);
+  }
+  const EventId id = make_id(slot, generation_[slot]);
+  heap_.push_back(Entry{t, next_sequence_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
   obs::count("sim.events_scheduled");
   return id;
 }
@@ -22,50 +32,60 @@ EventId Simulator::after(Duration d, std::function<void()> fn) {
   return at(now_ + d, std::move(fn));
 }
 
+bool Simulator::live(EventId id) const {
+  const std::uint32_t slot = slot_of(id);
+  return slot < generation_.size() &&
+         generation_[slot] == generation_of(id);
+}
+
+void Simulator::retire(EventId id) {
+  const std::uint32_t slot = slot_of(id);
+  ++generation_[slot];
+  free_slots_.push_back(slot);
+}
+
 bool Simulator::cancel(EventId id) {
-  const auto it = pending_.find(id);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
-  callbacks_.erase(id);
-  cancelled_.insert(id);
+  if (id == kInvalidEventId || !live(id)) return false;
+  retire(id);  // the heap entry goes stale and is dropped when it surfaces
+  --live_;
   obs::count("sim.events_cancelled");
   return true;
 }
 
 bool Simulator::is_pending(EventId id) const {
-  return pending_.contains(id);
+  return id != kInvalidEventId && live(id);
 }
 
-void Simulator::drop_cancelled() const {
-  while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
-    cancelled_.erase(queue_.top().id);
-    queue_.pop();
+void Simulator::drop_stale() const {
+  while (!heap_.empty() && !live(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
-void Simulator::fire(const Entry& entry) {
+void Simulator::fire() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   check_invariant(entry.time >= now_, "event queue went backwards in time");
   now_ = entry.time;
-  pending_.erase(entry.id);
-  auto node = callbacks_.extract(entry.id);
-  check_invariant(!node.empty(), "pending event without a callback");
+  retire(entry.id);
+  --live_;
   ++fired_count_;
   obs::count("sim.events_fired");
-  obs::set_gauge("sim.queue_depth", static_cast<double>(pending_.size()));
+  obs::set_gauge("sim.queue_depth", static_cast<double>(live_));
   if (event_limit_ != 0 && fired_count_ > event_limit_) {
     throw InternalError{"simulator event limit exceeded (" +
                         std::to_string(event_limit_) +
                         " events); likely a runaway feedback loop"};
   }
-  node.mapped()();
+  entry.fn();
 }
 
 bool Simulator::step() {
-  drop_cancelled();
-  if (queue_.empty()) return false;
-  const Entry entry = queue_.top();
-  queue_.pop();
-  fire(entry);
+  drop_stale();
+  if (heap_.empty()) return false;
+  fire();
   return true;
 }
 
@@ -78,23 +98,19 @@ std::size_t Simulator::run_until(TimePoint t) {
   require(t >= now_, "run_until target is in the past");
   std::size_t processed = 0;
   while (true) {
-    drop_cancelled();
-    if (queue_.empty() || queue_.top().time > t) break;
-    const Entry entry = queue_.top();
-    queue_.pop();
-    fire(entry);
+    drop_stale();
+    if (heap_.empty() || heap_.front().time > t) break;
+    fire();
     ++processed;
   }
   now_ = t;
   return processed;
 }
 
-std::size_t Simulator::pending_events() const { return pending_.size(); }
-
 TimePoint Simulator::next_event_time() const {
-  drop_cancelled();
-  if (queue_.empty()) return TimePoint::infinity();
-  return queue_.top().time;
+  drop_stale();
+  if (heap_.empty()) return TimePoint::infinity();
+  return heap_.front().time;
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, Duration period,

@@ -3,20 +3,32 @@
 // Single-threaded, deterministic: events at equal timestamps fire in the
 // order they were scheduled. Everything in vsplice (network flows, peer
 // protocol timers, the playback clock) runs on one Simulator instance.
+// Concurrency across *runs* is achieved by giving each run its own
+// Simulator (see experiments::ParallelRunner); a single instance is never
+// shared between threads.
+//
+// Hot-path design: the heap entries carry their callbacks inline and
+// cancellation is generation-tagged. An EventId encodes (slot,
+// generation); cancelling or firing bumps the slot's generation, so stale
+// heap entries are recognized by a mismatched tag and skipped lazily when
+// they surface. Scheduling, cancelling and firing therefore touch only
+// flat vectors — no hash-table lookups anywhere in the event loop, and no
+// allocations once the heap and slot vectors have reached steady-state
+// size.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
 
 namespace vsplice::sim {
 
-/// Handle for a scheduled event; stable for the lifetime of the simulator.
+/// Handle for a scheduled event: (slot << 32) | generation. Slots are
+/// recycled; the generation tag makes every issued id unique until a
+/// slot's 32-bit generation counter wraps (~4 billion schedules on one
+/// slot — unreachable in any realistic run).
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
@@ -37,7 +49,9 @@ class Simulator {
   EventId after(Duration d, std::function<void()> fn);
 
   /// Cancels a pending event. Returns false if it already fired, was
-  /// already cancelled, or never existed.
+  /// already cancelled, or never existed. The callback itself is
+  /// destroyed lazily when its heap entry surfaces (captured values may
+  /// outlive the cancel; captured references are never dereferenced).
   bool cancel(EventId id);
 
   /// True if `id` is still pending.
@@ -55,7 +69,7 @@ class Simulator {
   bool step();
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
 
   /// Timestamp of the next pending event, or TimePoint::infinity().
   [[nodiscard]] TimePoint next_event_time() const;
@@ -69,30 +83,49 @@ class Simulator {
     TimePoint time;
     std::uint64_t sequence;  // tie-break: FIFO at equal timestamps
     EventId id;
-    // Ordered for a min-heap via std::greater below.
-    friend bool operator>(const Entry& a, const Entry& b) {
+    std::function<void()> fn;
+  };
+
+  /// Heap comparator: true when `a` fires after `b` (min-heap on
+  /// (time, sequence) under std::push_heap/pop_heap).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.sequence > b.sequence;
     }
   };
 
-  void fire(const Entry& entry);
-  /// Pops cancelled entries off the heap top.
-  void drop_cancelled() const;
+  static constexpr EventId make_id(std::uint32_t slot,
+                                   std::uint32_t generation) {
+    return (static_cast<EventId>(slot) << 32) | generation;
+  }
+  static constexpr std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static constexpr std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  /// True while the id's generation tag matches its slot.
+  [[nodiscard]] bool live(EventId id) const;
+  /// Bumps the slot's generation and returns it to the free list.
+  void retire(EventId id);
+  /// Pops stale (cancelled) entries off the heap top.
+  void drop_stale() const;
+  /// Moves the top entry out of the heap, retires it, and runs it.
+  void fire();
 
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_sequence_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t fired_count_ = 0;
   std::uint64_t event_limit_ = 0;
+  std::size_t live_ = 0;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>,
-                              std::greater<Entry>>
-      queue_;
-  // Lazy deletion: cancelled ids are skipped when they reach the top.
-  mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> pending_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  // Lazy deletion: cancelled entries stay in the heap (their slot's
+  // generation no longer matches) and are dropped when they surface.
+  mutable std::vector<Entry> heap_;
+  std::vector<std::uint32_t> generation_;  // per slot; starts at 1
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// Repeats a callback at a fixed period until stopped or destroyed.

@@ -45,8 +45,12 @@ TEST(Scenario, SeedChangesOutcomeDetails) {
   const ScenarioResult a = run_scenario(config);
   config.seed = 2;
   const ScenarioResult b = run_scenario(config);
-  // Startup depends on join times drawn from the seed.
-  EXPECT_NE(a.mean_startup_seconds, b.mean_startup_seconds);
+  // The seed draws the join times, so the simulated wall clock (last
+  // join + playback) must move with it. Startup latency itself can be
+  // seed-invariant here: with exact completion ETAs, uncontended viewers
+  // all fill their startup buffer in the same time regardless of when
+  // they join.
+  EXPECT_NE(a.wall_time, b.wall_time);
 }
 
 TEST(Scenario, SplicerSpecControlsSegmentation) {

@@ -224,5 +224,87 @@ TEST_P(MaxMinProperty, MaxMinFairness) {
 INSTANTIATE_TEST_SUITE_P(RandomCases, MaxMinProperty,
                          ::testing::Range<std::uint64_t>(0, 40));
 
+// ------------------------------------------- star/generic differential
+
+/// A random star workload for the differential suite: flows between
+/// distinct nodes, mixed finite/infinite links, ~40% capped.
+struct StarCase {
+  std::vector<StarFlowSpec> star;
+  std::vector<FlowSpec> generic;
+  std::vector<Rate> capacity;
+};
+
+StarCase make_star_case(std::uint64_t seed) {
+  Rng rng{seed};
+  StarCase c;
+  const std::size_t nodes = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  c.capacity.push_back(rng.bernoulli(0.7)
+                           ? Rate::infinity()
+                           : Rate::bytes_per_second(
+                                 rng.uniform(100.0, 10000.0)));
+  for (std::size_t nd = 0; nd < nodes; ++nd) {
+    for (int dir = 0; dir < 2; ++dir) {
+      c.capacity.push_back(
+          rng.bernoulli(0.1)
+              ? Rate::infinity()
+              : Rate::bytes_per_second(rng.uniform(10.0, 1000.0)));
+    }
+  }
+  const std::size_t flows = static_cast<std::size_t>(rng.uniform_int(1, 24));
+  for (std::size_t f = 0; f < flows; ++f) {
+    const std::size_t src = rng.index(nodes);
+    std::size_t dst = rng.index(nodes);
+    if (dst == src) dst = (dst + 1) % nodes;
+    StarFlowSpec star;
+    star.uplink = static_cast<std::uint32_t>(1 + 2 * src);
+    star.downlink = static_cast<std::uint32_t>(2 + 2 * dst);
+    if (rng.bernoulli(0.4)) {
+      star.cap = Rate::bytes_per_second(rng.uniform(5.0, 500.0));
+    }
+    FlowSpec generic;
+    generic.path = {LinkId{0}, LinkId{star.uplink}, LinkId{star.downlink}};
+    generic.cap = star.cap;
+    c.star.push_back(star);
+    c.generic.push_back(std::move(generic));
+  }
+  return c;
+}
+
+TEST(StarAllocatorDifferential, MatchesGenericOver1000Seeds) {
+  // One StarAllocator across all cases: scratch reuse must never leak
+  // state from a previous (differently sized) problem.
+  StarAllocator allocator;
+  std::vector<Rate> star_rates;
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    const StarCase c = make_star_case(seed);
+    const std::vector<Rate> generic_rates =
+        max_min_allocation(c.generic, c.capacity);
+    allocator.allocate(c.star, c.capacity, star_rates);
+    ASSERT_EQ(star_rates.size(), generic_rates.size()) << "seed " << seed;
+    for (std::size_t f = 0; f < star_rates.size(); ++f) {
+      ASSERT_EQ(star_rates[f].is_infinite(), generic_rates[f].is_infinite())
+          << "seed " << seed << " flow " << f;
+      if (generic_rates[f].is_infinite()) continue;
+      const double g = generic_rates[f].bytes_per_second();
+      ASSERT_NEAR(star_rates[f].bytes_per_second(), g, 1e-6 * (1.0 + g))
+          << "seed " << seed << " flow " << f;
+    }
+  }
+}
+
+TEST(StarAllocatorDifferential, EmptyFlowSet) {
+  StarAllocator allocator;
+  std::vector<Rate> rates{Rate::zero()};  // stale contents must be cleared
+  allocator.allocate({}, caps({10}), rates);
+  EXPECT_TRUE(rates.empty());
+}
+
+TEST(StarAllocatorDifferential, RejectsMissingTrunk) {
+  StarAllocator allocator;
+  std::vector<Rate> rates;
+  EXPECT_THROW(allocator.allocate({StarFlowSpec{}}, {}, rates),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace vsplice::net

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "common/error.h"
 #include "net/bandwidth_schedule.h"
 
@@ -225,6 +229,144 @@ TEST(Network, RejectsBadFlows) {
   EXPECT_THROW(
       (void)f.net.start_flow(a, b, 10, Rate::infinity(), {nullptr, nullptr}),
       InvalidArgument);
+}
+
+TEST(Network, CompletionCallbackSeesUpdatedRates) {
+  // Callback contract: by the time on_complete runs, the finished flow
+  // is gone and the survivors' rates are already recomputed — the
+  // surviving flow must show the full uplink, not the half it had while
+  // sharing.
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  const NodeId c = f.net.add_node(make_node(100));
+  FlowId survivor{};
+  double rate_seen_kBps = 0.0;
+  survivor = f.net.start_flow(a, c, 1'000'000, Rate::infinity(), {[] {}, nullptr});
+  f.net.start_flow(a, b, 50'000, Rate::infinity(),
+                   {[&] {
+                      rate_seen_kBps =
+                          f.net.flow_rate(survivor).kilobytes_per_second();
+                    },
+                    nullptr});
+  f.sim.run();
+  EXPECT_NEAR(rate_seen_kBps, 100.0, 1e-6);
+}
+
+TEST(Network, AbortCallbackSeesUpdatedRates) {
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  const NodeId c = f.net.add_node(make_node(100));
+  const FlowId survivor =
+      f.net.start_flow(a, c, 1'000'000, Rate::infinity(), {[] {}, nullptr});
+  double rate_seen_kBps = 0.0;
+  const FlowId doomed = f.net.start_flow(
+      a, b, 1'000'000, Rate::infinity(),
+      {[] {}, [&](Bytes) {
+         rate_seen_kBps =
+             f.net.flow_rate(survivor).kilobytes_per_second();
+       }});
+  f.sim.run_until(TimePoint::origin() + Duration::seconds(1));
+  f.net.abort_flow(doomed);
+  EXPECT_NEAR(rate_seen_kBps, 100.0, 1e-6);
+}
+
+TEST(Network, AbortFlowsForReallocatesOnce) {
+  // Batch abort: all doomed flows leave the table under a single
+  // reallocation, and every on_abort already observes the final rates.
+  Fixture f;
+  const NodeId seeder = f.net.add_node(make_node(100));
+  const NodeId leaver = f.net.add_node(make_node(100));
+  const NodeId stayer = f.net.add_node(make_node(100));
+  const FlowId survivor =
+      f.net.start_flow(seeder, stayer, 5'000'000, Rate::infinity(),
+                       {[] {}, nullptr});
+  std::vector<double> rates_seen_kBps;
+  for (int i = 0; i < 3; ++i) {
+    f.net.start_flow(seeder, leaver, 5'000'000, Rate::infinity(),
+                     {[] {}, [&](Bytes) {
+                        rates_seen_kBps.push_back(
+                            f.net.flow_rate(survivor)
+                                .kilobytes_per_second());
+                      }});
+  }
+  f.sim.run_until(TimePoint::origin() + Duration::seconds(1));
+  const std::uint64_t before = f.net.stats().reallocations;
+  f.net.abort_flows_for(leaver);
+  EXPECT_EQ(f.net.stats().reallocations, before + 1);
+  ASSERT_EQ(rates_seen_kBps.size(), 3u);
+  // Every callback sees the post-abort world: the survivor alone on the
+  // seeder's uplink.
+  for (double r : rates_seen_kBps) EXPECT_NEAR(r, 100.0, 1e-6);
+  EXPECT_EQ(f.net.stats().flows_aborted, 3u);
+  EXPECT_TRUE(f.net.flow_active(survivor));
+}
+
+TEST(Network, CompletionTimeExactUnderRescheduleChurn) {
+  // The ETA uses the exact fractional remainder: hundreds of
+  // cancel/reschedule cycles — forced here by flipping the flow's own
+  // cap between awkward rates every 10 ms — must not accumulate error.
+  // The old ceil(remaining-bytes) bias drifted up to 1 byte-time per
+  // reschedule (~25 us at 40 kB/s), which over ~400 flips exceeds the
+  // millisecond tolerance below.
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  const double cap_a_kBps = 61.7;
+  const double cap_b_kBps = 39.3;
+  const double total_bytes = 200'000.0;
+  double done_at = -1.0;
+  const FlowId id = f.net.start_flow(
+      a, b, static_cast<Bytes>(total_bytes),
+      Rate::kilobytes_per_second(cap_a_kBps),
+      {[&] { done_at = f.sim.now().as_seconds(); }, nullptr});
+  auto churn = std::make_shared<std::function<void()>>();
+  int flips = 0;
+  *churn = [&, churn] {
+    if (done_at >= 0.0) return;
+    ++flips;
+    f.net.set_flow_cap(id, Rate::kilobytes_per_second(
+                               flips % 2 == 1 ? cap_b_kBps : cap_a_kBps));
+    f.sim.after(Duration::millis(10), *churn);
+  };
+  f.sim.after(Duration::millis(10), *churn);
+  f.sim.run();
+
+  // Exact piecewise integration: interval i covers [i, i+1) * 10 ms at
+  // the cap active there.
+  double remaining = total_bytes;
+  double expected = 0.0;
+  for (int i = 0;; ++i) {
+    const double rate = (i % 2 == 0 ? cap_a_kBps : cap_b_kBps) * 1000.0;
+    const double step = rate * 0.01;
+    if (remaining <= step) {
+      expected += remaining / rate;
+      break;
+    }
+    remaining -= step;
+    expected += 0.01;
+  }
+  ASSERT_GE(done_at, 0.0);
+  EXPECT_GT(flips, 300);
+  EXPECT_NEAR(done_at, expected, 1e-3);
+  EXPECT_GT(f.net.stats().completion_reschedules, 300u);
+}
+
+TEST(Network, UnchangedRateKeepsCompletionEvent) {
+  // Incremental reallocation: a reallocation that does not change a
+  // flow's rate must not cancel/reschedule its completion event.
+  Fixture f;
+  const NodeId a = f.net.add_node(make_node(100));
+  const NodeId b = f.net.add_node(make_node(100));
+  const NodeId c = f.net.add_node(make_node(100));
+  const NodeId d = f.net.add_node(make_node(100));
+  f.net.start_flow(a, b, 1'000'000, Rate::infinity(), {[] {}, nullptr});
+  f.sim.run_until(TimePoint::origin() + Duration::millis(100));
+  const std::uint64_t before = f.net.stats().completion_reschedules;
+  // A disjoint pair: reallocation runs, but the a->b rate is untouched.
+  f.net.start_flow(c, d, 1'000'000, Rate::infinity(), {[] {}, nullptr});
+  EXPECT_EQ(f.net.stats().completion_reschedules, before + 1);
 }
 
 TEST(BandwidthSchedule, StepsApplyInOrder) {

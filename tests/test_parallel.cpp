@@ -1,0 +1,160 @@
+// ParallelRunner units and the parallel-determinism contract: a sweep
+// run with --jobs N must produce byte-identical outputs to --jobs 1.
+#include "experiments/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "experiments/paper_setup.h"
+#include "experiments/sweep.h"
+
+namespace vsplice::experiments {
+namespace {
+
+TEST(ParallelRunner, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_GE(resolve_jobs(0), 1);  // auto: one per hardware thread
+  EXPECT_THROW((void)resolve_jobs(-1), InvalidArgument);
+}
+
+TEST(ParallelRunner, RunsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 8}) {
+    ParallelRunner runner{jobs};
+    std::vector<std::atomic<int>> hits(100);
+    runner.run(hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelRunner, SerialPathPreservesOrder) {
+  ParallelRunner runner{1};
+  std::vector<std::size_t> order;
+  runner.run(10, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelRunner, EmptyAndSingle) {
+  ParallelRunner runner{4};
+  int calls = 0;
+  runner.run(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  runner.run(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelRunner, RethrowsFirstException) {
+  for (int jobs : {1, 4}) {
+    ParallelRunner runner{jobs};
+    std::atomic<int> completed{0};
+    try {
+      runner.run(20, [&](std::size_t i) {
+        if (i == 7) throw std::runtime_error{"task 7 failed"};
+        completed.fetch_add(1);
+      });
+      FAIL() << "expected the task exception to propagate (jobs=" << jobs
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 7 failed");
+    }
+    // Jobs=1 stops at the throw; parallel drains the remaining tasks.
+    EXPECT_EQ(completed.load(), jobs == 1 ? 7 : 19);
+  }
+}
+
+// -------------------------------------------------------- determinism
+
+ScenarioConfig tiny_config() {
+  ScenarioConfig config;
+  config.nodes = 6;
+  config.join_spread = Duration::seconds(10);
+  return config;
+}
+
+TEST(ParallelDeterminism, RepeatedAggregateMatchesSerial) {
+  const ScenarioConfig config = tiny_config();
+  const RepeatedResult serial = run_repeated(config, 3, 1);
+  const RepeatedResult parallel = run_repeated(config, 3, 8);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  EXPECT_EQ(serial.stalls, parallel.stalls);
+  EXPECT_EQ(serial.stall_seconds, parallel.stall_seconds);
+  EXPECT_EQ(serial.startup_seconds, parallel.startup_seconds);
+  EXPECT_EQ(serial.mean_stalls_per_viewer, parallel.mean_stalls_per_viewer);
+  for (std::size_t r = 0; r < serial.runs.size(); ++r) {
+    EXPECT_EQ(serial.runs[r].total_stalls, parallel.runs[r].total_stalls);
+    EXPECT_EQ(serial.runs[r].wall_time, parallel.runs[r].wall_time);
+    EXPECT_EQ(serial.runs[r].network_bytes_delivered,
+              parallel.runs[r].network_bytes_delivered);
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ParallelDeterminism, SweepSnapshotsByteIdentical) {
+  // The hard requirement behind --jobs: every output file of a parallel
+  // sweep is byte-identical to the serial sweep's.
+  ScenarioConfig base = tiny_config();
+  const std::vector<Rate> bandwidths{Rate::kilobytes_per_second(256),
+                                     Rate::kilobytes_per_second(512)};
+  const std::vector<SweepSeries> series{
+      {"GOP based", [](ScenarioConfig& c) { c.splicer = "gop"; }},
+      {"4 sec", [](ScenarioConfig& c) { c.splicer = "4s"; }},
+  };
+
+  base.snapshot_json_path = "parallel_det_serial.json";
+  const SweepResult serial = run_sweep(base, bandwidths, series, 2, 1);
+  base.snapshot_json_path = "parallel_det_jobs8.json";
+  const SweepResult parallel = run_sweep(base, bandwidths, series, 2, 8);
+
+  // Aggregates match exactly...
+  for (std::size_t b = 0; b < bandwidths.size(); ++b) {
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      EXPECT_EQ(serial.at(b, s).stalls, parallel.at(b, s).stalls);
+      EXPECT_EQ(serial.at(b, s).stall_seconds,
+                parallel.at(b, s).stall_seconds);
+      EXPECT_EQ(serial.at(b, s).startup_seconds,
+                parallel.at(b, s).startup_seconds);
+    }
+  }
+
+  // ...and so does every snapshot file, byte for byte.
+  const std::vector<std::string> cells{"256_kBs.GOP_based", "256_kBs.4_sec",
+                                       "512_kBs.GOP_based", "512_kBs.4_sec"};
+  int compared = 0;
+  for (const std::string& cell : cells) {
+    for (int run = 1; run <= 2; ++run) {
+      const std::string serial_path = "parallel_det_serial." + cell +
+                                      ".run" + std::to_string(run) + ".json";
+      const std::string parallel_path = "parallel_det_jobs8." + cell +
+                                        ".run" + std::to_string(run) +
+                                        ".json";
+      const std::string a = slurp(serial_path);
+      const std::string b = slurp(parallel_path);
+      EXPECT_FALSE(a.empty()) << serial_path;
+      EXPECT_EQ(a, b) << "snapshot differs for " << cell << " run " << run;
+      ++compared;
+      std::remove(serial_path.c_str());
+      std::remove(parallel_path.c_str());
+    }
+  }
+  EXPECT_EQ(compared, 8);
+}
+
+}  // namespace
+}  // namespace vsplice::experiments

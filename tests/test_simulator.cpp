@@ -151,6 +151,65 @@ TEST(Simulator, ZeroDelaySelfScheduleStillAdvancesQueue) {
   EXPECT_EQ(sim.now(), TimePoint::origin());
 }
 
+TEST(Simulator, RecycledSlotDoesNotResurrectOldId) {
+  // Generation tags: after an event fires (or is cancelled) its slot is
+  // recycled, but the stale EventId must stay dead — cancelling it must
+  // not kill the slot's new occupant.
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  const EventId a = sim.after(Duration::seconds(1), [&] { ++first; });
+  ASSERT_TRUE(sim.cancel(a));
+  const EventId b = sim.after(Duration::seconds(2), [&] { ++second; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.cancel(a));   // stale id: dead forever
+  EXPECT_FALSE(sim.is_pending(a));
+  EXPECT_TRUE(sim.is_pending(b));
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, CancelChurnKeepsQueueConsistent) {
+  // Heavy schedule/cancel interleaving (the incremental reallocator's
+  // access pattern): live counts, firing order, and pending_events()
+  // must stay exact despite lazily-dropped heap entries.
+  Simulator sim;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.after(Duration::micros(1 + i % 97),
+                            [&] { ++fired; }));
+    if (i % 3 == 2) {
+      ASSERT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i) - 1]));
+    }
+  }
+  const std::size_t cancelled = 333;
+  EXPECT_EQ(sim.pending_events(), 1000u - cancelled);
+  sim.run();
+  EXPECT_EQ(fired, static_cast<int>(1000 - cancelled));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelFromInsideCallbackOfSameTimestamp) {
+  // An event may cancel a later event scheduled for the same instant;
+  // the cancelled callback must not run even though its heap entry is
+  // already "due".
+  Simulator sim;
+  bool victim_ran = false;
+  bool killer_ran = false;
+  EventId victim{};
+  sim.at(TimePoint::from_seconds(1), [&] {
+    killer_ran = true;
+    EXPECT_TRUE(sim.cancel(victim));
+  });
+  victim = sim.at(TimePoint::from_seconds(1), [&] { victim_ran = true; });
+  sim.run();
+  EXPECT_TRUE(killer_ran);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(PeriodicTask, FiresAtPeriod) {
   Simulator sim;
   std::vector<double> times;
