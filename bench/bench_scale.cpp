@@ -1,0 +1,243 @@
+// Swarm-size scaling benchmark for the large-swarm scheduling engine.
+//
+// Sweeps the swarm from the paper's 20 VMs up to thousands of peers per
+// splicing technique and reports, for each point:
+//   - wall-clock seconds per simulated minute (the cost of simulating),
+//   - scheduling-decision counts (segment picks / holder picks) and the
+//     candidates examined per decision,
+//   - QoE shape checks (viewers start, startups are positive, decision
+//     volume grows with the swarm).
+// At 500 peers it re-runs the retained brute-force selection path — the
+// exact pre-optimization algorithms, kept as an oracle — and records two
+// speedups: whole-run wall time (which includes the shared network/event
+// simulation both paths pay equally) and scheduling-engine wall time
+// (measured inside segment/holder selection via SchedulerStats), the
+// latter checked to be at least 10x.
+// The 20-peer paper configuration is also run both ways and checked for
+// identical results (same stalls, same startup, same decisions), the
+// guardrail that the optimization did not change the science.
+//
+//   ./bench_scale            full sweep  {20,100,500,1000,2000} x {gop,4s}
+//   ./bench_scale --quick    CI sweep    {20,100,500} x {4s}
+//
+// Writes BENCH_scale.json; exit code 1 when any check fails.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "experiments/paper_setup.h"
+
+namespace {
+
+using namespace vsplice;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+experiments::ScenarioConfig scale_config(std::size_t nodes,
+                                         const std::string& splicer) {
+  experiments::ScenarioConfig config;
+  config.splicer = splicer;
+  config.policy = "adaptive";
+  config.bandwidth = Rate::kilobytes_per_second(256);
+  config.nodes = nodes;
+  config.seed = 1;
+  // Fixed simulated horizon so runs of very different swarm sizes stay
+  // comparable: the metric is the cost of simulating a minute, not of
+  // finishing the video.
+  config.time_limit = Duration::seconds(240.0);
+  return config;
+}
+
+struct RunPoint {
+  experiments::ScenarioResult result;
+  double wall_s = 0;
+  double wall_s_per_sim_min = 0;
+};
+
+RunPoint run_point(const experiments::ScenarioConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  RunPoint point;
+  point.result = experiments::run_scenario(config);
+  point.wall_s = seconds_since(start);
+  const double sim_minutes = point.result.wall_time.as_seconds() / 60.0;
+  point.wall_s_per_sim_min =
+      sim_minutes > 0 ? point.wall_s / sim_minutes : 0.0;
+  return point;
+}
+
+std::string key(std::size_t nodes, const std::string& splicer,
+                const char* metric) {
+  std::string out = "n";
+  out += std::to_string(nodes);
+  out += '.';
+  out += splicer;
+  out += '.';
+  out += metric;
+  return out;
+}
+
+int run_bench(bool quick) {
+  std::printf("swarm-size scaling benchmark (%s)\n",
+              quick ? "quick" : "full");
+  bench::BenchResults results{"scale"};
+
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{20, 100, 500}
+            : std::vector<std::size_t>{20, 100, 500, 1000, 2000};
+  const std::vector<std::string> splicers =
+      quick ? std::vector<std::string>{"4s"}
+            : std::vector<std::string>{"gop", "4s"};
+
+  // --- Incremental-path sweep.
+  std::uint64_t picks_at_smallest = 0;
+  std::uint64_t picks_at_largest = 0;
+  bool qoe_ok = true;
+  for (const std::string& splicer : splicers) {
+    for (std::size_t nodes : sizes) {
+      const RunPoint point = run_point(scale_config(nodes, splicer));
+      const experiments::ScenarioResult& r = point.result;
+      const std::uint64_t picks = r.segment_picks + r.holder_picks;
+      const double per_decision =
+          picks > 0 ? static_cast<double>(r.candidates_scanned) /
+                          static_cast<double>(picks)
+                    : 0.0;
+      std::printf(
+          "  %4zu peers, %-3s: %6.2f wall-s/sim-min, %9llu decisions, "
+          "%6.1f candidates/decision, %zu/%zu finished\n",
+          nodes, splicer.c_str(), point.wall_s_per_sim_min,
+          static_cast<unsigned long long>(picks), per_decision,
+          r.finished_viewers, r.viewer_count);
+      results.add_value(key(nodes, splicer, "wall_s"), point.wall_s);
+      results.add_value(key(nodes, splicer, "wall_s_per_sim_min"),
+                        point.wall_s_per_sim_min);
+      results.add_value(key(nodes, splicer, "segment_picks"),
+                        static_cast<double>(r.segment_picks));
+      results.add_value(key(nodes, splicer, "holder_picks"),
+                        static_cast<double>(r.holder_picks));
+      results.add_value(key(nodes, splicer, "candidates_per_decision"),
+                        per_decision);
+      results.add_value(key(nodes, splicer, "sched_wall_s"),
+                        static_cast<double>(r.scheduling_engine_ns) * 1e-9);
+
+      // QoE shape: the swarm must actually stream at every size — every
+      // run makes decisions, and started viewers have positive startup.
+      bool shape = r.segment_picks > 0 && r.holder_picks > 0;
+      std::size_t started = 0;
+      for (const auto& viewer : r.viewers) {
+        if (viewer.started) {
+          ++started;
+          shape = shape && viewer.startup_time > Duration::zero();
+        }
+      }
+      shape = shape && started > 0;
+      qoe_ok = qoe_ok && shape;
+      results.add_value(key(nodes, splicer, "started_viewers"),
+                        static_cast<double>(started));
+      results.add_value(key(nodes, splicer, "mean_startup_s"),
+                        r.mean_startup_seconds);
+      if (splicer == splicers.front()) {
+        if (nodes == sizes.front()) picks_at_smallest = picks;
+        if (nodes == sizes.back()) picks_at_largest = picks;
+      }
+    }
+  }
+  results.check("qoe_shape", qoe_ok,
+                "every size streams: decisions made, viewers start, "
+                "startups positive");
+  results.check("decisions_grow_with_swarm",
+                picks_at_largest > picks_at_smallest,
+                "scheduling decisions grow with swarm size");
+
+  // --- Paper-fidelity guardrail: at 20 peers the oracle and the
+  // incremental path must agree exactly.
+  {
+    experiments::ScenarioConfig config = scale_config(20, "4s");
+    config.time_limit = Duration::minutes(60.0);  // the real experiment
+    const RunPoint fast = run_point(config);
+    config.brute_force_scheduling = true;
+    const RunPoint oracle = run_point(config);
+    const experiments::ScenarioResult& a = oracle.result;
+    const experiments::ScenarioResult& b = fast.result;
+    const bool identical =
+        a.total_stalls == b.total_stalls &&
+        a.total_stall_seconds == b.total_stall_seconds &&
+        a.mean_startup_seconds == b.mean_startup_seconds &&
+        a.wall_time.count_micros() == b.wall_time.count_micros() &&
+        a.requests_served == b.requests_served &&
+        a.requests_choked == b.requests_choked &&
+        a.segment_picks == b.segment_picks &&
+        a.holder_picks == b.holder_picks;
+    results.check("paper_config_identical", identical,
+                  "20-peer paper run: brute-force oracle and incremental "
+                  "path produce identical results");
+  }
+
+  // --- The headline: speedup over the retained brute-force path at
+  // 500 peers. Whole-run wall time includes the network/event
+  // simulation both paths share, so the scheduling engine itself is
+  // compared on the wall time measured inside segment/holder selection.
+  {
+    const std::size_t nodes = 500;
+    experiments::ScenarioConfig config = scale_config(nodes, "4s");
+    const RunPoint fast = run_point(config);
+    config.brute_force_scheduling = true;
+    std::printf("  %4zu peers, brute-force oracle running...\n", nodes);
+    const RunPoint oracle = run_point(config);
+    const double total_speedup =
+        fast.wall_s > 0 ? oracle.wall_s / fast.wall_s : 0.0;
+    const double oracle_sched_s =
+        static_cast<double>(oracle.result.scheduling_engine_ns) * 1e-9;
+    const double fast_sched_s =
+        static_cast<double>(fast.result.scheduling_engine_ns) * 1e-9;
+    const double sched_speedup =
+        fast_sched_s > 0 ? oracle_sched_s / fast_sched_s : 0.0;
+    std::printf(
+        "  %4zu peers: whole run %.2f s vs %.2f s (%.1fx); scheduling "
+        "engine %.3f s vs %.3f s (%.1fx)\n",
+        nodes, oracle.wall_s, fast.wall_s, total_speedup, oracle_sched_s,
+        fast_sched_s, sched_speedup);
+    results.add_value("oracle.n500.wall_s", oracle.wall_s);
+    results.add_value("incremental.n500.wall_s", fast.wall_s);
+    results.add_value("oracle.n500.sched_wall_s", oracle_sched_s);
+    results.add_value("incremental.n500.sched_wall_s", fast_sched_s);
+    results.add_value("speedup.n500.total", total_speedup);
+    results.add_value("speedup.n500.scheduling", sched_speedup);
+    results.add_value(
+        "oracle.n500.candidates_scanned",
+        static_cast<double>(oracle.result.candidates_scanned));
+    results.add_value(
+        "incremental.n500.candidates_scanned",
+        static_cast<double>(fast.result.candidates_scanned));
+    results.check("speedup_10x", sched_speedup >= 10.0,
+                  "incremental segment/holder selection is >= 10x faster "
+                  "than the brute-force oracle at 500 peers");
+    results.check("oracle_slower_overall", total_speedup > 1.0,
+                  "whole-run wall time also improves over the oracle at "
+                  "500 peers");
+    results.check(
+        "oracle_decisions_match",
+        oracle.result.segment_picks == fast.result.segment_picks &&
+            oracle.result.holder_picks == fast.result.holder_picks,
+        "oracle and incremental make the same number of decisions at "
+        "500 peers");
+  }
+
+  results.write();
+  return results.all_checks_passed() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--quick") quick = true;
+  }
+  return run_bench(quick);
+}

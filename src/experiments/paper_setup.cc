@@ -145,6 +145,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // --- Swarm.
   Rng rng{config.seed};
   p2p::Swarm swarm{network, rng, std::move(index), playlist_text};
+  swarm.set_brute_force_oracle(config.brute_force_scheduling);
   p2p::PeerConfig peer_config;
   peer_config.max_upload_slots = config.upload_slots;
   swarm.add_seeder(seeder_node, peer_config);
@@ -156,6 +157,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     p2p::LeecherConfig leecher_config;
     leecher_config.policy = policy;
     leecher_config.bandwidth_hint = config.bandwidth;
+    leecher_config.brute_force_scheduling = config.brute_force_scheduling;
+    leecher_config.rarest_window = config.rarest_window;
     p2p::Leecher& leecher =
         swarm.add_leecher(node, peer_config, leecher_config);
     leechers.push_back(&leecher);
@@ -249,6 +252,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.peers_uploaded += leecher->stats().bytes_uploaded;
     result.requests_served += leecher->stats().requests_served;
     result.requests_choked += leecher->stats().requests_choked;
+    const p2p::SchedulerStats& sched = leecher->scheduler_stats();
+    result.segment_picks += sched.segment_picks;
+    result.holder_picks += sched.holder_picks;
+    result.candidates_scanned += sched.candidates_scanned;
+    result.scheduling_engine_ns += sched.engine_ns;
   }
   result.pieces_aborted = swarm.stats().pieces_aborted;
   result.network_bytes_delivered = network.stats().bytes_delivered;

@@ -53,6 +53,16 @@ struct ScenarioConfig {
   bool churn = false;
   Duration churn_mean_lifetime = Duration::seconds(90.0);
 
+  /// Run the retained pre-optimization scheduling path (linear
+  /// segment/peer scans, linear swarm lookups, full availability
+  /// rebuilds) instead of the incremental structures. The differential
+  /// tests and the scaling benchmark use it as the oracle: for any size
+  /// the two paths must produce identical results, only slower.
+  bool brute_force_scheduling = false;
+  /// LeecherConfig::rarest_window passthrough (0 = the paper's strictly
+  /// sequential fetch order, used by every figure).
+  std::size_t rarest_window = 0;
+
   /// JSONL event-trace destination for this run. Empty = fall back to
   /// the VSPLICE_TRACE environment variable (empty there too = no
   /// trace). Identical seeds produce byte-identical files.
@@ -116,6 +126,16 @@ struct ScenarioResult {
   std::string timeline;
   /// Anomalies flagged by the sampler scan (only when sampling ran).
   std::size_t anomaly_count = 0;
+
+  /// Scheduling-decision counters summed over all viewers (the scaling
+  /// benchmark reports work-per-decision from these).
+  std::uint64_t segment_picks = 0;
+  std::uint64_t holder_picks = 0;
+  std::uint64_t candidates_scanned = 0;
+  /// Real wall time spent inside segment/holder selection, summed over
+  /// all viewers. Not deterministic (it is a clock, not a counter) —
+  /// excluded from the identity comparisons, reported by bench_scale.
+  std::uint64_t scheduling_engine_ns = 0;
 };
 
 /// Runs one full swarm simulation.

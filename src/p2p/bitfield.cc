@@ -1,10 +1,38 @@
 #include "p2p/bitfield.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace vsplice::p2p {
 
-Bitfield::Bitfield(std::size_t size) : size_{size}, bits_(size, false) {}
+namespace {
+
+constexpr std::size_t kWordBits = Bitfield::kWordBits;
+
+std::size_t words_needed(std::size_t size) {
+  return (size + kWordBits - 1) / kWordBits;
+}
+
+/// Wire bytes are MSB-first (bit 0 of the field is the byte's top bit);
+/// in-memory words are LSB-first. A byte always lands whole inside one
+/// word (64 % 8 == 0), so packing is a byte reversal plus a shift.
+std::uint8_t reverse_bits(std::uint8_t v) {
+  v = static_cast<std::uint8_t>(((v & 0xF0u) >> 4) | ((v & 0x0Fu) << 4));
+  v = static_cast<std::uint8_t>(((v & 0xCCu) >> 2) | ((v & 0x33u) << 2));
+  v = static_cast<std::uint8_t>(((v & 0xAAu) >> 1) | ((v & 0x55u) << 1));
+  return v;
+}
+
+}  // namespace
+
+Bitfield::Bitfield(std::size_t size)
+    : size_{size}, words_(words_needed(size), 0) {}
+
+std::uint64_t Bitfield::tail_mask() const {
+  const std::size_t rem = size_ % kWordBits;
+  return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+}
 
 Bitfield Bitfield::from_bytes(std::size_t size,
                               const std::vector<std::uint8_t>& packed) {
@@ -15,59 +43,131 @@ Bitfield Bitfield::from_bytes(std::size_t size,
                      std::to_string(expected)};
   }
   Bitfield field{size};
-  for (std::size_t i = 0; i < size; ++i) {
-    const std::uint8_t byte = packed[i / 8];
-    if ((byte >> (7 - i % 8)) & 1) field.set(i);
+  for (std::size_t b = 0; b < packed.size(); ++b) {
+    field.words_[b / 8] |= static_cast<std::uint64_t>(
+                               reverse_bits(packed[b]))
+                           << ((b % 8) * 8);
   }
-  // Spare bits beyond `size` must be zero.
-  for (std::size_t i = size; i < expected * 8; ++i) {
-    const std::uint8_t byte = packed[i / 8];
-    if ((byte >> (7 - i % 8)) & 1) {
-      throw ParseError{"bitfield has stray bits past its size"};
-    }
+  // Spare bits beyond `size` must be zero; they all live in the tail
+  // word (the packed bytes never extend past it).
+  if (!field.words_.empty() &&
+      (field.words_.back() & ~field.tail_mask()) != 0) {
+    throw ParseError{"bitfield has stray bits past its size"};
+  }
+  for (const std::uint64_t w : field.words_) {
+    field.count_ += static_cast<std::size_t>(std::popcount(w));
   }
   return field;
 }
 
 bool Bitfield::get(std::size_t i) const {
   require(i < size_, "bitfield index out of range");
-  return bits_[i];
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
 }
 
 void Bitfield::set(std::size_t i) {
   require(i < size_, "bitfield index out of range");
-  if (!bits_[i]) {
-    bits_[i] = true;
+  const std::uint64_t bit = std::uint64_t{1} << (i % kWordBits);
+  std::uint64_t& word = words_[i / kWordBits];
+  if ((word & bit) == 0) {
+    word |= bit;
     ++count_;
   }
 }
 
+void Bitfield::reset(std::size_t i) {
+  require(i < size_, "bitfield index out of range");
+  const std::uint64_t bit = std::uint64_t{1} << (i % kWordBits);
+  std::uint64_t& word = words_[i / kWordBits];
+  if ((word & bit) != 0) {
+    word &= ~bit;
+    --count_;
+  }
+}
+
 void Bitfield::set_all() {
-  for (std::size_t i = 0; i < size_; ++i) bits_[i] = true;
+  if (size_ == 0) return;
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  words_.back() &= tail_mask();
   count_ = size_;
 }
 
 std::size_t Bitfield::next_set(std::size_t from) const {
-  for (std::size_t i = from; i < size_; ++i) {
-    if (bits_[i]) return i;
+  if (from >= size_) return size_;
+  std::size_t w = from / kWordBits;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from % kWordBits));
+  while (word == 0) {
+    if (++w == words_.size()) return size_;
+    word = words_[w];
   }
-  return size_;
+  // No stray bits, so the hit is always < size_.
+  return w * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
 }
 
 std::size_t Bitfield::next_clear(std::size_t from) const {
-  for (std::size_t i = from; i < size_; ++i) {
-    if (!bits_[i]) return i;
+  if (from >= size_) return size_;
+  std::size_t w = from / kWordBits;
+  std::uint64_t word = ~words_[w] & (~std::uint64_t{0} << (from % kWordBits));
+  while (word == 0) {
+    if (++w == words_.size()) return size_;
+    word = ~words_[w];
   }
-  return size_;
+  // Positions past size_ read as "clear" in the tail word; cap them.
+  const std::size_t hit =
+      w * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+  return std::min(hit, size_);
+}
+
+std::size_t Bitfield::and_count(const Bitfield& other) const {
+  const std::size_t words = std::min(words_.size(), other.words_.size());
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::size_t>(
+        std::popcount(words_[w] & other.words_[w]));
+  }
+  return total;
+}
+
+std::size_t Bitfield::first_missing_in(const Bitfield& other,
+                                       std::size_t from) const {
+  const std::size_t limit = std::min(size_, other.size_);
+  if (from >= limit) return size_;
+  std::size_t w = from / kWordBits;
+  const std::size_t last = words_needed(limit);
+  std::uint64_t word = other.words_[w] & ~words_[w];
+  word &= ~std::uint64_t{0} << (from % kWordBits);
+  while (word == 0) {
+    if (++w == last) return size_;
+    word = other.words_[w] & ~words_[w];
+  }
+  const std::size_t hit =
+      w * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+  return hit < limit ? hit : size_;
+}
+
+std::size_t Bitfield::first_clear_of_union(const Bitfield& a,
+                                           const Bitfield& b,
+                                           std::size_t from) {
+  require(a.size_ == b.size_,
+          "first_clear_of_union needs same-sized bitfields");
+  if (from >= a.size_) return a.size_;
+  std::size_t w = from / kWordBits;
+  std::uint64_t word = ~(a.words_[w] | b.words_[w]) &
+                       (~std::uint64_t{0} << (from % kWordBits));
+  while (word == 0) {
+    if (++w == a.words_.size()) return a.size_;
+    word = ~(a.words_[w] | b.words_[w]);
+  }
+  const std::size_t hit =
+      w * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+  return std::min(hit, a.size_);
 }
 
 std::vector<std::uint8_t> Bitfield::to_bytes() const {
   std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
-  for (std::size_t i = 0; i < size_; ++i) {
-    if (bits_[i]) {
-      out[i / 8] = static_cast<std::uint8_t>(
-          out[i / 8] | (1u << (7 - i % 8)));
-    }
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b] = reverse_bits(static_cast<std::uint8_t>(
+        (words_[b / 8] >> ((b % 8) * 8)) & 0xFFu));
   }
   return out;
 }

@@ -1,7 +1,19 @@
 // Segment-availability bitfield, exchanged in the wire protocol exactly
 // like BitTorrent's BITFIELD message.
+//
+// Storage is word-packed (uint64_t, LSB-first within each word) so the
+// scheduling hot path works a cache line at a time: next_set/next_clear
+// are word scans with countr_zero, count() is popcount-maintained, and
+// the bulk ops below answer "does peer X have a segment I need after the
+// frontier" without touching individual bits. The wire format (big-endian
+// bit order within each byte, stray bits forbidden) is unchanged; only
+// the in-memory layout moved.
+//
+// Invariant: bits at positions >= size() are always zero, so whole-word
+// comparisons and popcounts never see garbage.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -10,6 +22,8 @@ namespace vsplice::p2p {
 
 class Bitfield {
  public:
+  static constexpr std::size_t kWordBits = 64;
+
   Bitfield() = default;
   explicit Bitfield(std::size_t size);
 
@@ -26,6 +40,7 @@ class Bitfield {
 
   [[nodiscard]] bool get(std::size_t i) const;
   void set(std::size_t i);
+  void reset(std::size_t i);
   void set_all();
 
   /// First set bit at or after `from`; size() when none.
@@ -33,15 +48,54 @@ class Bitfield {
   /// First clear bit at or after `from`; size() when none.
   [[nodiscard]] std::size_t next_clear(std::size_t from) const;
 
+  /// Number of positions set in both this and `other` (intersection
+  /// popcount over min(size, other.size) bits).
+  [[nodiscard]] std::size_t and_count(const Bitfield& other) const;
+
+  /// First position at or after `from` that `other` holds and this
+  /// bitfield lacks — "the first segment I am missing that this peer
+  /// could serve". Scans min(size, other.size) bits; returns size()
+  /// when there is none.
+  [[nodiscard]] std::size_t first_missing_in(const Bitfield& other,
+                                             std::size_t from) const;
+
+  /// First position at or after `from` clear in BOTH `a` and `b` — the
+  /// scheduler's "first segment neither downloaded nor in flight".
+  /// Requires a.size() == b.size(); returns a.size() when none.
+  [[nodiscard]] static std::size_t first_clear_of_union(const Bitfield& a,
+                                                        const Bitfield& b,
+                                                        std::size_t from);
+
+  /// Word-level access for callers that fold their own bulk scans.
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+  [[nodiscard]] std::uint64_t word(std::size_t w) const { return words_[w]; }
+
+  /// Calls `fn(index)` for every set position, in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto tz = static_cast<std::size_t>(std::countr_zero(bits));
+        fn(w * kWordBits + tz);
+        bits &= bits - 1;  // clear lowest set bit
+      }
+    }
+  }
+
   /// Packed wire representation, ceil(size/8) bytes.
   [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
 
   bool operator==(const Bitfield&) const = default;
 
  private:
+  /// Mask selecting the valid bits of the final word.
+  [[nodiscard]] std::uint64_t tail_mask() const;
+
   std::size_t size_ = 0;
   std::size_t count_ = 0;
-  std::vector<bool> bits_;
+  /// Bit i lives at words_[i / 64], bit (i % 64), LSB-first.
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace vsplice::p2p

@@ -1,6 +1,7 @@
 #include "p2p/leecher.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/error.h"
@@ -13,6 +14,27 @@ namespace {
 // Per-segment download latency distribution, 0-60s in quarter-second
 // buckets (segment fetches beyond a minute land in the overflow bucket).
 constexpr vsplice::obs::HistogramSpec kSegmentLatencySpec{0.0, 0.25, 240};
+
+// Accumulates real wall time spent inside a scheduling decision into
+// SchedulerStats::engine_ns. A decision runs microseconds at most, so
+// the two clock reads are noise next to either selection path.
+class EngineTimer {
+ public:
+  explicit EngineTimer(std::uint64_t& acc)
+      : acc_{acc}, start_{std::chrono::steady_clock::now()} {}
+  EngineTimer(const EngineTimer&) = delete;
+  EngineTimer& operator=(const EngineTimer&) = delete;
+  ~EngineTimer() {
+    acc_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::uint64_t& acc_;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
 
 namespace vsplice::p2p {
@@ -139,6 +161,15 @@ void Leecher::on_metadata(const std::string& playlist_text) {
     segment_offsets_.push_back(entry.offset);
   }
 
+  // Now that the segment count is known, size the scheduling structures
+  // and fold in any bitfields that arrived before the playlist did.
+  holders_.assign(index_->count(), {});
+  rarity_.reset(index_->count());
+  in_flight_ = Bitfield{index_->count()};
+  for (net::NodeId peer : known_peers_) {
+    add_holder_bits(peer, *known_have(peer));
+  }
+
   // Our own availability bitfield was sized by the base class from the
   // swarm's ground truth; it matches the playlist (checked above).
   config_.player.trace_id = static_cast<std::int64_t>(node_.value);
@@ -152,7 +183,7 @@ void Leecher::on_metadata(const std::string& playlist_text) {
   swarm_.tracker().register_peer(node_);
   Bitfield seeder_all{index_->count()};
   seeder_all.set_all();
-  peer_have_[swarm_.seeder_node()] = std::move(seeder_all);
+  store_bitfield(swarm_.seeder_node(), std::move(seeder_all));
   for (net::NodeId peer : swarm_.tracker().peers_for(node_, rng_)) {
     if (peer != swarm_.seeder_node()) connect_control(peer);
   }
@@ -196,7 +227,11 @@ void Leecher::handle_message(net::NodeId from, net::Connection& conn,
 
 void Leecher::on_bitfield(net::NodeId from, net::Connection&,
                           const BitfieldMsg& msg) {
-  peer_have_[from] = msg.have;
+  store_bitfield(from, msg.have);
+  VSPLICE_DEBUG("leecher") << node_.to_string() << ": bitfield from "
+                           << from.to_string() << " (" << msg.have.count()
+                           << " segments, " << msg.have.and_count(have_)
+                           << " overlapping ours)";
   // A peer that handshakes us is one we can also serve and gossip to;
   // make sure we hold a control channel back.
   connect_control(from);
@@ -205,8 +240,10 @@ void Leecher::on_bitfield(net::NodeId from, net::Connection&,
 
 void Leecher::on_have(net::NodeId from, const HaveMsg& msg) {
   if (!index_ || msg.segment >= index_->count()) return;
-  auto [it, inserted] = peer_have_.try_emplace(from, index_->count());
-  it->second.set(msg.segment);
+  Bitfield& bf = ensure_known(from);
+  const bool had = msg.segment < bf.size() && bf.get(msg.segment);
+  bf.set(msg.segment);
+  if (!had) add_holder(from, msg.segment);
 
   // Rebalance: if we are still waiting (not yet granted) for this very
   // segment, sometimes switch to the fresh holder. This is what drains
@@ -247,10 +284,34 @@ void Leecher::schedule_downloads() {
 }
 
 std::optional<std::size_t> Leecher::next_segment_to_fetch() const {
+  const EngineTimer timer{sched_.engine_ns};
+  ++sched_.segment_picks;
   const auto& buffer = player_->buffer();
-  for (std::size_t i = buffer.frontier(); i < index_->count(); ++i) {
-    if (!buffer.is_downloaded(i) && !downloads_.contains(i)) return i;
+  if (config_.brute_force_scheduling) {
+    // Retained oracle: linear scan over the whole remaining playlist.
+    for (std::size_t i = buffer.frontier(); i < index_->count(); ++i) {
+      ++sched_.candidates_scanned;
+      if (!buffer.is_downloaded(i) && !downloads_.contains(i)) return i;
+    }
+    return std::nullopt;
   }
+  const std::size_t frontier = buffer.frontier();
+  if (config_.rarest_window > 0 && frontier < index_->count()) {
+    const std::size_t to =
+        std::min(frontier + config_.rarest_window, index_->count());
+    const auto rare = rarity_.rarest_in(frontier, to, [this](std::size_t s) {
+      return !have_.get(s) && !in_flight_.get(s);
+    });
+    if (rare) return rare;
+    // Nothing needed inside the window has a known holder; fall through
+    // to sequential so the scheduler never idles on an empty window.
+  }
+  // have_ mirrors the playback buffer's downloaded set and in_flight_
+  // mirrors downloads_, so this is one word scan instead of a per-index
+  // loop with two lookups each.
+  const std::size_t next =
+      Bitfield::first_clear_of_union(have_, in_flight_, frontier);
+  if (next < index_->count()) return next;
   return std::nullopt;
 }
 
@@ -258,19 +319,21 @@ void Leecher::start_download(std::size_t segment) {
   Download& download = downloads_[segment];
   download.segment = segment;
   download.started = swarm_.simulator().now();
+  in_flight_.set(segment);
   attempt_download(download);
 }
 
 bool Leecher::holder_has(net::NodeId peer, std::size_t segment) const {
-  const auto it = peer_have_.find(peer);
-  if (it == peer_have_.end()) return false;
-  if (segment >= it->second.size()) return false;
+  const Bitfield* bf = known_have(peer);
+  if (bf == nullptr || segment >= bf->size()) return false;
   const Peer* remote = swarm_.find(peer);
-  return it->second.get(segment) && remote != nullptr && remote->online();
+  return bf->get(segment) && remote != nullptr && remote->online();
 }
 
 std::optional<net::NodeId> Leecher::pick_holder(
     std::size_t segment, const std::set<net::NodeId>& excluded) {
+  const EngineTimer timer{sched_.engine_ns};
+  ++sched_.holder_picks;
   const TimePoint now = swarm_.simulator().now();
   // Sticky preference: the peer that just served us has a free slot.
   if (last_server_ && !excluded.contains(*last_server_) &&
@@ -280,14 +343,23 @@ std::optional<net::NodeId> Leecher::pick_holder(
   }
   std::vector<net::NodeId> fresh;
   std::vector<net::NodeId> cooling;
-  for (const auto& [peer, bitfield] : peer_have_) {
-    if (excluded.contains(peer)) continue;
-    if (!holder_has(peer, segment)) continue;
+  const auto classify = [&](net::NodeId peer) {
+    ++sched_.candidates_scanned;
+    if (excluded.contains(peer)) return;
+    if (!holder_has(peer, segment)) return;
     const auto choked = choked_at_.find(peer);
     const bool cooling_down =
         choked != choked_at_.end() &&
         now - choked->second < config_.choke_cooldown;
     (cooling_down ? cooling : fresh).push_back(peer);
+  };
+  // Both paths visit candidates in ascending node order — the order the
+  // old map iteration had — so the RNG draws below are identical and the
+  // oracle and incremental paths stay byte-equivalent.
+  if (config_.brute_force_scheduling) {
+    for (net::NodeId peer : known_peers_) classify(peer);
+  } else if (segment < holders_.size()) {
+    for (net::NodeId peer : holders_[segment]) classify(peer);
   }
   if (!fresh.empty()) return fresh[rng_.index(fresh.size())];
   if (!cooling.empty()) return cooling[rng_.index(cooling.size())];
@@ -371,8 +443,7 @@ void Leecher::on_choke(net::NodeId from, net::Connection& conn) {
   // Find the request this choke answers: same holder, and not already
   // granted (a granted request has its PIECE flow in progress — a choke
   // can never refer to it). Prefer an exact connection match.
-  std::size_t fallback = index_ ? index_->count() : 0;
-  bool have_fallback = false;
+  std::optional<std::size_t> fallback;
   for (auto& [segment, download] : downloads_) {
     if (download.holder != from || !download.conn) continue;
     if (download.conn->fetch_in_progress()) continue;  // granted already
@@ -380,12 +451,9 @@ void Leecher::on_choke(net::NodeId from, net::Connection& conn) {
       on_choked_for(segment, from);
       return;
     }
-    if (!have_fallback) {
-      fallback = segment;
-      have_fallback = true;
-    }
+    if (!fallback) fallback = segment;
   }
-  if (have_fallback) on_choked_for(fallback, from);
+  if (fallback) on_choked_for(*fallback, from);
 }
 
 void Leecher::on_choked_for(std::size_t segment, net::NodeId holder) {
@@ -447,7 +515,7 @@ void Leecher::on_segment_complete(std::size_t segment, Bytes bytes,
   obs::observe("p2p.segment_latency_s", elapsed.as_seconds(),
                kSegmentLatencySpec);
   cancel_download(segment);
-  have_.set(segment);
+  mark_have(segment);
   if (config_.estimate_bandwidth) estimator_.record(bytes, elapsed);
   VSPLICE_DEBUG("leecher") << node_.to_string() << ": segment " << segment
                            << " complete (" << format_bytes(bytes) << " in "
@@ -460,6 +528,7 @@ void Leecher::on_segment_complete(std::size_t segment, Bytes bytes,
 void Leecher::cancel_download(std::size_t segment) {
   auto node = downloads_.extract(segment);
   if (node.empty()) return;
+  if (segment < in_flight_.size()) in_flight_.reset(segment);
   Download& download = node.mapped();
   auto& sim = swarm_.simulator();
   if (download.retry_event != sim::kInvalidEventId)
@@ -469,12 +538,98 @@ void Leecher::cancel_download(std::size_t segment) {
   if (download.conn) swarm_.dispose_connection(std::move(download.conn));
 }
 
+// ------------------------------------------------- availability tracking
+
+const Bitfield* Leecher::known_have(net::NodeId peer) const {
+  const std::size_t id = peer.value;
+  if (id >= peer_slot_.size() || peer_slot_[id] == 0) return nullptr;
+  return &slots_[peer_slot_[id] - 1];
+}
+
+Bitfield* Leecher::known_have(net::NodeId peer) {
+  const std::size_t id = peer.value;
+  if (id >= peer_slot_.size() || peer_slot_[id] == 0) return nullptr;
+  return &slots_[peer_slot_[id] - 1];
+}
+
+Bitfield& Leecher::ensure_known(net::NodeId peer) {
+  if (Bitfield* existing = known_have(peer)) return *existing;
+  const std::size_t id = peer.value;
+  if (id >= peer_slot_.size()) peer_slot_.resize(id + 1, 0);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = Bitfield{index_ ? index_->count() : 0};
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back(index_ ? index_->count() : 0);
+  }
+  peer_slot_[id] = slot + 1;
+  known_peers_.insert(
+      std::lower_bound(known_peers_.begin(), known_peers_.end(), peer), peer);
+  return slots_[slot];
+}
+
+void Leecher::store_bitfield(net::NodeId peer, Bitfield have) {
+  if (Bitfield* existing = known_have(peer)) {
+    drop_holder_bits(peer, *existing);
+    *existing = std::move(have);
+    add_holder_bits(peer, *existing);
+    return;
+  }
+  Bitfield& stored = ensure_known(peer);
+  stored = std::move(have);
+  add_holder_bits(peer, stored);
+}
+
+void Leecher::forget_peer(net::NodeId peer) {
+  const std::size_t id = peer.value;
+  if (id >= peer_slot_.size() || peer_slot_[id] == 0) return;
+  const std::uint32_t slot = peer_slot_[id] - 1;
+  drop_holder_bits(peer, slots_[slot]);
+  slots_[slot] = Bitfield{};
+  peer_slot_[id] = 0;
+  free_slots_.push_back(slot);
+  const auto it =
+      std::lower_bound(known_peers_.begin(), known_peers_.end(), peer);
+  if (it != known_peers_.end() && *it == peer) known_peers_.erase(it);
+}
+
+void Leecher::add_holder(net::NodeId peer, std::size_t segment) {
+  if (segment >= holders_.size()) return;
+  std::vector<net::NodeId>& list = holders_[segment];
+  const auto it = std::lower_bound(list.begin(), list.end(), peer);
+  if (it != list.end() && *it == peer) return;
+  list.insert(it, peer);
+  rarity_.add_holder(segment);
+}
+
+void Leecher::add_holder_bits(net::NodeId peer, const Bitfield& have) {
+  // holders_ is empty before the playlist arrives, so the range guard in
+  // add_holder also covers the pre-metadata window (and remote bitfields
+  // longer than our index, which the wire layer tolerates).
+  have.for_each_set([&](std::size_t segment) { add_holder(peer, segment); });
+}
+
+void Leecher::drop_holder_bits(net::NodeId peer, const Bitfield& have) {
+  have.for_each_set([&](std::size_t segment) {
+    if (segment >= holders_.size()) return;
+    std::vector<net::NodeId>& list = holders_[segment];
+    const auto it = std::lower_bound(list.begin(), list.end(), peer);
+    if (it != list.end() && *it == peer) {
+      list.erase(it);
+      rarity_.remove_holder(segment);
+    }
+  });
+}
+
 // ----------------------------------------------------------------- churn
 
 void Leecher::on_peer_left(net::NodeId who) {
   if (!online_) return;
   if (last_server_ == who) last_server_.reset();
-  peer_have_.erase(who);
+  forget_peer(who);
   const auto control = control_.find(who);
   if (control != control_.end()) {
     swarm_.dispose_connection(std::move(control->second));

@@ -26,6 +26,7 @@
 #include "core/pool_policy.h"
 #include "core/segment.h"
 #include "p2p/peer.h"
+#include "p2p/rarity.h"
 #include "sim/simulator.h"
 #include "streaming/player.h"
 
@@ -63,6 +64,28 @@ struct LeecherConfig {
   /// Approximate size of the metadata/announce request we send the
   /// seeder at startup.
   Bytes metadata_request_bytes = 128;
+  /// When > 0, prefer the least-replicated needed segment within this
+  /// many segments of the playback frontier instead of fetching strictly
+  /// sequentially. 0 keeps the paper's sequential order (all figures).
+  std::size_t rarest_window = 0;
+  /// Retained pre-optimization scheduling path: linear scans over every
+  /// segment and every known peer instead of the incremental structures.
+  /// The differential tests and the scaling benchmark run it as the
+  /// oracle; pair it with Swarm::set_brute_force_oracle.
+  bool brute_force_scheduling = false;
+};
+
+/// Counters for the scheduling hot path; the scaling benchmark reports
+/// these so "how much work did a decision cost" is visible directly.
+/// `engine_ns` is real wall time spent inside the two decision
+/// functions (segment + holder selection) — the code this engine
+/// replaced — so the benchmark can compare scheduling cost directly
+/// even when the surrounding network simulation dominates the run.
+struct SchedulerStats {
+  std::uint64_t segment_picks = 0;
+  std::uint64_t holder_picks = 0;
+  std::uint64_t candidates_scanned = 0;
+  std::uint64_t engine_ns = 0;
 };
 
 class Leecher final : public Peer {
@@ -97,6 +120,9 @@ class Leecher final : public Peer {
   /// Total transfer size of the segments currently being fetched (zero
   /// until the playlist has been parsed).
   [[nodiscard]] Bytes in_flight_bytes() const;
+  [[nodiscard]] const SchedulerStats& scheduler_stats() const {
+    return sched_;
+  }
 
   void handle_message(net::NodeId from, net::Connection& conn,
                       const std::vector<std::uint8_t>& bytes) override;
@@ -141,6 +167,16 @@ class Leecher final : public Peer {
   [[nodiscard]] bool holder_has(net::NodeId peer,
                                 std::size_t segment) const;
 
+  /// Dense availability bookkeeping (see the member comments below).
+  [[nodiscard]] const Bitfield* known_have(net::NodeId peer) const;
+  [[nodiscard]] Bitfield* known_have(net::NodeId peer);
+  Bitfield& ensure_known(net::NodeId peer);
+  void store_bitfield(net::NodeId peer, Bitfield have);
+  void forget_peer(net::NodeId peer);
+  void add_holder(net::NodeId peer, std::size_t segment);
+  void add_holder_bits(net::NodeId peer, const Bitfield& have);
+  void drop_holder_bits(net::NodeId peer, const Bitfield& have);
+
   void on_bitfield(net::NodeId from, net::Connection& conn,
                    const BitfieldMsg& msg) override;
   void on_have(net::NodeId from, const HaveMsg& msg) override;
@@ -161,8 +197,29 @@ class Leecher final : public Peer {
 
   /// Control connections we initiated, keyed by remote peer.
   std::map<net::NodeId, std::unique_ptr<net::Connection>> control_;
-  /// Availability learned from BITFIELD/HAVE messages.
-  std::map<net::NodeId, Bitfield> peer_have_;
+
+  /// Availability learned from BITFIELD/HAVE messages, in dense
+  /// node-indexed storage: peer_slot_[node.value] is 1 + an index into
+  /// slots_ (0 = peer unknown). Slots are compact — a departed peer's
+  /// slot goes on the free list — so memory tracks peers we actually
+  /// know, not the swarm-wide node-id range.
+  std::vector<std::uint32_t> peer_slot_;
+  std::vector<Bitfield> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Known peers in ascending node order — the iteration order the old
+  /// map-based scheduler had, which the brute-force oracle and the
+  /// holder lists both preserve so RNG draws are identical.
+  std::vector<net::NodeId> known_peers_;
+  /// holders_[segment]: known peers holding that segment, ascending.
+  /// Valid once the playlist is parsed (rebuilt in on_metadata from any
+  /// bitfields that arrived earlier).
+  std::vector<std::vector<net::NodeId>> holders_;
+  /// Per-segment known-holder counts bucketed by rarity.
+  RarityBuckets rarity_;
+  /// Segments with a download in flight (mirror of downloads_ keys), so
+  /// the next-segment scan is a word scan over have_ | in_flight_.
+  Bitfield in_flight_;
+  mutable SchedulerStats sched_;
   /// Holders that recently choked us; skipped while cooling down.
   std::map<net::NodeId, TimePoint> choked_at_;
   /// Most recent holder to complete a transfer for us (slot known free).

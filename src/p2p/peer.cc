@@ -125,14 +125,39 @@ void Peer::serve_piece(net::Connection& conn, const RequestMsg& request) {
   const PieceMsg header{request.segment, request.length};
   const Bytes total = static_cast<Bytes>(encode(header).size()) +
                       static_cast<Bytes>(request.length);
-  conn.push(total, [this, client, segment](
+  // The outcome callback is owned by the connection, and the connection
+  // by the *client's* download — it can outlive this peer during swarm
+  // teardown. Resolve the server through the swarm at fire time instead
+  // of capturing `this`; a null lookup means the server is already gone
+  // and there is nothing left to settle.
+  conn.push(total, [&swarm = swarm_, server = node_, client, segment](
                        const net::Connection::FetchResult& result) {
-    --active_uploads_;
-    stats_.bytes_uploaded += result.bytes_delivered;
-    if (result.aborted) ++stats_.uploads_aborted;
-    swarm_.notify_piece_outcome(client, node_, segment, result);
-    if (online_) serve_from_queue();
+    if (Peer* self = swarm.find(server)) {
+      self->finish_upload(client, segment, result);
+    }
   });
+}
+
+void Peer::finish_upload(net::NodeId client, std::size_t segment,
+                         const net::Connection::FetchResult& result) {
+  --active_uploads_;
+  stats_.bytes_uploaded += result.bytes_delivered;
+  if (result.aborted) ++stats_.uploads_aborted;
+  swarm_.notify_piece_outcome(client, node_, segment, result);
+  if (online_) serve_from_queue();
+}
+
+void Peer::mark_have(std::size_t segment) {
+  if (segment < have_.size() && !have_.get(segment)) {
+    have_.set(segment);
+    swarm_.note_replica_gained(segment);
+  }
+}
+
+void Peer::mark_have_all() {
+  require(have_.empty(), "mark_have_all on a non-empty bitfield");
+  have_.set_all();
+  swarm_.note_replicas_all_gained();
 }
 
 void Peer::on_peer_left(net::NodeId) {}
@@ -149,7 +174,7 @@ void Peer::leave() {
 
 Seeder::Seeder(Swarm& swarm, net::NodeId node, PeerConfig config)
     : Peer{swarm, node, config} {
-  have_.set_all();
+  mark_have_all();
 }
 
 void Seeder::leave() {

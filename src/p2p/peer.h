@@ -92,6 +92,17 @@ class Peer {
   /// them while slots are free.
   void serve_from_queue();
 
+  /// Completion of a PIECE push this peer served: frees the upload
+  /// slot, updates stats, notifies the client, refills from the queue.
+  void finish_upload(net::NodeId client, std::size_t segment,
+                     const net::Connection::FetchResult& result);
+
+  /// Availability mutations route through these so the swarm's
+  /// incremental replica counters stay exact; never write have_
+  /// directly after construction.
+  void mark_have(std::size_t segment);
+  void mark_have_all();
+
   struct PendingRequest {
     net::NodeId client;
     std::uint64_t connection_id = 0;

@@ -1,0 +1,47 @@
+#include "p2p/rarity.h"
+
+#include "common/error.h"
+
+namespace vsplice::p2p {
+
+void RarityBuckets::reset(std::size_t segment_count) {
+  counts_.assign(segment_count, 0);
+  buckets_.assign(1, {});
+  for (std::size_t s = 0; s < segment_count; ++s) buckets_[0].insert(s);
+}
+
+std::size_t RarityBuckets::holder_count(std::size_t segment) const {
+  require(segment < counts_.size(), "rarity segment out of range");
+  return counts_[segment];
+}
+
+void RarityBuckets::add_holder(std::size_t segment) {
+  require(segment < counts_.size(), "rarity segment out of range");
+  const std::uint32_t from = counts_[segment]++;
+  buckets_[from].erase(segment);
+  if (buckets_.size() <= from + 1) buckets_.resize(from + 2);
+  buckets_[from + 1].insert(segment);
+}
+
+void RarityBuckets::remove_holder(std::size_t segment) {
+  require(segment < counts_.size(), "rarity segment out of range");
+  require(counts_[segment] > 0, "rarity holder count underflow");
+  const std::uint32_t from = counts_[segment]--;
+  buckets_[from].erase(segment);
+  buckets_[from - 1].insert(segment);
+}
+
+std::optional<std::size_t> RarityBuckets::rarest_in(
+    std::size_t from, std::size_t to,
+    const std::function<bool(std::size_t)>& pred) const {
+  for (std::size_t c = 1; c < buckets_.size(); ++c) {
+    const std::set<std::size_t>& bucket = buckets_[c];
+    for (auto it = bucket.lower_bound(from); it != bucket.end() && *it < to;
+         ++it) {
+      if (pred(*it)) return *it;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vsplice::p2p

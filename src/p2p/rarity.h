@@ -1,0 +1,49 @@
+// Rarity-bucketed segment candidates.
+//
+// Buckets segments by their known-holder count (the leecher's local view
+// of replication), maintained incrementally as HAVE/BITFIELD messages and
+// departures move segments between buckets. The scheduler can then ask
+// "least-replicated segment I still need inside this window" without
+// scanning segments × peers — the BitTorrent rarest-first machinery,
+// scoped to a playback window so sequential streaming deadlines still
+// dominate (cf. the piece-selection analysis in the interactive
+// on-demand streaming literature).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace vsplice::p2p {
+
+class RarityBuckets {
+ public:
+  /// Re-initializes for `segment_count` segments, all with zero holders.
+  void reset(std::size_t segment_count);
+
+  [[nodiscard]] std::size_t segment_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t holder_count(std::size_t segment) const;
+
+  /// Moves `segment` one bucket up/down. remove_holder on a zero-holder
+  /// segment is a programming error (counters would go negative).
+  void add_holder(std::size_t segment);
+  void remove_holder(std::size_t segment);
+
+  /// Least-replicated segment s in [from, to) with at least one known
+  /// holder and pred(s) true; ties broken towards the lower index (the
+  /// playback-order bias). nullopt when no such segment exists.
+  [[nodiscard]] std::optional<std::size_t> rarest_in(
+      std::size_t from, std::size_t to,
+      const std::function<bool(std::size_t)>& pred) const;
+
+ private:
+  /// counts_[segment] -> bucket index; buckets_[c] holds the segments
+  /// with exactly c known holders, ordered by index.
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::set<std::size_t>> buckets_;
+};
+
+}  // namespace vsplice::p2p

@@ -14,8 +14,31 @@ Swarm::Swarm(net::Network& network, Rng& rng, core::SegmentIndex index,
     : network_{network},
       rng_{rng},
       index_{std::move(index)},
-      playlist_text_{std::move(playlist_text)} {
+      playlist_text_{std::move(playlist_text)},
+      replicas_(index_.count(), 0) {
   require(!playlist_text_.empty(), "swarm needs the seeder's playlist");
+}
+
+Swarm::~Swarm() {
+  // Destroying a peer with transfers still in flight fires its
+  // connections' close callbacks, which route back through find() and
+  // notify_piece_outcome(). Tear peers down explicitly while the lookup
+  // structures are still alive, clearing each peer's entry first so
+  // routing to an already-destroyed peer resolves to "gone" instead of
+  // a dangling pointer.
+  for (auto it = peers_.rbegin(); it != peers_.rend(); ++it) {
+    const Peer* raw = it->get();
+    if (raw != nullptr && raw->node().value < by_node_.size()) {
+      by_node_[raw->node().value] = nullptr;
+    }
+    it->reset();
+  }
+}
+
+void Swarm::register_peer_node(Peer* peer) {
+  const std::size_t slot = peer->node().value;
+  if (slot >= by_node_.size()) by_node_.resize(slot + 1, nullptr);
+  by_node_[slot] = peer;
 }
 
 Seeder& Swarm::add_seeder(net::NodeId node, PeerConfig config) {
@@ -24,6 +47,7 @@ Seeder& Swarm::add_seeder(net::NodeId node, PeerConfig config) {
   auto seeder = std::make_unique<Seeder>(*this, node, config);
   seeder_ = seeder.get();
   peers_.push_back(std::move(seeder));
+  register_peer_node(seeder_);
   tracker_.register_peer(node);
   return *seeder_;
 }
@@ -36,21 +60,47 @@ Leecher& Swarm::add_leecher(net::NodeId node, PeerConfig peer_config,
                                            rng_.next_u64());
   Leecher& ref = *leecher;
   peers_.push_back(std::move(leecher));
+  register_peer_node(&ref);
   return ref;
 }
 
 Peer* Swarm::find(net::NodeId node) {
-  for (auto& peer : peers_) {
-    if (peer->node() == node) return peer.get();
+  if (brute_force_) {
+    // Retained pre-change lookup, kept as the oracle's cost model. The
+    // null check only matters during ~Swarm, where entries are reset in
+    // place.
+    for (auto& peer : peers_) {
+      if (peer != nullptr && peer->node() == node) return peer.get();
+    }
+    return nullptr;
   }
-  return nullptr;
+  return node.value < by_node_.size() ? by_node_[node.value] : nullptr;
 }
 
 const Peer* Swarm::find(net::NodeId node) const {
-  for (const auto& peer : peers_) {
-    if (peer->node() == node) return peer.get();
+  if (brute_force_) {
+    for (const auto& peer : peers_) {
+      if (peer != nullptr && peer->node() == node) return peer.get();
+    }
+    return nullptr;
   }
-  return nullptr;
+  return node.value < by_node_.size() ? by_node_[node.value] : nullptr;
+}
+
+void Swarm::note_replica_gained(std::size_t segment) {
+  require(segment < replicas_.size(), "replica counter out of range");
+  ++replicas_[segment];
+}
+
+void Swarm::note_replicas_all_gained() {
+  for (std::uint32_t& count : replicas_) ++count;
+}
+
+std::size_t Swarm::min_replicas() const {
+  if (replicas_.empty()) return 0;
+  std::uint32_t lo = replicas_.front();
+  for (const std::uint32_t count : replicas_) lo = std::min(lo, count);
+  return lo;
 }
 
 std::vector<Leecher*> Swarm::leechers() {
@@ -81,15 +131,25 @@ bool Swarm::all_finished() const {
 
 obs::SwarmObservation Swarm::observe() const {
   obs::SwarmObservation out;
-  out.replicas.assign(index_.count(), 0);
-  for (const auto& peer : peers_) {
-    if (peer->online()) {
+  if (brute_force_) {
+    // Retained pre-change histogram rebuild: every online peer's
+    // bitfield, bit by bit.
+    out.replicas.assign(index_.count(), 0);
+    for (const auto& peer : peers_) {
+      if (!peer->online()) continue;
       const Bitfield& have = peer->have();
       const std::size_t bits = std::min(have.size(), out.replicas.size());
       for (std::size_t i = 0; i < bits; ++i) {
         if (have.get(i)) ++out.replicas[i];
       }
     }
+  } else {
+    out.replicas.assign(replicas_.begin(), replicas_.end());
+  }
+  std::size_t lo = out.replicas.empty() ? 0 : out.replicas.front();
+  for (const std::size_t count : out.replicas) lo = std::min(lo, count);
+  obs::set_gauge("swarm.min_replicas", static_cast<double>(lo));
+  for (const auto& peer : peers_) {
     if (peer->is_seeder()) {
       out.seeder_active_uploads = peer->active_uploads();
       out.seeder_upload_slots = peer->upload_slots();
@@ -148,6 +208,14 @@ void Swarm::notify_piece_outcome(net::NodeId client, net::NodeId server,
 }
 
 void Swarm::broadcast_peer_left(net::NodeId who) {
+  // Exactly one broadcast per departure (leave() is online-guarded), so
+  // this is where the departing peer's replicas come off the counters.
+  if (const Peer* peer = find(who)) {
+    peer->have().for_each_set([this](std::size_t segment) {
+      require(replicas_[segment] > 0, "replica counter underflow");
+      --replicas_[segment];
+    });
+  }
   VSPLICE_INFO("swarm") << who.to_string() << " left the swarm";
   obs::emit(simulator().now(),
             obs::PeerLeft{static_cast<std::int64_t>(who.value)});

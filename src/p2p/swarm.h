@@ -32,6 +32,7 @@ class Swarm {
   /// fetch, its contents are what leechers parse).
   Swarm(net::Network& network, Rng& rng, core::SegmentIndex index,
         std::string playlist_text);
+  ~Swarm();
   Swarm(const Swarm&) = delete;
   Swarm& operator=(const Swarm&) = delete;
 
@@ -39,7 +40,8 @@ class Swarm {
   Leecher& add_leecher(net::NodeId node, PeerConfig peer_config,
                        LeecherConfig config);
 
-  /// Peer lookup; nullptr when the node hosts no peer.
+  /// Peer lookup; nullptr when the node hosts no peer. O(1) through a
+  /// dense node-indexed table (linear scan in brute-force oracle mode).
   [[nodiscard]] Peer* find(net::NodeId node);
   [[nodiscard]] const Peer* find(net::NodeId node) const;
 
@@ -65,8 +67,29 @@ class Swarm {
   /// Plain-data snapshot for the obs::SwarmSampler probe: per-leecher
   /// player/pool/in-flight state, per-segment replica counts across
   /// online peers, seeder load, and the network's cumulative byte
-  /// counters.
+  /// counters. Replica counts are read from the incrementally maintained
+  /// counters (rebuilt from every peer bitfield only in brute-force
+  /// oracle mode).
   [[nodiscard]] obs::SwarmObservation observe() const;
+
+  /// Selects the retained pre-change code paths (linear peer lookup,
+  /// full replica-histogram rebuild in observe); the differential tests
+  /// and bench_scale use them as the oracle against the incremental
+  /// structures.
+  void set_brute_force_oracle(bool on) { brute_force_ = on; }
+  [[nodiscard]] bool brute_force_oracle() const { return brute_force_; }
+
+  /// Incremental per-segment replica counters over online peers,
+  /// updated as peers gain segments or leave — no full rebuild.
+  [[nodiscard]] const std::vector<std::uint32_t>& replica_counts() const {
+    return replicas_;
+  }
+  [[nodiscard]] std::size_t min_replicas() const;
+
+  // Counter maintenance hooks (called by Peer when availability
+  // changes; segment replicas only count peers that are online).
+  void note_replica_gained(std::size_t segment);
+  void note_replicas_all_gained();
 
   // ------------------------------------------------------- routing hooks
 
@@ -87,12 +110,19 @@ class Swarm {
   void dispose_connection(std::unique_ptr<net::Connection> conn);
 
  private:
+  void register_peer_node(Peer* peer);
+
   net::Network& network_;
   Rng& rng_;
   core::SegmentIndex index_;
   std::string playlist_text_;
   Tracker tracker_;
   std::vector<std::unique_ptr<Peer>> peers_;
+  /// Dense node.value -> Peer* table behind find().
+  std::vector<Peer*> by_node_;
+  /// Online replicas per segment, maintained incrementally.
+  std::vector<std::uint32_t> replicas_;
+  bool brute_force_ = false;
   Seeder* seeder_ = nullptr;
   SwarmStats stats_;
 };

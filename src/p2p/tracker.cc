@@ -24,13 +24,41 @@ bool Tracker::is_registered(net::NodeId id) const {
 
 std::vector<net::NodeId> Tracker::peers_for(net::NodeId requester, Rng& rng,
                                             std::size_t max_peers) const {
-  std::vector<net::NodeId> out;
-  out.reserve(peers_.size());
-  for (net::NodeId id : peers_) {
-    if (id != requester) out.push_back(id);
+  const std::size_t candidates =
+      peers_.size() - (is_registered(requester) ? 1 : 0);
+  if (candidates <= max_peers) {
+    // Everyone fits in the response: copy-and-shuffle, exactly as before
+    // the reservoir existed (the 20-peer paper configuration always takes
+    // this branch, keeping its announce draws — and thus every figure —
+    // bit-for-bit unchanged).
+    std::vector<net::NodeId> out;
+    out.reserve(peers_.size());
+    for (net::NodeId id : peers_) {
+      if (id != requester) out.push_back(id);
+    }
+    rng.shuffle(out);
+    if (out.size() > max_peers) out.resize(max_peers);
+    return out;
   }
+  // Large swarm: reservoir-sample max_peers members in one pass with
+  // O(max_peers) memory instead of copying and shuffling the entire
+  // registry per announce.
+  std::vector<net::NodeId> out;
+  out.reserve(max_peers);
+  std::size_t seen = 0;
+  for (net::NodeId id : peers_) {
+    if (id == requester) continue;
+    if (out.size() < max_peers) {
+      out.push_back(id);
+    } else {
+      const std::size_t j = rng.index(seen + 1);
+      if (j < max_peers) out[j] = id;
+    }
+    ++seen;
+  }
+  // The reservoir preserves registry (ascending-id) bias in the slot
+  // order; shuffle so callers contacting a prefix see a uniform subset.
   rng.shuffle(out);
-  if (out.size() > max_peers) out.resize(max_peers);
   return out;
 }
 

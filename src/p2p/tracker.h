@@ -27,7 +27,9 @@ class Tracker {
   [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
 
   /// Announce response: up to `max_peers` other members, shuffled so that
-  /// no peer is systematically preferred.
+  /// no peer is systematically preferred. When the swarm outgrows the
+  /// response size the sample is drawn by one-pass reservoir sampling
+  /// (O(max_peers) memory) rather than shuffling the full registry.
   [[nodiscard]] std::vector<net::NodeId> peers_for(net::NodeId requester,
                                                    Rng& rng,
                                                    std::size_t max_peers =

@@ -1,0 +1,210 @@
+// Word-packed bitfield: wire round-trip fuzzing across sizes (the wire
+// format must survive the packed rewrite) and differential checks of the
+// word-scan ops against naive bit loops.
+#include "p2p/bitfield.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vsplice::p2p {
+namespace {
+
+/// Reference model: the pre-rewrite representation.
+struct NaiveBits {
+  explicit NaiveBits(std::size_t size) : bits(size, false) {}
+  std::vector<bool> bits;
+
+  [[nodiscard]] std::size_t next_set(std::size_t from) const {
+    for (std::size_t i = from; i < bits.size(); ++i) {
+      if (bits[i]) return i;
+    }
+    return bits.size();
+  }
+  [[nodiscard]] std::size_t next_clear(std::size_t from) const {
+    for (std::size_t i = from; i < bits.size(); ++i) {
+      if (!bits[i]) return i;
+    }
+    return bits.size();
+  }
+};
+
+/// A random (bitfield, model) pair with the given density.
+std::pair<Bitfield, NaiveBits> random_field(std::size_t size, Rng& rng,
+                                            double density) {
+  Bitfield field{size};
+  NaiveBits naive{size};
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.bernoulli(density)) {
+      field.set(i);
+      naive.bits[i] = true;
+    }
+  }
+  return {std::move(field), std::move(naive)};
+}
+
+TEST(BitfieldFuzz, RoundTripRandomSizes) {
+  Rng rng{20260805};
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    const auto size =
+        static_cast<std::size_t>(rng.uniform_int(0, 4096));
+    const double density = rng.next_double();
+    auto [field, naive] = random_field(size, rng, density);
+
+    const std::vector<std::uint8_t> packed = field.to_bytes();
+    ASSERT_EQ(packed.size(), (size + 7) / 8);
+    const Bitfield back = Bitfield::from_bytes(size, packed);
+    ASSERT_EQ(back, field) << "size " << size;
+    ASSERT_EQ(back.count(), field.count());
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(back.get(i), static_cast<bool>(naive.bits[i]));
+    }
+  }
+}
+
+TEST(BitfieldFuzz, ZeroSize) {
+  const Bitfield empty{0};
+  EXPECT_EQ(empty.to_bytes().size(), 0u);
+  EXPECT_EQ(Bitfield::from_bytes(0, {}), empty);
+  EXPECT_EQ(empty.next_set(0), 0u);
+  EXPECT_EQ(empty.next_clear(0), 0u);
+  EXPECT_FALSE(empty.all());
+  EXPECT_THROW((void)Bitfield::from_bytes(0, {0x00}), ParseError);
+}
+
+TEST(BitfieldFuzz, StrayBitsRejectedAtEveryBoundary) {
+  Rng rng{7};
+  // For every size with spare bits in the last byte, flipping any spare
+  // bit must be rejected; flipping any valid bit must parse.
+  for (const std::size_t size : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 127u,
+                                 1023u, 4095u}) {
+    Bitfield field{size};
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.bernoulli(0.5)) field.set(i);
+    }
+    std::vector<std::uint8_t> packed = field.to_bytes();
+    for (std::size_t spare = size; spare < packed.size() * 8; ++spare) {
+      std::vector<std::uint8_t> bad = packed;
+      bad[spare / 8] = static_cast<std::uint8_t>(
+          bad[spare / 8] | (1u << (7 - spare % 8)));
+      EXPECT_THROW((void)Bitfield::from_bytes(size, bad), ParseError)
+          << "size " << size << " stray bit " << spare;
+    }
+    EXPECT_EQ(Bitfield::from_bytes(size, packed), field);
+  }
+}
+
+TEST(BitfieldFuzz, ByteCountMismatchRejected) {
+  EXPECT_THROW((void)Bitfield::from_bytes(10, {0xFF}), ParseError);
+  EXPECT_THROW((void)Bitfield::from_bytes(10, {0, 0, 0}), ParseError);
+}
+
+TEST(BitfieldOps, NextSetNextClearMatchNaive) {
+  Rng rng{99};
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 600));
+    auto [field, naive] = random_field(size, rng, rng.next_double());
+    for (std::size_t from = 0; from <= size + 2; ++from) {
+      ASSERT_EQ(field.next_set(from), naive.next_set(from));
+      ASSERT_EQ(field.next_clear(from), naive.next_clear(from));
+    }
+  }
+}
+
+TEST(BitfieldOps, AndCountMatchesNaive) {
+  Rng rng{123};
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const auto size_a = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    const auto size_b = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    auto [a, na] = random_field(size_a, rng, 0.5);
+    auto [b, nb] = random_field(size_b, rng, 0.5);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < std::min(size_a, size_b); ++i) {
+      if (na.bits[i] && nb.bits[i]) ++expected;
+    }
+    ASSERT_EQ(a.and_count(b), expected);
+    ASSERT_EQ(b.and_count(a), expected);
+  }
+}
+
+TEST(BitfieldOps, FirstMissingInMatchesNaive) {
+  Rng rng{321};
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const auto size_a = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    const auto size_b = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    auto [a, na] = random_field(size_a, rng, 0.7);
+    auto [b, nb] = random_field(size_b, rng, 0.7);
+    for (std::size_t from = 0; from <= size_a + 1; from += 1 + from / 7) {
+      std::size_t expected = a.size();
+      for (std::size_t i = from; i < std::min(size_a, size_b); ++i) {
+        if (!na.bits[i] && nb.bits[i]) {
+          expected = i;
+          break;
+        }
+      }
+      ASSERT_EQ(a.first_missing_in(b, from), expected);
+    }
+  }
+}
+
+TEST(BitfieldOps, FirstClearOfUnionMatchesNaive) {
+  Rng rng{555};
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    auto [a, na] = random_field(size, rng, 0.8);
+    auto [b, nb] = random_field(size, rng, 0.3);
+    for (std::size_t from = 0; from <= size + 1; ++from) {
+      std::size_t expected = size;
+      for (std::size_t i = from; i < size; ++i) {
+        if (!na.bits[i] && !nb.bits[i]) {
+          expected = i;
+          break;
+        }
+      }
+      ASSERT_EQ(Bitfield::first_clear_of_union(a, b, from), expected);
+    }
+  }
+}
+
+TEST(BitfieldOps, ForEachSetVisitsExactlySetBits) {
+  Rng rng{777};
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 500));
+    auto [field, naive] = random_field(size, rng, 0.4);
+    std::vector<std::size_t> visited;
+    field.for_each_set([&](std::size_t i) { visited.push_back(i); });
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (naive.bits[i]) expected.push_back(i);
+    }
+    ASSERT_EQ(visited, expected);
+  }
+}
+
+TEST(BitfieldOps, WordAccess) {
+  Bitfield field{130};
+  field.set(0);
+  field.set(64);
+  field.set(129);
+  ASSERT_EQ(field.word_count(), 3u);
+  EXPECT_EQ(field.word(0), 1u);
+  EXPECT_EQ(field.word(1), 1u);
+  EXPECT_EQ(field.word(2), std::uint64_t{1} << 1);
+}
+
+TEST(BitfieldOps, SetAllMasksTail) {
+  for (const std::size_t size : {1u, 63u, 64u, 65u, 130u}) {
+    Bitfield field{size};
+    field.set_all();
+    EXPECT_TRUE(field.all());
+    EXPECT_EQ(field.count(), size);
+    EXPECT_EQ(field, Bitfield::from_bytes(size, field.to_bytes()));
+  }
+}
+
+}  // namespace
+}  // namespace vsplice::p2p

@@ -189,5 +189,82 @@ TEST(Tracker, PeersForShuffles) {
   EXPECT_NE(a, b);  // different draws from the same rng
 }
 
+// Large-swarm announces go through the reservoir sampler; these pin its
+// contract: deterministic per seed, requester never sampled, size clamps
+// to the membership, and no member is systematically unreachable.
+
+TEST(Tracker, ReservoirSampleIsDeterministicBySeed) {
+  Tracker tracker;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    tracker.register_peer(net::NodeId{i});
+  }
+  Rng rng_a{42};
+  Rng rng_b{42};
+  const auto a = tracker.peers_for(net::NodeId{7}, rng_a, 50);
+  const auto b = tracker.peers_for(net::NodeId{7}, rng_b, 50);
+  EXPECT_EQ(a, b);
+  Rng rng_c{43};
+  const auto c = tracker.peers_for(net::NodeId{7}, rng_c, 50);
+  EXPECT_NE(a, c);
+}
+
+TEST(Tracker, ReservoirSampleExcludesRequester) {
+  Tracker tracker;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    tracker.register_peer(net::NodeId{i});
+  }
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng{seed};
+    const auto sample = tracker.peers_for(net::NodeId{150}, rng, 40);
+    ASSERT_EQ(sample.size(), 40u);
+    for (net::NodeId id : sample) {
+      EXPECT_NE(id, net::NodeId{150});
+      EXPECT_LT(id.value, 300u);
+    }
+    // No duplicates.
+    auto sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(Tracker, ReservoirSampleClampsToSwarmSize) {
+  Tracker tracker;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    tracker.register_peer(net::NodeId{i});
+  }
+  Rng rng{5};
+  // max_peers far above membership: everyone but the requester comes back.
+  auto all = tracker.peers_for(net::NodeId{3}, rng, 50);
+  EXPECT_EQ(all.size(), 11u);
+  std::sort(all.begin(), all.end());
+  for (std::uint32_t i = 0, j = 0; i < 12; ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(all[j++], net::NodeId{i});
+  }
+  // An unregistered requester is not subtracted from the candidate count.
+  auto outsider = tracker.peers_for(net::NodeId{99}, rng, 12);
+  EXPECT_EQ(outsider.size(), 12u);
+}
+
+TEST(Tracker, ReservoirReachesEveryPeerAcrossSeeds) {
+  Tracker tracker;
+  const std::uint32_t members = 200;
+  for (std::uint32_t i = 0; i < members; ++i) {
+    tracker.register_peer(net::NodeId{i});
+  }
+  std::vector<bool> seen(members, false);
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng{seed};
+    for (net::NodeId id : tracker.peers_for(net::NodeId{members + 1}, rng,
+                                            30)) {
+      seen[id.value] = true;
+    }
+  }
+  // 64 samples of 30/200: the odds any single peer is never drawn are
+  // (1 - 0.15)^64 ~ 3e-5; all 200 escaping is effectively impossible.
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), false), 0);
+}
+
 }  // namespace
 }  // namespace vsplice::p2p
