@@ -1,0 +1,279 @@
+// Message fast-path and content-cache benchmark.
+//
+// Three measurements, each with a pass/fail check:
+//   - codec micro: the per-message cost of the zero-copy delivery path
+//     (exact encoded_size + pool acquire/take) vs the full serialize →
+//     parse → compare round trip the oracle mode pays;
+//   - end-to-end: a message-heavy 500-peer swarm run with the fast path
+//     vs the same run under the codec round-trip oracle — checked to be
+//     at least 1.3x faster and byte-identical;
+//   - content-cache setup: synthesizing and splicing the paper video
+//     once per run (the seed repo's behaviour) vs sharing one cached
+//     artifact across a sweep's runs — checked to be at least 5x.
+//
+//   ./bench_wire            full run   (12-run sweep-setup comparison)
+//   ./bench_wire --quick    CI run     (same sizes, fewer micro iters)
+//
+// Writes BENCH_wire.json; exit code 1 when any check fails.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/playlist.h"
+#include "core/splicer.h"
+#include "experiments/content_cache.h"
+#include "experiments/paper_setup.h"
+#include "p2p/message_pool.h"
+#include "p2p/wire.h"
+#include "video/encoder.h"
+
+namespace {
+
+using namespace vsplice;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The control-message mix a leecher actually exchanges (weighted
+/// towards the high-frequency types: have, request, piece headers).
+std::vector<p2p::Message> message_mix() {
+  p2p::Bitfield have{60};
+  for (std::size_t i = 0; i < 60; i += 2) have.set(i);
+  return {
+      p2p::HaveMsg{7},        p2p::HaveMsg{12},
+      p2p::RequestMsg{7, 1 << 20, 96 * 1024},
+      p2p::PieceMsg{7, 96 * 1024},
+      p2p::HaveMsg{30},       p2p::RequestMsg{30, 0, 64 * 1024},
+      p2p::PieceMsg{30, 64 * 1024},
+      p2p::InterestedMsg{},   p2p::UnchokeMsg{},
+      p2p::BitfieldMsg{have}, p2p::HandshakeMsg{1, 3, 60},
+      p2p::CancelMsg{12},
+  };
+}
+
+/// Per-message micro comparison. The fast path sizes the message
+/// arithmetically and moves it through a pooled node; the codec path is
+/// what oracle mode adds on top: serialize, reparse, compare.
+void bench_codec_micro(bench::BenchResults& results, bool quick) {
+  const std::vector<p2p::Message> mix = message_mix();
+  const std::size_t rounds = quick ? 50'000 : 400'000;
+
+  p2p::MessagePool pool;
+  std::size_t sink = 0;
+
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const p2p::Message& message : mix) {
+      sink += p2p::encoded_size(message);
+      p2p::MessagePool::Node* node = pool.acquire(message);
+      const p2p::Message delivered = pool.take(node);
+      sink += static_cast<std::size_t>(p2p::type_of(delivered));
+    }
+  }
+  const double fast_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const p2p::Message& message : mix) {
+      const std::vector<std::uint8_t> bytes = p2p::encode(message);
+      sink += bytes.size();
+      const p2p::Message decoded = p2p::decode(bytes);
+      sink += decoded == message ? 1u : 0u;
+    }
+  }
+  const double codec_s = seconds_since(start);
+
+  const double messages =
+      static_cast<double>(rounds) * static_cast<double>(mix.size());
+  const double fast_ns = fast_s / messages * 1e9;
+  const double codec_ns = codec_s / messages * 1e9;
+  const double speedup = fast_s > 0 ? codec_s / fast_s : 0.0;
+  std::printf(
+      "  codec micro: fast path %.0f ns/msg vs round trip %.0f ns/msg "
+      "(%.1fx)  [sink %zu]\n",
+      fast_ns, codec_ns, speedup, sink % 10);
+  results.add_value("micro.fast_ns_per_msg", fast_ns);
+  results.add_value("micro.codec_ns_per_msg", codec_ns);
+  results.add_value("micro.speedup", speedup);
+  results.check("micro_fast_path_wins", speedup > 1.0,
+                "pooled zero-copy delivery is cheaper per message than "
+                "the serialize->parse round trip");
+}
+
+/// Have-broadcast batching: one size computation fanned out to N peers
+/// vs recomputing (the pre-optimization shape: encode per recipient).
+void bench_have_fanout(bench::BenchResults& results, bool quick) {
+  const std::size_t rounds = quick ? 100'000 : 1'000'000;
+  const std::size_t peers = 32;
+  std::size_t sink = 0;
+
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const p2p::Message have{
+        p2p::HaveMsg{static_cast<std::uint32_t>(r % 60)}};
+    const std::size_t wire_size = p2p::encoded_size(have);
+    for (std::size_t p = 0; p < peers; ++p) sink += wire_size;
+  }
+  const double batched_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t p = 0; p < peers; ++p) {
+      const p2p::Message have{
+          p2p::HaveMsg{static_cast<std::uint32_t>(r % 60)}};
+      sink += p2p::encode(have).size();
+    }
+  }
+  const double encoded_s = seconds_since(start);
+
+  const double speedup = batched_s > 0 ? encoded_s / batched_s : 0.0;
+  std::printf(
+      "  have fan-out (%zu peers): batched %.3f s vs encode-per-peer "
+      "%.3f s (%.1fx)  [sink %zu]\n",
+      peers, batched_s, encoded_s, speedup, sink % 10);
+  results.add_value("fanout.batched_s", batched_s);
+  results.add_value("fanout.encode_per_peer_s", encoded_s);
+  results.add_value("fanout.speedup", speedup);
+  results.check("fanout_batching_wins", speedup > 1.0,
+                "one size computation per Have broadcast beats encoding "
+                "per recipient");
+}
+
+/// The headline: a message-heavy 500-peer run, fast path vs the codec
+/// round-trip oracle. The short splice ("2s") maximizes segment count
+/// and therefore control-message volume per simulated second.
+void bench_e2e(bench::BenchResults& results) {
+  experiments::ScenarioConfig config;
+  // GOP splicing at comfortable bandwidth: the most segments per video
+  // and enough throughput that 500 peers actually stream them, so the
+  // run is dominated by Have/Request/Piece traffic (every completed
+  // segment fans a Have out to every established connection). A dense
+  // announce (200 neighbours instead of the default 50) quadruples that
+  // fan-out — the message-heavy regime this benchmark is about.
+  config.splicer = "gop";
+  config.policy = "adaptive";
+  config.bandwidth = Rate::kilobytes_per_second(1024);
+  config.nodes = 500;
+  config.seed = 1;
+  config.announce_max_peers = 200;
+  // Fixed simulated horizon: both paths simulate the same span, so wall
+  // time compares the cost of delivering the same message traffic.
+  config.time_limit = Duration::seconds(120.0);
+
+  // Content is cached after the first run; prewarm so neither timed run
+  // pays the synthesis.
+  (void)experiments::ContentCache::global().get(config.video_seed,
+                                               config.splicer);
+
+  std::printf("  500-peer run, fast path...\n");
+  auto start = std::chrono::steady_clock::now();
+  config.wire_roundtrip = false;
+  const experiments::ScenarioResult fast = experiments::run_scenario(config);
+  const double fast_s = seconds_since(start);
+
+  std::printf("  500-peer run, codec round-trip oracle...\n");
+  start = std::chrono::steady_clock::now();
+  config.wire_roundtrip = true;
+  const experiments::ScenarioResult oracle =
+      experiments::run_scenario(config);
+  const double oracle_s = seconds_since(start);
+
+  const double speedup = fast_s > 0 ? oracle_s / fast_s : 0.0;
+  std::printf("  500 peers: fast %.2f s vs round trip %.2f s (%.2fx)\n",
+              fast_s, oracle_s, speedup);
+  results.add_value("e2e.n500.fast_s", fast_s);
+  results.add_value("e2e.n500.roundtrip_s", oracle_s);
+  results.add_value("e2e.n500.speedup", speedup);
+  results.add_value("e2e.n500.requests_served",
+                    static_cast<double>(fast.requests_served));
+  results.add_value("e2e.n500.messages_routed",
+                    static_cast<double>(fast.messages_routed));
+  results.check("e2e_speedup_1_3x", speedup >= 1.3,
+                "fast path is >= 1.3x faster end-to-end than the codec "
+                "round trip on the 500-peer message-heavy run");
+  results.check(
+      "e2e_identical",
+      fast.total_stalls == oracle.total_stalls &&
+          fast.total_stall_seconds == oracle.total_stall_seconds &&
+          fast.mean_startup_seconds == oracle.mean_startup_seconds &&
+          fast.wall_time.count_micros() == oracle.wall_time.count_micros() &&
+          fast.requests_served == oracle.requests_served &&
+          fast.requests_choked == oracle.requests_choked &&
+          fast.segment_picks == oracle.segment_picks &&
+          fast.holder_picks == oracle.holder_picks &&
+          fast.messages_routed == oracle.messages_routed &&
+          fast.messages_dropped == oracle.messages_dropped &&
+          fast.network_bytes_delivered == oracle.network_bytes_delivered,
+      "fast path and codec round trip produce identical results at "
+      "500 peers");
+}
+
+/// Sweep-setup cost: what a 12-run sweep paid before (synthesize +
+/// splice per run) vs through the shared cache (compute once, share).
+void bench_content_cache(bench::BenchResults& results) {
+  const std::size_t runs = 12;
+  const std::uint64_t video_seed = 2015;
+  const std::string splicer = "2s";
+
+  auto start = std::chrono::steady_clock::now();
+  std::size_t sink = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const video::VideoStream stream = video::make_paper_video(video_seed);
+    const core::SegmentIndex index =
+        core::make_splicer(splicer)->splice(stream);
+    sink += core::write_playlist(
+                core::playlist_from_index(index, "video.mp4"))
+                .size();
+  }
+  const double fresh_s = seconds_since(start);
+
+  experiments::ContentCache cache;
+  start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < runs; ++r) {
+    sink += cache.get(video_seed, splicer)->playlist_text.size();
+  }
+  const double cached_s = seconds_since(start);
+
+  const double speedup = cached_s > 0 ? fresh_s / cached_s : 0.0;
+  std::printf(
+      "  content setup x%zu: fresh %.3f s vs cached %.3f s (%.1fx)  "
+      "[sink %zu]\n",
+      runs, fresh_s, cached_s, speedup, sink % 10);
+  results.add_value("cache.fresh_s", fresh_s);
+  results.add_value("cache.cached_s", cached_s);
+  results.add_value("cache.speedup", speedup);
+  results.add_value("cache.computations",
+                    static_cast<double>(cache.stats().computations));
+  results.check("cache_speedup_5x", speedup >= 5.0,
+                "sweep setup through the shared content cache is >= 5x "
+                "faster than per-run synthesis + splice");
+  results.check("cache_computed_once", cache.stats().computations == 1,
+                "the cache synthesized and spliced the video exactly once");
+}
+
+int run_bench(bool quick) {
+  std::printf("wire fast-path / content-cache benchmark (%s)\n",
+              quick ? "quick" : "full");
+  bench::BenchResults results{"wire"};
+  bench_codec_micro(results, quick);
+  bench_have_fanout(results, quick);
+  bench_e2e(results);
+  bench_content_cache(results);
+  results.write();
+  return results.all_checks_passed() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--quick") quick = true;
+  }
+  return run_bench(quick);
+}

@@ -35,8 +35,20 @@ inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidArgument{message};
 }
 
+/// Literal-message overload: hot paths check preconditions millions of
+/// times per run, and the std::string overload would materialize (and
+/// heap-allocate) the message on every passing call.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw InvalidArgument{message};
+}
+
 /// Throws InternalError with `message` unless `condition` holds.
 inline void check_invariant(bool condition, const std::string& message) {
+  if (!condition) throw InternalError{message};
+}
+
+/// Literal-message overload; see require(bool, const char*).
+inline void check_invariant(bool condition, const char* message) {
   if (!condition) throw InternalError{message};
 }
 

@@ -33,6 +33,8 @@ struct Segment {
   bool independently_playable = true;
 
   [[nodiscard]] Duration end() const { return start + duration; }
+
+  bool operator==(const Segment&) const = default;
 };
 
 /// The complete, validated result of splicing one video: contiguous,

@@ -226,4 +226,8 @@ std::unique_ptr<Splicer> make_splicer(const std::string& spec) {
   throw InvalidArgument{"unknown splicer spec: " + spec};
 }
 
+std::string canonical_splicer_spec(const std::string& spec) {
+  return make_splicer(spec)->name();
+}
+
 }  // namespace vsplice::core

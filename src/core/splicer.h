@@ -113,4 +113,10 @@ class AdaptiveSplicer final : public Splicer {
 /// "8s", "block:<bytes>", "adaptive".
 [[nodiscard]] std::unique_ptr<Splicer> make_splicer(const std::string& spec);
 
+/// Canonical form of a splicer spec: the name() of the splicer it
+/// constructs ("2.0s" and "2s" both canonicalize to "2s"). Content
+/// caches key on this so equivalent specs share one artifact. Throws
+/// InvalidArgument for specs make_splicer rejects.
+[[nodiscard]] std::string canonical_splicer_spec(const std::string& spec);
+
 }  // namespace vsplice::core

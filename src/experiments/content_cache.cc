@@ -1,0 +1,57 @@
+#include "experiments/content_cache.h"
+
+#include "core/playlist.h"
+#include "core/splicer.h"
+#include "video/encoder.h"
+
+namespace vsplice::experiments {
+
+std::shared_ptr<const ContentArtifacts> ContentCache::get(
+    std::uint64_t video_seed, const std::string& splicer_spec) {
+  // Canonicalize outside the lock (it constructs a splicer, which can
+  // throw on a bad spec — better before any state changes).
+  const std::string canonical = core::canonical_splicer_spec(splicer_spec);
+
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    ++stats_.lookups;
+    std::shared_ptr<Entry>& slot = entries_[{video_seed, canonical}];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+
+  // Exactly-once compute per entry; concurrent arrivals block here until
+  // the first one publishes. The entry shared_ptr keeps it alive even if
+  // clear() races and drops the map slot.
+  std::call_once(entry->once, [&] {
+    const video::VideoStream stream = video::make_paper_video(video_seed);
+    const auto splicer = core::make_splicer(splicer_spec);
+    core::SegmentIndex index = splicer->splice(stream);
+    std::string playlist_text =
+        core::write_playlist(core::playlist_from_index(index, "video.mp4"));
+    entry->artifacts = std::make_shared<const ContentArtifacts>(
+        ContentArtifacts{std::move(index), std::move(playlist_text)});
+    const std::lock_guard<std::mutex> lock{mutex_};
+    ++stats_.computations;
+  });
+  return entry->artifacts;
+}
+
+void ContentCache::clear() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+ContentCache::Stats ContentCache::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+ContentCache& ContentCache::global() {
+  static ContentCache cache;
+  return cache;
+}
+
+}  // namespace vsplice::experiments

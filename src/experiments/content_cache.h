@@ -1,0 +1,78 @@
+// Shared immutable content artifacts for scenario runs.
+//
+// Every run_scenario call streams the same 2-minute paper video: the
+// content depends only on (video_seed, splicer), yet the seed repo
+// re-synthesized and re-spliced it per sweep job and per repeat. The
+// cache memoizes the synthesized video's splice — SegmentIndex plus the
+// seeder's playlist text — into one immutable artifact per key, shared
+// across every run (and every worker thread) that asks for it.
+//
+// Thread model: the key map is guarded by a mutex; each entry carries a
+// std::call_once so a key's artifact is computed exactly once no matter
+// how many ParallelRunner workers request it concurrently (the rest
+// block until it is published, then share it). Artifacts are immutable
+// after publication, so readers need no further synchronization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/segment.h"
+
+namespace vsplice::experiments {
+
+/// One cached content identity: the seeder's splicing of the video and
+/// the m3u8 it serves. Immutable once published by the cache.
+struct ContentArtifacts {
+  core::SegmentIndex index;
+  std::string playlist_text;
+};
+
+class ContentCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    /// Lookups that ran make_paper_video + splice (first arrival at a
+    /// key). Everything else shared an already-published artifact.
+    std::uint64_t computations = 0;
+    [[nodiscard]] std::uint64_t hits() const {
+      return lookups - computations;
+    }
+  };
+
+  ContentCache() = default;
+  ContentCache(const ContentCache&) = delete;
+  ContentCache& operator=(const ContentCache&) = delete;
+
+  /// The artifact for (video_seed, splicer spec), computed on first use.
+  /// The splicer spec is canonicalized, so "2.0s" and "2s" share one
+  /// entry. Safe to call from any number of threads.
+  [[nodiscard]] std::shared_ptr<const ContentArtifacts> get(
+      std::uint64_t video_seed, const std::string& splicer_spec);
+
+  /// Drops every entry (outstanding shared_ptrs stay valid) and resets
+  /// the counters. Tests use this to isolate their assertions.
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// The process-wide cache run_scenario uses.
+  [[nodiscard]] static ContentCache& global();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const ContentArtifacts> artifacts;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::uint64_t, std::string>, std::shared_ptr<Entry>>
+      entries_;
+  Stats stats_;
+};
+
+}  // namespace vsplice::experiments

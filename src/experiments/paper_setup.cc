@@ -9,9 +9,8 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/stats.h"
-#include "core/playlist.h"
 #include "core/pool_policy.h"
-#include "core/splicer.h"
+#include "experiments/content_cache.h"
 #include "experiments/parallel.h"
 #include "net/network.h"
 #include "obs/exporters.h"
@@ -21,7 +20,6 @@
 #include "p2p/churn.h"
 #include "p2p/swarm.h"
 #include "sim/simulator.h"
-#include "video/encoder.h"
 
 namespace vsplice::experiments {
 
@@ -81,13 +79,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   require(config.pair_loss >= 0.0 && config.pair_loss < 1.0,
           "pair loss must be in [0, 1)");
 
-  // --- Content: the fixed 2-minute 1 Mbps video, spliced per config.
-  const video::VideoStream stream =
-      video::make_paper_video(config.video_seed);
-  const auto splicer = core::make_splicer(config.splicer);
-  core::SegmentIndex index = splicer->splice(stream);
-  const std::string playlist_text =
-      core::write_playlist(core::playlist_from_index(index, "video.mp4"));
+  // --- Content: the fixed 2-minute 1 Mbps video, spliced per config —
+  // synthesized once per (video_seed, splicer) process-wide and shared
+  // immutably across runs and sweep workers.
+  const std::shared_ptr<const ContentArtifacts> content =
+      ContentCache::global().get(config.video_seed, config.splicer);
+  const core::SegmentIndex& index = content->index;
 
   ScenarioResult result;
   result.segment_count = index.count();
@@ -142,12 +139,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     viewer_nodes.push_back(network.add_node(spec));
   }
 
-  // --- Swarm.
+  // --- Swarm. Aliased shared_ptrs point into the cached artifact, so
+  // the swarm shares the content instead of copying it per run.
   Rng rng{config.seed};
-  p2p::Swarm swarm{network, rng, std::move(index), playlist_text};
+  p2p::Swarm swarm{
+      network, rng,
+      std::shared_ptr<const core::SegmentIndex>{content, &content->index},
+      std::shared_ptr<const std::string>{content, &content->playlist_text}};
   swarm.set_brute_force_oracle(config.brute_force_scheduling);
   p2p::PeerConfig peer_config;
   peer_config.max_upload_slots = config.upload_slots;
+  peer_config.codec_roundtrip = config.wire_roundtrip;
   swarm.add_seeder(seeder_node, peer_config);
 
   const auto policy = std::shared_ptr<const core::PoolPolicy>(
@@ -159,6 +161,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     leecher_config.bandwidth_hint = config.bandwidth;
     leecher_config.brute_force_scheduling = config.brute_force_scheduling;
     leecher_config.rarest_window = config.rarest_window;
+    leecher_config.announce_max_peers = config.announce_max_peers;
     p2p::Leecher& leecher =
         swarm.add_leecher(node, peer_config, leecher_config);
     leechers.push_back(&leecher);
@@ -259,6 +262,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.scheduling_engine_ns += sched.engine_ns;
   }
   result.pieces_aborted = swarm.stats().pieces_aborted;
+  result.messages_routed = swarm.stats().messages_routed;
+  result.messages_dropped = swarm.stats().messages_dropped;
+  result.messages_verified = swarm.stats().messages_verified;
   result.network_bytes_delivered = network.stats().bytes_delivered;
   if (observability && config.timeline_summary) {
     result.timeline = observability->timeline();
@@ -345,6 +351,9 @@ RepeatedResult aggregate_repeated(std::vector<ScenarioResult> runs) {
 RepeatedResult run_repeated(ScenarioConfig config, int repetitions,
                             int jobs) {
   require(repetitions >= 1, "need at least one repetition");
+  // All repetitions share one content identity; publish it before the
+  // fan-out so no worker starts by blocking on another's computation.
+  (void)ContentCache::global().get(config.video_seed, config.splicer);
   std::vector<ScenarioResult> runs(static_cast<std::size_t>(repetitions));
   ParallelRunner runner{jobs};
   runner.run(static_cast<std::size_t>(repetitions), [&](std::size_t r) {

@@ -62,6 +62,16 @@ struct ScenarioConfig {
   /// LeecherConfig::rarest_window passthrough (0 = the paper's strictly
   /// sequential fetch order, used by every figure).
   std::size_t rarest_window = 0;
+  /// LeecherConfig::announce_max_peers passthrough: neighbours learned
+  /// from the tracker at join. The default matches every figure; the
+  /// wire benchmark raises it to densify the control mesh.
+  std::size_t announce_max_peers = 50;
+  /// Wire-format oracle: route every control message through
+  /// encode→decode and assert the decoded message equals the original
+  /// (PeerConfig::codec_roundtrip on every peer). Results are
+  /// byte-identical to the fast path, only slower; the differential
+  /// test pins that. Also enabled by VSPLICE_WIRE_ROUNDTRIP=1.
+  bool wire_roundtrip = false;
 
   /// JSONL event-trace destination for this run. Empty = fall back to
   /// the VSPLICE_TRACE environment variable (empty there too = no
@@ -118,6 +128,12 @@ struct ScenarioResult {
   std::uint64_t seeder_served = 0;
   std::uint64_t seeder_choked = 0;
   std::uint64_t pieces_aborted = 0;
+  /// Control-message routing totals from SwarmStats. `messages_verified`
+  /// counts deliveries that took the encode→decode oracle (zero on the
+  /// fast path; routed + dropped under wire_roundtrip).
+  std::uint64_t messages_routed = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_verified = 0;
   Bytes seeder_uploaded = 0;
   Bytes peers_uploaded = 0;
   double network_bytes_delivered = 0;

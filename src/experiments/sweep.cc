@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <utility>
 
+#include <set>
+
 #include "common/error.h"
+#include "core/splicer.h"
+#include "experiments/content_cache.h"
 #include "experiments/parallel.h"
 
 namespace vsplice::experiments {
@@ -110,6 +114,18 @@ SweepResult run_sweep(const ScenarioConfig& base,
         run_configs.push_back(repetition_config(config, r, repetitions));
       }
     }
+  }
+
+  // Prewarm the shared content cache: one synthesis + splice per
+  // distinct (video_seed, splicer) in the grid, done serially up front
+  // so the worker fan-out starts with every artifact already published.
+  std::set<std::pair<std::uint64_t, std::string>> content_keys;
+  for (const ScenarioConfig& config : run_configs) {
+    content_keys.emplace(config.video_seed,
+                         core::canonical_splicer_spec(config.splicer));
+  }
+  for (const auto& [video_seed, splicer] : content_keys) {
+    (void)ContentCache::global().get(video_seed, splicer);
   }
 
   std::vector<ScenarioResult> runs(run_configs.size());

@@ -58,15 +58,31 @@ void Connection::send_message(NodeId sender, Bytes size,
           "send_message needs a delivery callback");
   const Duration d = packet_delay(net_.tcp(), one_way_, loss_, rng_);
   last_activity_ = net_.simulator().now();
-  // Self-removing tracked event so close() can drop pending deliveries.
-  auto holder = std::make_shared<sim::EventId>(sim::kInvalidEventId);
-  const sim::EventId id = net_.simulator().after(
-      d, [this, holder, cb = std::move(on_delivered)] {
-        message_events_.erase(*holder);
-        cb();
-      });
-  *holder = id;
-  message_events_.insert(id);
+  // The callback parks in a recycled slot and the delivery event
+  // captures only (this, slot), so close() can drop pending deliveries
+  // without per-message shared_ptr bookkeeping or heap-allocated
+  // captures.
+  std::uint32_t slot;
+  if (!free_message_slots_.empty()) {
+    slot = free_message_slots_.back();
+    free_message_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(messages_.size());
+    messages_.emplace_back();
+  }
+  messages_[slot].on_delivered = std::move(on_delivered);
+  messages_[slot].event = net_.simulator().after(
+      d, [this, slot] { deliver_message(slot); });
+}
+
+void Connection::deliver_message(std::uint32_t slot) {
+  // Free the slot before running the callback: it may send again
+  // (reusing this slot) or close the connection (clearing messages_),
+  // so no member is touched after cb().
+  std::function<void()> cb = std::move(messages_[slot].on_delivered);
+  messages_[slot].event = sim::kInvalidEventId;
+  free_message_slots_.push_back(slot);
+  cb();
 }
 
 void Connection::fetch(Bytes request_size, Bytes response_size,
@@ -156,8 +172,14 @@ void Connection::cancel_tracked_events() {
     sim.cancel(connect_event_);
     connect_event_ = sim::kInvalidEventId;
   }
-  for (sim::EventId id : message_events_) sim.cancel(id);
-  message_events_.clear();
+  // Cancelled deliveries have their callbacks destroyed right here
+  // (message nodes a callback held stay checked out of the sender's
+  // MessagePool — see message_pool.h for why that leak is deliberate).
+  for (PendingMessage& pending : messages_) {
+    if (pending.event != sim::kInvalidEventId) sim.cancel(pending.event);
+  }
+  messages_.clear();
+  free_message_slots_.clear();
 }
 
 void Connection::finish_fetch(bool aborted, Bytes delivered) {

@@ -10,10 +10,11 @@
 // paper's 2-second-segment results hinge on.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_set>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -97,10 +98,21 @@ class Connection {
     sim::EventId request_event = sim::kInvalidEventId;
   };
 
+  /// One queued control message. Slots are recycled through
+  /// free_message_slots_, so a steady-state connection sends without
+  /// allocating: the delivery event's callback captures (this, slot) —
+  /// 12 bytes, inside std::function's inline storage.
+  struct PendingMessage {
+    sim::EventId event = sim::kInvalidEventId;
+    std::function<void()> on_delivered;
+  };
+
   void start_response_flow();
   void schedule_ramp();
   void cancel_tracked_events();
   void finish_fetch(bool aborted, Bytes delivered);
+  /// Fires a queued message: frees the slot, then runs its callback.
+  void deliver_message(std::uint32_t slot);
 
   Network& net_;
   Rng& rng_;
@@ -115,7 +127,8 @@ class Connection {
   TimePoint last_activity_ = TimePoint::origin();
   std::optional<ActiveFetch> fetch_;
   sim::EventId connect_event_ = sim::kInvalidEventId;
-  std::unordered_set<sim::EventId> message_events_;
+  std::vector<PendingMessage> messages_;
+  std::vector<std::uint32_t> free_message_slots_;
 };
 
 }  // namespace vsplice::net

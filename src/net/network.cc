@@ -39,18 +39,26 @@ NodeId Network::add_node(const NodeSpec& spec) {
   return id;
 }
 
+namespace {
+/// Out-of-line failure path: these accessors run on every flow update
+/// and message send, so the passing path must not format the id.
+[[noreturn]] void throw_unknown_node(NodeId id) {
+  throw InvalidArgument{"unknown node " + id.to_string()};
+}
+}  // namespace
+
 const NodeSpec& Network::node(NodeId id) const {
-  require(id.value < nodes_.size(), "unknown node " + id.to_string());
+  if (id.value >= nodes_.size()) throw_unknown_node(id);
   return nodes_[id.value];
 }
 
 LinkId Network::uplink_of(NodeId id) const {
-  require(id.value < nodes_.size(), "unknown node " + id.to_string());
+  if (id.value >= nodes_.size()) throw_unknown_node(id);
   return LinkId{1 + 2 * id.value};
 }
 
 LinkId Network::downlink_of(NodeId id) const {
-  require(id.value < nodes_.size(), "unknown node " + id.to_string());
+  if (id.value >= nodes_.size()) throw_unknown_node(id);
   return LinkId{2 + 2 * id.value};
 }
 
@@ -293,17 +301,17 @@ void Network::schedule_completion(FlowId id, Flow& flow) {
 
 std::uint64_t Network::register_connection(Connection* conn) {
   const std::uint64_t id = next_connection_id_++;
-  connections_.emplace(id, conn);
+  connections_.push_back(conn);
   return id;
 }
 
 void Network::unregister_connection(std::uint64_t id) {
-  connections_.erase(id);
+  connections_[id - 1] = nullptr;
 }
 
 Connection* Network::find_connection(std::uint64_t id) const {
-  const auto it = connections_.find(id);
-  return it == connections_.end() ? nullptr : it->second;
+  if (id == 0 || id > connections_.size()) return nullptr;
+  return connections_[id - 1];
 }
 
 void Network::finish_flow(FlowId id) {

@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -187,8 +186,12 @@ class Network {
   std::vector<double> downloaded_;
   NetworkStats stats_;
   bool in_reallocate_ = false;
+  /// Live connections indexed by id - 1. Ids are never recycled (a
+  /// stale id must keep resolving to nullptr, see find_connection), so
+  /// this grows with the total connections ever opened — 8 bytes each,
+  /// cheaper than a hash table probed on every delivered message.
   std::uint64_t next_connection_id_ = 1;
-  std::unordered_map<std::uint64_t, class Connection*> connections_;
+  std::vector<class Connection*> connections_;
 
   // Reallocation scratch (steady-state: zero allocations per call).
   StarAllocator allocator_;

@@ -116,6 +116,53 @@ inline void count(std::string_view name, std::uint64_t n = 1) {
   if (MetricsRegistry* m = detail::g_metrics) m->counter(name).add(n);
 }
 
+/// A counter handle for hot call sites: resolves the name-to-Counter
+/// lookup once per installed registry instead of per call (the registry
+/// guarantees instances are stable for its lifetime). Revalidated
+/// against the ScopedObs install generation, so scope changes — and
+/// even a new registry at a recycled address — are always respected.
+/// One per call site, same thread as the installs it runs under.
+class CachedCounter {
+ public:
+  explicit CachedCounter(const char* name) : name_{name} {}
+
+  void add(std::uint64_t n = 1) {
+    MetricsRegistry* m = detail::g_metrics;
+    if (m == nullptr) return;
+    if (generation_ != detail::g_obs_generation) {
+      generation_ = detail::g_obs_generation;
+      counter_ = &m->counter(name_);
+    }
+    counter_->add(n);
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t generation_ = 0;  // 0 = nothing resolved yet
+  Counter* counter_ = nullptr;
+};
+
+/// Gauge analogue of CachedCounter.
+class CachedGauge {
+ public:
+  explicit CachedGauge(const char* name) : name_{name} {}
+
+  void set(double v) {
+    MetricsRegistry* m = detail::g_metrics;
+    if (m == nullptr) return;
+    if (generation_ != detail::g_obs_generation) {
+      generation_ = detail::g_obs_generation;
+      gauge_ = &m->gauge(name_);
+    }
+    gauge_->set(v);
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t generation_ = 0;
+  Gauge* gauge_ = nullptr;
+};
+
 inline void set_gauge(std::string_view name, double v) {
   if (MetricsRegistry* m = detail::g_metrics) m->gauge(name).set(v);
 }

@@ -195,6 +195,13 @@ namespace detail {
 // fully isolated from each other.
 inline thread_local TraceBus* g_bus = nullptr;
 inline thread_local MetricsRegistry* g_metrics = nullptr;
+/// Bumped on every ScopedObs install/restore. Cached metric handles
+/// (CachedCounter/CachedGauge in metrics.h) revalidate against it, so a
+/// pointer cached under one installed registry is never used under
+/// another — even one that reuses the same address. Starts at 0 and a
+/// registry can only be installed through ScopedObs (which bumps), so
+/// generation 0 always means "nothing resolved yet".
+inline thread_local std::uint64_t g_obs_generation = 0;
 }  // namespace detail
 
 [[nodiscard]] inline TraceBus* bus() { return detail::g_bus; }
@@ -223,12 +230,14 @@ class ScopedObs {
       : previous_bus_{detail::g_bus}, previous_metrics_{detail::g_metrics} {
     detail::g_bus = bus;
     detail::g_metrics = metrics;
+    ++detail::g_obs_generation;
   }
   ScopedObs(const ScopedObs&) = delete;
   ScopedObs& operator=(const ScopedObs&) = delete;
   ~ScopedObs() {
     detail::g_bus = previous_bus_;
     detail::g_metrics = previous_metrics_;
+    ++detail::g_obs_generation;
   }
 
  private:

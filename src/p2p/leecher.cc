@@ -184,7 +184,8 @@ void Leecher::on_metadata(const std::string& playlist_text) {
   Bitfield seeder_all{index_->count()};
   seeder_all.set_all();
   store_bitfield(swarm_.seeder_node(), std::move(seeder_all));
-  for (net::NodeId peer : swarm_.tracker().peers_for(node_, rng_)) {
+  for (net::NodeId peer : swarm_.tracker().peers_for(
+           node_, rng_, config_.announce_max_peers)) {
     if (peer != swarm_.seeder_node()) connect_control(peer);
   }
 
@@ -196,11 +197,15 @@ void Leecher::on_metadata(const std::string& playlist_text) {
 }
 
 void Leecher::connect_control(net::NodeId peer) {
-  if (peer == node_ || control_.contains(peer)) return;
+  if (peer == node_) return;
+  const auto slot = std::lower_bound(
+      control_.begin(), control_.end(), peer,
+      [](const auto& entry, net::NodeId p) { return entry.first < p; });
+  if (slot != control_.end() && slot->first == peer) return;
   auto conn = std::make_unique<net::Connection>(swarm_.network(), rng_,
                                                 node_, peer);
   net::Connection* raw = conn.get();
-  control_.emplace(peer, std::move(conn));
+  control_.emplace(slot, peer, std::move(conn));
   raw->connect([this, raw] {
     if (!online_ || !index_) return;
     send(*raw, HandshakeMsg{1, node_.value,
@@ -210,19 +215,22 @@ void Leecher::connect_control(net::NodeId peer) {
 }
 
 void Leecher::broadcast_have(std::size_t segment) {
+  // Batched fan-out: one message and one size computation, N deliveries
+  // (each recipient still gets its own pool node — the queues own their
+  // copies independently).
+  const Message have{HaveMsg{static_cast<std::uint32_t>(segment)}};
+  const Bytes wire_size = static_cast<Bytes>(encoded_size(have));
   for (auto& [peer, conn] : control_) {
-    if (conn->established()) {
-      send(*conn, HaveMsg{static_cast<std::uint32_t>(segment)});
-    }
+    if (conn->established()) send_sized(*conn, have, wire_size);
   }
 }
 
 // ------------------------------------------------------ protocol handlers
 
 void Leecher::handle_message(net::NodeId from, net::Connection& conn,
-                             const std::vector<std::uint8_t>& bytes) {
+                             const Message& message) {
   if (!online_) return;
-  Peer::handle_message(from, conn, bytes);
+  Peer::handle_message(from, conn, message);
 }
 
 void Leecher::on_bitfield(net::NodeId from, net::Connection&,
@@ -248,14 +256,18 @@ void Leecher::on_have(net::NodeId from, const HaveMsg& msg) {
   // Rebalance: if we are still waiting (not yet granted) for this very
   // segment, sometimes switch to the fresh holder. This is what drains
   // demand off the seeder as copies propagate through the swarm.
-  const auto download_it = downloads_.find(msg.segment);
-  if (download_it != downloads_.end()) {
-    Download& download = download_it->second;
-    const bool waiting =
-        download.conn && !download.conn->fetch_in_progress();
-    if (waiting && download.holder != from &&
-        rng_.bernoulli(config_.rebalance_probability)) {
-      request_from(download, from);
+  // in_flight_ mirrors downloads_, so the common case (a HAVE for a
+  // segment we are not fetching) is one bit test, not a tree search.
+  if (in_flight_.get(msg.segment)) {
+    const auto download_it = downloads_.find(msg.segment);
+    if (download_it != downloads_.end()) {
+      Download& download = download_it->second;
+      const bool waiting =
+          download.conn && !download.conn->fetch_in_progress();
+      if (waiting && download.holder != from &&
+          rng_.bernoulli(config_.rebalance_probability)) {
+        request_from(download, from);
+      }
     }
   }
   schedule_downloads();
@@ -630,8 +642,10 @@ void Leecher::on_peer_left(net::NodeId who) {
   if (!online_) return;
   if (last_server_ == who) last_server_.reset();
   forget_peer(who);
-  const auto control = control_.find(who);
-  if (control != control_.end()) {
+  const auto control = std::lower_bound(
+      control_.begin(), control_.end(), who,
+      [](const auto& entry, net::NodeId p) { return entry.first < p; });
+  if (control != control_.end() && control->first == who) {
     swarm_.dispose_connection(std::move(control->second));
     control_.erase(control);
   }

@@ -19,6 +19,8 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/bandwidth_estimator.h"
@@ -64,6 +66,11 @@ struct LeecherConfig {
   /// Approximate size of the metadata/announce request we send the
   /// seeder at startup.
   Bytes metadata_request_bytes = 128;
+  /// Cap on the tracker's announce response — how many other peers we
+  /// learn about (and open control connections to) at join. The paper's
+  /// figures keep the BitTorrent-style default; raising it densifies the
+  /// control mesh (every HAVE broadcast reaches more neighbours).
+  std::size_t announce_max_peers = 50;
   /// When > 0, prefer the least-replicated needed segment within this
   /// many segments of the playback frontier instead of fetching strictly
   /// sequentially. 0 keeps the paper's sequential order (all figures).
@@ -125,7 +132,10 @@ class Leecher final : public Peer {
   }
 
   void handle_message(net::NodeId from, net::Connection& conn,
-                      const std::vector<std::uint8_t>& bytes) override;
+                      const Message& message) override;
+  /// Keep the base class's serialized-bytes entry point visible (tests
+  /// drive it with raw frames).
+  using Peer::handle_message;
   void on_peer_left(net::NodeId who) override;
   void leave() override;
 
@@ -195,8 +205,13 @@ class Leecher final : public Peer {
   std::unique_ptr<streaming::Player> player_;
   core::BandwidthEstimator estimator_;
 
-  /// Control connections we initiated, keyed by remote peer.
-  std::map<net::NodeId, std::unique_ptr<net::Connection>> control_;
+  /// Control connections we initiated, sorted ascending by remote peer
+  /// (flat map — every HAVE broadcast walks this once per completed
+  /// segment, so iteration is an array scan, not a tree traversal; the
+  /// order matches the std::map it replaced, keeping RNG draws and
+  /// therefore every figure identical).
+  std::vector<std::pair<net::NodeId, std::unique_ptr<net::Connection>>>
+      control_;
 
   /// Availability learned from BITFIELD/HAVE messages, in dense
   /// node-indexed storage: peer_slot_[node.value] is 1 + an index into

@@ -1,0 +1,40 @@
+#include "p2p/message_pool.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace vsplice::p2p {
+
+MessagePool::Node* MessagePool::acquire(Message message) {
+  ++stats_.acquired;
+  if (!free_.empty()) {
+    Node& node = nodes_[free_.back()];
+    free_.pop_back();
+    node.message = std::move(message);
+    return &node;
+  }
+  Node& node = nodes_.emplace_back();
+  node.slot = static_cast<std::uint32_t>(nodes_.size() - 1);
+  node.message = std::move(message);
+  ++stats_.created;
+  return &node;
+}
+
+Message MessagePool::take(Node* node) {
+  require(node != nullptr, "take on a null pool node");
+  Message message = std::move(node->message);
+  release(node);
+  return message;
+}
+
+void MessagePool::release(Node* node) {
+  require(node != nullptr, "release on a null pool node");
+  check_invariant(node->slot < nodes_.size() &&
+                      &nodes_[node->slot] == node,
+                  "pool node does not belong to this pool");
+  ++stats_.released;
+  free_.push_back(node->slot);
+}
+
+}  // namespace vsplice::p2p

@@ -1,0 +1,83 @@
+// Freelist-backed node storage for control messages queued for
+// in-process delivery.
+//
+// The zero-copy message path hands the Message variant itself through
+// the simulated network's delivery queue (no serialize/parse round
+// trip), so every send needs a stable home for the message between
+// `Connection::send_message` and the delivery callback. Nodes live in a
+// deque (stable addresses) and are recycled through an index freelist,
+// so a steady-state swarm stops allocating per message.
+//
+// Ownership protocol: `acquire` checks a node out, the delivery
+// callback returns it via `take` (which moves the message out and
+// frees the node in one step). A callback destroyed without running —
+// the connection closed first and the simulator dropped the event — is
+// a *leaked* node: it stays checked out until the pool is destroyed.
+// That is deliberate: the callback holding the pointer may be destroyed
+// lazily, after the swarm (and pool) are already gone, so the node
+// cannot release itself from a destructor without dangling. Leaks are
+// bounded by messages in flight at connection-close time and visible in
+// Stats.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/types.h"
+#include "p2p/wire.h"
+
+namespace vsplice::net {
+class Connection;
+}  // namespace vsplice::net
+
+namespace vsplice::p2p {
+
+class MessagePool {
+ public:
+  struct Node {
+    Message message;
+    /// Delivery context, set by the sender alongside the message. Kept
+    /// in the node (instead of the delivery callback's capture) so the
+    /// callback is two pointers — small enough for std::function's
+    /// inline storage, making a queued send allocation-free.
+    net::Connection* conn = nullptr;
+    net::NodeId to{};
+    std::uint32_t slot = 0;
+  };
+
+  struct Stats {
+    std::uint64_t acquired = 0;
+    std::uint64_t released = 0;
+    /// Distinct nodes ever allocated (the pool's high-water mark).
+    std::size_t created = 0;
+  };
+
+  MessagePool() = default;
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+
+  /// Checks a node out of the freelist (allocating only when empty) and
+  /// moves `message` into it. The pointer is stable until `release`.
+  [[nodiscard]] Node* acquire(Message message);
+
+  /// Moves the node's message out and returns the node to the freelist.
+  [[nodiscard]] Message take(Node* node);
+
+  /// Returns a node without consuming its message.
+  void release(Node* node);
+
+  /// Nodes currently checked out (in delivery queues, or leaked by
+  /// cancelled deliveries).
+  [[nodiscard]] std::size_t live() const {
+    return nodes_.size() - free_.size();
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::deque<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  Stats stats_;
+};
+
+}  // namespace vsplice::p2p

@@ -18,8 +18,13 @@ Peer::Peer(Swarm& swarm, net::NodeId node, PeerConfig config)
 void Peer::handle_message(net::NodeId from, net::Connection& conn,
                           const std::vector<std::uint8_t>& bytes) {
   if (!online_) return;
+  handle_message(from, conn, decode(bytes));
+}
+
+void Peer::handle_message(net::NodeId from, net::Connection& conn,
+                          const Message& message) {
+  if (!online_) return;
   ++stats_.messages_received;
-  const Message message = decode(bytes);
   switch (type_of(message)) {
     case MessageType::Handshake:
       on_handshake(from, conn, std::get<HandshakeMsg>(message));
@@ -106,13 +111,37 @@ void Peer::serve_from_queue() {
 }
 
 void Peer::send(net::Connection& conn, const Message& message) {
-  const std::vector<std::uint8_t> bytes = encode(message);
+  send_sized(conn, message, static_cast<Bytes>(encoded_size(message)));
+}
+
+void Peer::send_sized(net::Connection& conn, const Message& message,
+                      Bytes wire_size) {
   const net::NodeId to =
       conn.client() == node_ ? conn.server() : conn.client();
-  conn.send_message(node_, static_cast<Bytes>(bytes.size()),
-                    [this, to, &conn, bytes] {
-                      swarm_.deliver(node_, to, conn, bytes);
-                    });
+  if (config_.codec_roundtrip || swarm_.codec_roundtrip()) {
+    // Oracle mode: serialize now, parse at delivery, assert equality.
+    // The charged size is the same wire_size the fast path uses, so the
+    // two modes schedule identical network events.
+    std::vector<std::uint8_t> bytes = encode(message);
+    check_invariant(static_cast<Bytes>(bytes.size()) == wire_size,
+                    "encoded_size disagrees with encode() for " +
+                        std::string{to_string(type_of(message))});
+    conn.send_message(
+        node_, wire_size,
+        [this, to, &conn, original = message, bytes = std::move(bytes)] {
+          swarm_.deliver_checked(node_, to, conn, original, bytes);
+        });
+    return;
+  }
+  // Fast path: the Message itself rides through a pool node; no
+  // serialize/parse round trip for an in-process delivery. The delivery
+  // context travels in the node so the callback is two pointers — small
+  // enough for std::function's inline storage (no allocation per send).
+  MessagePool::Node* node = swarm_.message_pool().acquire(message);
+  node->conn = &conn;
+  node->to = to;
+  conn.send_message(node_, wire_size,
+                    [this, node] { swarm_.deliver(node_, node); });
 }
 
 void Peer::serve_piece(net::Connection& conn, const RequestMsg& request) {
@@ -122,9 +151,12 @@ void Peer::serve_piece(net::Connection& conn, const RequestMsg& request) {
       conn.client() == node_ ? conn.server() : conn.client();
   const std::size_t segment = request.segment;
 
-  const PieceMsg header{request.segment, request.length};
-  const Bytes total = static_cast<Bytes>(encode(header).size()) +
-                      static_cast<Bytes>(request.length);
+  // One arithmetic size for the PIECE header (the old code serialized
+  // the header just to measure it).
+  const Bytes total =
+      static_cast<Bytes>(
+          encoded_size(PieceMsg{request.segment, request.length})) +
+      static_cast<Bytes>(request.length);
   // The outcome callback is owned by the connection, and the connection
   // by the *client's* download — it can outlive this peer during swarm
   // teardown. Resolve the server through the swarm at fire time instead

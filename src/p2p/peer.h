@@ -31,6 +31,14 @@ struct PeerConfig {
   /// redistributes to other holders instead of serializing behind one
   /// busy uplink.
   std::size_t max_request_queue = 1;
+  /// Wire-format oracle mode: every send is routed through
+  /// encode→decode and the decoded message is asserted equal to the
+  /// original before dispatch. The fast path (default) moves the
+  /// Message variant through the delivery queue with no codec work;
+  /// both paths charge the connection the same encoded byte count, so
+  /// results are byte-identical either way. Also enabled process-wide
+  /// by VSPLICE_WIRE_ROUNDTRIP=1.
+  bool codec_roundtrip = false;
 };
 
 struct PeerStats {
@@ -59,10 +67,17 @@ class Peer {
   [[nodiscard]] int upload_slots() const { return config_.max_upload_slots; }
   [[nodiscard]] const PeerStats& stats() const { return stats_; }
 
-  /// A serialized control message from `from` arrived over `conn`
-  /// (owned by the remote end). Decodes and dispatches.
+  /// A control message from `from` arrived over `conn` (owned by the
+  /// remote end). Dispatches to the on_* hooks; no codec work.
   virtual void handle_message(net::NodeId from, net::Connection& conn,
-                              const std::vector<std::uint8_t>& bytes);
+                              const Message& message);
+
+  /// Serialized-bytes entry point (tests inject raw frames through it;
+  /// the legacy Swarm::deliver overload routes through it too). Decodes
+  /// — throwing ParseError on malformed input — then dispatches through
+  /// the virtual Message overload above.
+  void handle_message(net::NodeId from, net::Connection& conn,
+                      const std::vector<std::uint8_t>& bytes);
 
   /// Swarm notification: `who` left. Subclasses drop per-peer state.
   virtual void on_peer_left(net::NodeId who);
@@ -81,9 +96,17 @@ class Peer {
   virtual void on_request(net::NodeId from, net::Connection& conn,
                           const RequestMsg& msg);
 
-  /// Serializes `message` and sends it over `conn` from this peer; on
-  /// delivery the swarm routes the bytes to the other endpoint.
+  /// Sends `message` over `conn` from this peer, charging the
+  /// connection the exact encoded byte count. On the fast path the
+  /// Message variant itself travels through a pool node; in
+  /// codec_roundtrip mode it is encoded, decoded on delivery, and
+  /// asserted equal (the wire-format oracle).
   void send(net::Connection& conn, const Message& message);
+
+  /// `send` with the encoded size precomputed — broadcast fan-out
+  /// computes the size once and reuses it for every recipient.
+  void send_sized(net::Connection& conn, const Message& message,
+                  Bytes wire_size);
 
   /// Serves a granted request: pushes PIECE header + payload as a flow.
   void serve_piece(net::Connection& conn, const RequestMsg& request);

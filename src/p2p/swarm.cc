@@ -1,6 +1,8 @@
 #include "p2p/swarm.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -9,15 +11,34 @@
 
 namespace vsplice::p2p {
 
-Swarm::Swarm(net::Network& network, Rng& rng, core::SegmentIndex index,
-             std::string playlist_text)
+namespace {
+/// VSPLICE_WIRE_ROUNDTRIP=1 (any value but "" and "0") forces the
+/// encode→decode oracle path for every message in the process.
+bool env_wire_roundtrip() {
+  const char* env = std::getenv("VSPLICE_WIRE_ROUNDTRIP");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+}  // namespace
+
+Swarm::Swarm(net::Network& network, Rng& rng,
+             std::shared_ptr<const core::SegmentIndex> index,
+             std::shared_ptr<const std::string> playlist_text)
     : network_{network},
       rng_{rng},
       index_{std::move(index)},
       playlist_text_{std::move(playlist_text)},
-      replicas_(index_.count(), 0) {
-  require(!playlist_text_.empty(), "swarm needs the seeder's playlist");
+      codec_roundtrip_{env_wire_roundtrip()},
+      replicas_(index_->count(), 0) {
+  require(index_ != nullptr, "swarm needs a segment index");
+  require(playlist_text_ != nullptr && !playlist_text_->empty(),
+          "swarm needs the seeder's playlist");
 }
+
+Swarm::Swarm(net::Network& network, Rng& rng, core::SegmentIndex index,
+             std::string playlist_text)
+    : Swarm{network, rng,
+            std::make_shared<const core::SegmentIndex>(std::move(index)),
+            std::make_shared<const std::string>(std::move(playlist_text))} {}
 
 Swarm::~Swarm() {
   // Destroying a peer with transfers still in flight fires its
@@ -134,7 +155,7 @@ obs::SwarmObservation Swarm::observe() const {
   if (brute_force_) {
     // Retained pre-change histogram rebuild: every online peer's
     // bitfield, bit by bit.
-    out.replicas.assign(index_.count(), 0);
+    out.replicas.assign(index_->count(), 0);
     for (const auto& peer : peers_) {
       if (!peer->online()) continue;
       const Bitfield& have = peer->have();
@@ -179,16 +200,57 @@ obs::SwarmObservation Swarm::observe() const {
   return out;
 }
 
+void Swarm::deliver(net::NodeId from, MessagePool::Node* node) {
+  // Read the delivery context, then take the message out before
+  // anything can throw or recurse: the node goes back to the freelist
+  // immediately, and dispatch below may send (and acquire) further
+  // messages.
+  net::Connection& conn = *node->conn;
+  const net::NodeId to = node->to;
+  const Message message = pool_.take(node);
+  Peer* target = find(to);
+  if (target == nullptr || !target->online()) {
+    ++stats_.messages_dropped;
+    dropped_metric_.add();
+    return;
+  }
+  ++stats_.messages_routed;
+  routed_metric_.add();
+  target->handle_message(from, conn, message);
+}
+
+void Swarm::deliver_checked(net::NodeId from, net::NodeId to,
+                            net::Connection& conn, const Message& original,
+                            const std::vector<std::uint8_t>& bytes) {
+  // The oracle: everything the fast path would have moved verbatim must
+  // survive a real encode→decode round trip unchanged.
+  const Message decoded = decode(bytes);
+  check_invariant(decoded == original,
+                  "wire round trip changed a " +
+                      std::string{to_string(type_of(original))} +
+                      " message");
+  ++stats_.messages_verified;
+  Peer* target = find(to);
+  if (target == nullptr || !target->online()) {
+    ++stats_.messages_dropped;
+    dropped_metric_.add();
+    return;
+  }
+  ++stats_.messages_routed;
+  routed_metric_.add();
+  target->handle_message(from, conn, decoded);
+}
+
 void Swarm::deliver(net::NodeId from, net::NodeId to, net::Connection& conn,
                     std::vector<std::uint8_t> bytes) {
   Peer* target = find(to);
   if (target == nullptr || !target->online()) {
     ++stats_.messages_dropped;
-    obs::count("swarm.messages_dropped");
+    dropped_metric_.add();
     return;
   }
   ++stats_.messages_routed;
-  obs::count("swarm.messages_routed");
+  routed_metric_.add();
   target->handle_message(from, conn, bytes);
 }
 

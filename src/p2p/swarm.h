@@ -11,8 +11,10 @@
 #include "common/rng.h"
 #include "core/segment.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "p2p/leecher.h"
+#include "p2p/message_pool.h"
 #include "p2p/peer.h"
 #include "p2p/tracker.h"
 
@@ -21,6 +23,9 @@ namespace vsplice::p2p {
 struct SwarmStats {
   std::uint64_t messages_routed = 0;
   std::uint64_t messages_dropped = 0;  // receiver offline
+  /// Deliveries that went through the encode→decode oracle and passed
+  /// the equality assertion (codec_roundtrip mode only).
+  std::uint64_t messages_verified = 0;
   std::uint64_t pieces_delivered = 0;
   std::uint64_t pieces_aborted = 0;
 };
@@ -29,7 +34,14 @@ class Swarm {
  public:
   /// `index` is the seeder's splicing of the video; `playlist_text` is
   /// the m3u8 the seeder serves (its byte size prices the metadata
-  /// fetch, its contents are what leechers parse).
+  /// fetch, its contents are what leechers parse). This overload shares
+  /// immutable content artifacts — a sweep's runs all point at one
+  /// cached copy instead of each holding their own.
+  Swarm(net::Network& network, Rng& rng,
+        std::shared_ptr<const core::SegmentIndex> index,
+        std::shared_ptr<const std::string> playlist_text);
+
+  /// Owning-copy convenience overload.
   Swarm(net::Network& network, Rng& rng, core::SegmentIndex index,
         std::string playlist_text);
   ~Swarm();
@@ -46,10 +58,15 @@ class Swarm {
   [[nodiscard]] const Peer* find(net::NodeId node) const;
 
   [[nodiscard]] Tracker& tracker() { return tracker_; }
-  [[nodiscard]] const core::SegmentIndex& index() const { return index_; }
+  [[nodiscard]] const core::SegmentIndex& index() const { return *index_; }
   [[nodiscard]] const std::string& playlist_text() const {
-    return playlist_text_;
+    return *playlist_text_;
   }
+  [[nodiscard]] MessagePool& message_pool() { return pool_; }
+  /// True when every control message must take the encode→decode
+  /// oracle path (VSPLICE_WIRE_ROUNDTRIP=1 in the environment; per-peer
+  /// opt-in lives in PeerConfig::codec_roundtrip).
+  [[nodiscard]] bool codec_roundtrip() const { return codec_roundtrip_; }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] sim::Simulator& simulator() {
     return network_.simulator();
@@ -93,7 +110,21 @@ class Swarm {
 
   // ------------------------------------------------------- routing hooks
 
-  /// Delivers serialized control bytes to `to` (dropped if offline).
+  /// Fast-path delivery: takes the message out of its pool node (always
+  /// — the node is reclaimed even when the receiver is offline) and
+  /// dispatches it with no codec work. The destination connection and
+  /// node id ride in the pool node, so the delivery callback captures
+  /// only (swarm peer, node) and fits std::function inline.
+  void deliver(net::NodeId from, MessagePool::Node* node);
+
+  /// Oracle delivery: decodes `bytes`, asserts the result equals
+  /// `original`, then dispatches the *decoded* message — so what the
+  /// receiver sees really did survive the wire format.
+  void deliver_checked(net::NodeId from, net::NodeId to,
+                       net::Connection& conn, const Message& original,
+                       const std::vector<std::uint8_t>& bytes);
+
+  /// Legacy byte-frame delivery (tests inject raw frames through it).
   void deliver(net::NodeId from, net::NodeId to, net::Connection& conn,
                std::vector<std::uint8_t> bytes);
 
@@ -114,9 +145,13 @@ class Swarm {
 
   net::Network& network_;
   Rng& rng_;
-  core::SegmentIndex index_;
-  std::string playlist_text_;
+  std::shared_ptr<const core::SegmentIndex> index_;
+  std::shared_ptr<const std::string> playlist_text_;
   Tracker tracker_;
+  /// Declared before peers_ so queued message nodes outlive the peers
+  /// being torn down in ~Swarm.
+  MessagePool pool_;
+  bool codec_roundtrip_ = false;
   std::vector<std::unique_ptr<Peer>> peers_;
   /// Dense node.value -> Peer* table behind find().
   std::vector<Peer*> by_node_;
@@ -125,6 +160,9 @@ class Swarm {
   bool brute_force_ = false;
   Seeder* seeder_ = nullptr;
   SwarmStats stats_;
+  // Per-message metrics, resolved once per installed registry.
+  obs::CachedCounter routed_metric_{"swarm.messages_routed"};
+  obs::CachedCounter dropped_metric_{"swarm.messages_dropped"};
 };
 
 }  // namespace vsplice::p2p

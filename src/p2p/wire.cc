@@ -70,6 +70,30 @@ MessageType type_of(const Message& message) {
   return std::visit(Visitor{}, message);
 }
 
+std::size_t encoded_size(const Message& message) {
+  // Framing: u32 length + u8 type. Payload sizes mirror the encode
+  // visitor below field for field.
+  constexpr std::size_t kFraming = 5;
+  struct Visitor {
+    std::size_t operator()(const HandshakeMsg&) const {
+      return 4 + 2 + 4 + 4;  // magic, version, peer_id, segment_count
+    }
+    std::size_t operator()(const BitfieldMsg& m) const {
+      return 4 + (m.have.size() + 7) / 8;  // bit count + packed bytes
+    }
+    std::size_t operator()(const HaveMsg&) const { return 4; }
+    std::size_t operator()(const InterestedMsg&) const { return 0; }
+    std::size_t operator()(const NotInterestedMsg&) const { return 0; }
+    std::size_t operator()(const ChokeMsg&) const { return 0; }
+    std::size_t operator()(const UnchokeMsg&) const { return 0; }
+    std::size_t operator()(const RequestMsg&) const { return 4 + 8 + 8; }
+    std::size_t operator()(const PieceMsg&) const { return 4 + 8; }
+    std::size_t operator()(const CancelMsg&) const { return 4; }
+    std::size_t operator()(const GoodbyeMsg&) const { return 0; }
+  };
+  return kFraming + std::visit(Visitor{}, message);
+}
+
 std::vector<std::uint8_t> encode(const Message& message) {
   ByteWriter body;
   struct Visitor {
@@ -115,6 +139,11 @@ Message decode(std::span<const std::uint8_t> bytes) {
   ByteReader reader{bytes};
   const std::uint32_t length = reader.get_u32();
   if (length < 1) throw ParseError{"message length must include the type"};
+  if (length > kMaxFrameBytes) {
+    throw ParseError{"message length " + std::to_string(length) +
+                     " exceeds the " + std::to_string(kMaxFrameBytes) +
+                     "-byte frame cap"};
+  }
   if (reader.remaining() != length) {
     throw ParseError{"message framing mismatch: header says " +
                      std::to_string(length) + ", buffer has " +

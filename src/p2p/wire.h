@@ -93,6 +93,18 @@ using Message =
 
 [[nodiscard]] MessageType type_of(const Message& message);
 
+/// Upper bound a decoder accepts for one frame's declared length. Far
+/// above any message this protocol produces (a bitfield of 8M segments
+/// still fits), it exists so a corrupted length field is rejected as a
+/// parse error instead of being trusted.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Exact size of `encode(message)` in bytes, computed arithmetically —
+/// no serialization. This is what the simulator charges the network for
+/// an in-process delivery; a unit test pins it to encode() for every
+/// message type.
+[[nodiscard]] std::size_t encoded_size(const Message& message);
+
 /// Serializes with framing. The result's size is what the simulator
 /// charges the network for the control message.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Message& message);

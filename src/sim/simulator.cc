@@ -8,22 +8,27 @@
 namespace vsplice::sim {
 
 EventId Simulator::at(TimePoint t, std::function<void()> fn) {
-  require(t >= now_, "cannot schedule an event in the past (" +
-                         t.to_string() + " < " + now_.to_string() + ")");
+  // Format the diagnostic only on failure: this runs once per event.
+  if (t < now_) {
+    throw InvalidArgument{"cannot schedule an event in the past (" +
+                          t.to_string() + " < " + now_.to_string() + ")"};
+  }
   require(static_cast<bool>(fn), "cannot schedule a null callback");
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
+    callbacks_[slot] = std::move(fn);
   } else {
     slot = static_cast<std::uint32_t>(generation_.size());
     generation_.push_back(1);
+    callbacks_.push_back(std::move(fn));
   }
   const EventId id = make_id(slot, generation_[slot]);
-  heap_.push_back(Entry{t, next_sequence_++, id, std::move(fn)});
+  heap_.push_back(Entry{t, next_sequence_++, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  obs::count("sim.events_scheduled");
+  events_scheduled_.add();
   return id;
 }
 
@@ -46,9 +51,14 @@ void Simulator::retire(EventId id) {
 
 bool Simulator::cancel(EventId id) {
   if (id == kInvalidEventId || !live(id)) return false;
+  // Pull the callback out before any destructor runs: destroying a
+  // capture may reenter (schedule or cancel), so all bookkeeping must
+  // be done first and `doomed` must die last, as a local.
+  std::function<void()> doomed;
+  doomed.swap(callbacks_[slot_of(id)]);
   retire(id);  // the heap entry goes stale and is dropped when it surfaces
   --live_;
-  obs::count("sim.events_cancelled");
+  events_cancelled_.add();
   return true;
 }
 
@@ -65,21 +75,25 @@ void Simulator::drop_stale() const {
 
 void Simulator::fire() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
+  const Entry entry = heap_.back();
   heap_.pop_back();
   check_invariant(entry.time >= now_, "event queue went backwards in time");
   now_ = entry.time;
+  // Move the callback to a local before retiring: fn() may schedule,
+  // reallocating callbacks_ (and reusing this slot).
+  std::function<void()> fn;
+  fn.swap(callbacks_[slot_of(entry.id)]);
   retire(entry.id);
   --live_;
   ++fired_count_;
-  obs::count("sim.events_fired");
-  obs::set_gauge("sim.queue_depth", static_cast<double>(live_));
+  events_fired_.add();
+  queue_depth_.set(static_cast<double>(live_));
   if (event_limit_ != 0 && fired_count_ > event_limit_) {
     throw InternalError{"simulator event limit exceeded (" +
                         std::to_string(event_limit_) +
                         " events); likely a runaway feedback loop"};
   }
-  entry.fn();
+  fn();
 }
 
 bool Simulator::step() {

@@ -7,8 +7,11 @@
 // Simulator (see experiments::ParallelRunner); a single instance is never
 // shared between threads.
 //
-// Hot-path design: the heap entries carry their callbacks inline and
-// cancellation is generation-tagged. An EventId encodes (slot,
+// Hot-path design: the heap orders trivially-copyable 24-byte entries
+// (time, FIFO sequence, id) while the callbacks live in per-slot storage
+// — sift operations move PODs instead of std::function objects, which
+// is most of a heap operation's cost at message-heavy queue depths.
+// Cancellation is generation-tagged: an EventId encodes (slot,
 // generation); cancelling or firing bumps the slot's generation, so stale
 // heap entries are recognized by a mismatched tag and skipped lazily when
 // they surface. Scheduling, cancelling and firing therefore touch only
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace vsplice::sim {
 
@@ -49,9 +53,10 @@ class Simulator {
   EventId after(Duration d, std::function<void()> fn);
 
   /// Cancels a pending event. Returns false if it already fired, was
-  /// already cancelled, or never existed. The callback itself is
-  /// destroyed lazily when its heap entry surfaces (captured values may
-  /// outlive the cancel; captured references are never dereferenced).
+  /// already cancelled, or never existed. The callback is destroyed
+  /// before cancel() returns (after all queue bookkeeping, so a
+  /// capture's destructor may itself schedule or cancel); only the
+  /// 24-byte heap entry lingers until it surfaces and is dropped.
   bool cancel(EventId id);
 
   /// True if `id` is still pending.
@@ -79,11 +84,13 @@ class Simulator {
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
  private:
+  /// Heap entry: trivially copyable on purpose. The callback lives in
+  /// callbacks_[slot_of(id)], so sifting the heap never touches a
+  /// std::function.
   struct Entry {
     TimePoint time;
     std::uint64_t sequence;  // tie-break: FIFO at equal timestamps
     EventId id;
-    std::function<void()> fn;
   };
 
   /// Heap comparator: true when `a` fires after `b` (min-heap on
@@ -125,7 +132,15 @@ class Simulator {
   // generation no longer matches) and are dropped when they surface.
   mutable std::vector<Entry> heap_;
   std::vector<std::uint32_t> generation_;  // per slot; starts at 1
+  std::vector<std::function<void()>> callbacks_;  // per slot
   std::vector<std::uint32_t> free_slots_;
+
+  // Per-event metrics, resolved once per installed registry instead of
+  // by name on every schedule/fire.
+  obs::CachedCounter events_scheduled_{"sim.events_scheduled"};
+  obs::CachedCounter events_cancelled_{"sim.events_cancelled"};
+  obs::CachedCounter events_fired_{"sim.events_fired"};
+  obs::CachedGauge queue_depth_{"sim.queue_depth"};
 };
 
 /// Repeats a callback at a fixed period until stopped or destroyed.

@@ -1,0 +1,135 @@
+// The shared content-artifact cache: cached splices must be
+// byte-identical to freshly computed ones for every splicing technique,
+// a key must be computed exactly once no matter how many worker threads
+// race for it, and run_scenario must actually go through the global
+// cache instead of re-synthesizing the video per run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/playlist.h"
+#include "core/splicer.h"
+#include "experiments/content_cache.h"
+#include "experiments/paper_setup.h"
+#include "experiments/parallel.h"
+#include "video/encoder.h"
+
+namespace vsplice::experiments {
+namespace {
+
+class SplicerCache : public ::testing::TestWithParam<std::string> {};
+
+/// The cache must hand out exactly what a fresh synthesis + splice
+/// produces: same segment list (bytes, timestamps, GOP spans) and the
+/// same playlist text the seeder serves.
+TEST_P(SplicerCache, CachedArtifactsMatchFreshSplice) {
+  const std::string spec = GetParam();
+  const std::uint64_t video_seed = 2015;
+
+  ContentCache cache;
+  const std::shared_ptr<const ContentArtifacts> cached =
+      cache.get(video_seed, spec);
+  ASSERT_NE(cached, nullptr);
+
+  const video::VideoStream stream = video::make_paper_video(video_seed);
+  const core::SegmentIndex fresh = core::make_splicer(spec)->splice(stream);
+  const std::string fresh_playlist =
+      core::write_playlist(core::playlist_from_index(fresh, "video.mp4"));
+
+  EXPECT_EQ(cached->index.splicer_name(), fresh.splicer_name());
+  ASSERT_EQ(cached->index.count(), fresh.count());
+  for (std::size_t i = 0; i < fresh.count(); ++i) {
+    EXPECT_EQ(cached->index.at(i), fresh.at(i)) << spec << " segment " << i;
+  }
+  EXPECT_EQ(cached->playlist_text, fresh_playlist);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSplicers, SplicerCache,
+                         ::testing::Values("gop", "2s", "4s", "8s"));
+
+TEST(ContentCacheTest, SecondLookupSharesTheArtifact) {
+  ContentCache cache;
+  const auto first = cache.get(7, "4s");
+  const auto second = cache.get(7, "4s");
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().computations, 1u);
+  EXPECT_EQ(cache.stats().hits(), 1u);
+}
+
+TEST(ContentCacheTest, SpellingVariantsOfOneSplicerShareAnEntry) {
+  ContentCache cache;
+  const auto a = cache.get(7, "2s");
+  const auto b = cache.get(7, "2.0s");
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().computations, 1u);
+}
+
+TEST(ContentCacheTest, DistinctKeysGetDistinctArtifacts) {
+  ContentCache cache;
+  const auto a = cache.get(7, "2s");
+  const auto b = cache.get(7, "4s");
+  const auto c = cache.get(8, "2s");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().computations, 3u);
+}
+
+TEST(ContentCacheTest, ClearResetsStatsButKeepsHandedOutArtifacts) {
+  ContentCache cache;
+  const auto kept = cache.get(7, "2s");
+  cache.clear();
+  EXPECT_EQ(cache.stats().lookups, 0u);
+  EXPECT_EQ(cache.stats().computations, 0u);
+  // The old artifact stays valid...
+  EXPECT_GT(kept->index.count(), 0u);
+  // ...and the next lookup recomputes a fresh (distinct) one.
+  const auto fresh = cache.get(7, "2s");
+  EXPECT_NE(kept.get(), fresh.get());
+  EXPECT_EQ(cache.stats().computations, 1u);
+  ASSERT_EQ(kept->index.count(), fresh->index.count());
+  for (std::size_t i = 0; i < fresh->index.count(); ++i) {
+    EXPECT_EQ(kept->index.at(i), fresh->index.at(i));
+  }
+}
+
+/// The cross-thread guarantee: many ParallelRunner workers hammering a
+/// single key observe exactly one computation and all end up holding
+/// the same artifact object.
+TEST(ContentCacheTest, OneComputationAcrossWorkerThreads) {
+  ContentCache cache;
+  constexpr std::size_t kTasks = 32;
+  std::vector<std::shared_ptr<const ContentArtifacts>> results(kTasks);
+  ParallelRunner runner{4};
+  runner.run(kTasks,
+             [&](std::size_t i) { results[i] = cache.get(11, "gop"); });
+  EXPECT_EQ(cache.stats().lookups, kTasks);
+  EXPECT_EQ(cache.stats().computations, 1u);
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result.get(), results[0].get());
+  }
+}
+
+/// run_scenario goes through the global cache: two runs of the same
+/// content cost one synthesis + splice, and the runs still agree.
+TEST(ContentCacheTest, RunScenarioUsesTheGlobalCache) {
+  ContentCache::global().clear();
+  ScenarioConfig config;
+  config.splicer = "2s";
+  config.nodes = 4;
+  config.time_limit = Duration::minutes(10.0);
+  config.seed = 1;
+  const ScenarioResult first = run_scenario(config);
+  const ScenarioResult second = run_scenario(config);
+  EXPECT_EQ(ContentCache::global().stats().lookups, 2u);
+  EXPECT_EQ(ContentCache::global().stats().computations, 1u);
+  EXPECT_EQ(first.segment_count, second.segment_count);
+  EXPECT_EQ(first.total_stalls, second.total_stalls);
+  EXPECT_EQ(first.network_bytes_delivered, second.network_bytes_delivered);
+}
+
+}  // namespace
+}  // namespace vsplice::experiments
