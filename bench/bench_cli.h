@@ -9,6 +9,10 @@
 //   --report OUT.html         self-contained HTML run report
 //   --snapshot OUT.json       deterministic JSON snapshot
 //   --sample-interval SECONDS swarm sampling cadence (default 1 s)
+//   --profile                 hot-path profiler on the representative
+//                             run; its phase tree prints after the
+//                             sweep (VSPLICE_PROFILE=1 profiles every
+//                             run; figures are unaffected either way)
 //   --log-level LEVEL         debug|info|warn|error|off; wins over
 //                             VSPLICE_LOG_LEVEL
 //
@@ -32,6 +36,7 @@ struct BenchOptions {
   std::string snapshot_json;
   double sample_interval_s = 0.0;  // 0 = scenario default (1 s)
   int jobs = 1;                    // sweep worker threads; 0 = auto
+  bool profile = false;            // profiler on the representative run
   bool parsed = true;              // false after a usage error
 
   [[nodiscard]] bool wants_report() const {
@@ -76,6 +81,8 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
         return opts;
       }
       opts.sample_interval_s = *parsed;
+    } else if (arg == "--profile") {
+      opts.profile = true;
     } else if (arg == "--log-level" && i + 1 < argc) {
       LogLevel level{};
       if (!parse_log_level(argv[++i], level)) {
@@ -99,11 +106,12 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
 inline void write_representative_report(experiments::ScenarioConfig config,
                                         const BenchOptions& opts,
                                         const std::string& title) {
-  if (!opts.wants_report()) return;
+  if (!opts.wants_report() && !opts.profile) return;
   config.seed = std::uint64_t{1000003};
   config.report_html_path = opts.report_html;
   config.snapshot_json_path = opts.snapshot_json;
   config.report_title = title;
+  config.profile = opts.profile;
   if (opts.sample_interval_s > 0.0) {
     config.sample_interval = Duration::seconds(opts.sample_interval_s);
   }
@@ -112,6 +120,9 @@ inline void write_representative_report(experiments::ScenarioConfig config,
   std::printf("\nrepresentative run (%s): %.0f stalls, %zu anomalies "
               "flagged\n",
               title.c_str(), result.total_stalls, result.anomaly_count);
+  if (!result.profile.empty()) {
+    std::printf("%s", result.profile.to_text().c_str());
+  }
   if (!opts.report_html.empty()) {
     std::printf("report written to %s\n", opts.report_html.c_str());
   }

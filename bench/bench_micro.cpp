@@ -25,6 +25,7 @@
 
 #include "bench_json.h"
 #include "common/rng.h"
+#include "obs/profiler.h"
 #include "core/playlist.h"
 #include "core/splicer.h"
 #include "experiments/parallel.h"
@@ -141,7 +142,7 @@ void run_allocator_bench(bench::BenchResults& results, bool quick) {
                 "star allocator matches the generic reference");
 }
 
-void run_event_loop_bench(bench::BenchResults& results, bool quick) {
+double run_event_loop_bench(bench::BenchResults& results, bool quick) {
   // Schedule/cancel churn shaped like the incremental reallocator's
   // traffic: every flow-rate change cancels one completion event and
   // schedules another.
@@ -172,6 +173,75 @@ void run_event_loop_bench(bench::BenchResults& results, bool quick) {
   results.add_value("event_loop_ops", static_cast<double>(n) * 2.0);
   results.add_value("event_loop_seconds", elapsed);
   results.add_value("event_loop_mops_per_sec", ops_per_sec / 1e6);
+  return elapsed / (static_cast<double>(n) * 2.0) * 1e9;  // ns per op
+}
+
+void run_profiler_overhead_bench(bench::BenchResults& results,
+                                 double event_loop_ns_per_op, bool quick) {
+  // The event-loop bench above already pays the *disabled* profiler cost:
+  // Simulator::at/fire compile in VSPLICE_PROFILE_SCOPE, and with no
+  // profiler installed each scope is one thread-local pointer read.
+  // Measure that read directly and bound it against the event loop's
+  // ns/op (~one scope per schedule and one per fire, so one scope per
+  // counted op) — the "near-zero cost when disabled" contract.
+  const std::size_t iters = quick ? 2'000'000 : 20'000'000;
+  const auto time_scopes = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      VSPLICE_PROFILE_SCOPE("bench.noop");
+      benchmark::DoNotOptimize(i);
+    }
+    return seconds_since(start);
+  };
+  // The loop counter + DoNotOptimize cost real time too; subtract an
+  // identical loop without the scope so only the scope's marginal cost
+  // is charged against the budget.
+  const auto time_empty = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(i);
+    }
+    return seconds_since(start);
+  };
+  // Two passes each, keep the minimum: frequency ramps on shared runners.
+  double scope_s = time_scopes();
+  double empty_s = time_empty();
+  scope_s = std::min(scope_s, time_scopes());
+  empty_s = std::min(empty_s, time_empty());
+  const double scope_ns =
+      std::max(0.0, scope_s - empty_s) / static_cast<double>(iters) * 1e9;
+  const double overhead =
+      event_loop_ns_per_op > 0 ? scope_ns / event_loop_ns_per_op : 0.0;
+
+  // And the enabled cost, for the record (not checked: it is allowed to
+  // cost real time, it just must not change any figure).
+  obs::Profiler profiler;
+  double enabled_ns = 0;
+  {
+    obs::ScopedProfiler installed{&profiler};
+    const std::size_t enabled_iters = iters / 10;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < enabled_iters; ++i) {
+      VSPLICE_PROFILE_SCOPE("bench.noop");
+      benchmark::DoNotOptimize(i);
+    }
+    enabled_ns = seconds_since(start) /
+                 static_cast<double>(enabled_iters) * 1e9;
+  }
+
+  std::printf("profiler scope: disabled %.2f ns, enabled %.1f ns "
+              "(disabled = %.2f%% of a %.0f ns event-loop op)\n",
+              scope_ns, enabled_ns, overhead * 100.0,
+              event_loop_ns_per_op);
+  results.add_value("profiler_scope_disabled_ns", scope_ns);
+  results.add_value("profiler_scope_enabled_ns", enabled_ns);
+  results.add_value("profiler_disabled_overhead_ratio", overhead);
+  char text[120];
+  std::snprintf(text, sizeof text,
+                "disabled profiler scope costs < 2%% of an event-loop op "
+                "(%.2f%%)",
+                overhead * 100.0);
+  results.check("profiler_overhead_ok", overhead < 0.02, text);
 }
 
 /// One stalls-vs-bandwidth value per grid cell, for exact serial/parallel
@@ -244,7 +314,8 @@ int run_core_suite(bool quick) {
   std::printf("core performance suite (%s)\n", quick ? "quick" : "full");
   bench::BenchResults results{"core"};
   run_allocator_bench(results, quick);
-  run_event_loop_bench(results, quick);
+  const double event_loop_ns = run_event_loop_bench(results, quick);
+  run_profiler_overhead_bench(results, event_loop_ns, quick);
   run_e2e_bench(results, quick);
   results.write();
   return results.all_checks_passed() ? 0 : 1;

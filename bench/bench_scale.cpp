@@ -97,6 +97,8 @@ int run_bench(bool quick) {
   // --- Incremental-path sweep.
   std::uint64_t picks_at_smallest = 0;
   std::uint64_t picks_at_largest = 0;
+  double per_peer_at_smallest = 0;
+  double per_peer_at_largest = 0;
   bool qoe_ok = true;
   for (const std::string& splicer : splicers) {
     for (std::size_t nodes : sizes) {
@@ -109,10 +111,11 @@ int run_bench(bool quick) {
                     : 0.0;
       std::printf(
           "  %4zu peers, %-3s: %6.2f wall-s/sim-min, %9llu decisions, "
-          "%6.1f candidates/decision, %zu/%zu finished\n",
+          "%6.1f candidates/decision, %7.1f kB/peer, %zu/%zu finished\n",
           nodes, splicer.c_str(), point.wall_s_per_sim_min,
           static_cast<unsigned long long>(picks), per_decision,
-          r.finished_viewers, r.viewer_count);
+          r.memory_bytes_per_peer / 1e3, r.finished_viewers,
+          r.viewer_count);
       results.add_value(key(nodes, splicer, "wall_s"), point.wall_s);
       results.add_value(key(nodes, splicer, "wall_s_per_sim_min"),
                         point.wall_s_per_sim_min);
@@ -124,6 +127,10 @@ int run_bench(bool quick) {
                         per_decision);
       results.add_value(key(nodes, splicer, "sched_wall_s"),
                         static_cast<double>(r.scheduling_engine_ns) * 1e-9);
+      results.add_value(key(nodes, splicer, "bytes_per_peer"),
+                        r.memory_bytes_per_peer);
+      results.add_value(key(nodes, splicer, "memory_total_bytes"),
+                        static_cast<double>(r.memory_total_bytes));
 
       // QoE shape: the swarm must actually stream at every size — every
       // run makes decisions, and started viewers have positive startup.
@@ -142,8 +149,14 @@ int run_bench(bool quick) {
       results.add_value(key(nodes, splicer, "mean_startup_s"),
                         r.mean_startup_seconds);
       if (splicer == splicers.front()) {
-        if (nodes == sizes.front()) picks_at_smallest = picks;
-        if (nodes == sizes.back()) picks_at_largest = picks;
+        if (nodes == sizes.front()) {
+          picks_at_smallest = picks;
+          per_peer_at_smallest = r.memory_bytes_per_peer;
+        }
+        if (nodes == sizes.back()) {
+          picks_at_largest = picks;
+          per_peer_at_largest = r.memory_bytes_per_peer;
+        }
       }
     }
   }
@@ -153,6 +166,22 @@ int run_bench(bool quick) {
   results.check("decisions_grow_with_swarm",
                 picks_at_largest > picks_at_smallest,
                 "scheduling decisions grow with swarm size");
+  // Per-peer state must not grow superlinearly with the swarm: the
+  // swarm-size sweep spans 25x (quick: 25x too), so a 3x drift in
+  // bytes/peer already means some structure is quadratic in peers.
+  // Bitfields and holder lists legitimately add O(log n)-ish growth.
+  {
+    char text[160];
+    std::snprintf(text, sizeof text,
+                  "per-peer memory stays near-flat across the sweep "
+                  "(%.1f kB/peer at %zu -> %.1f kB/peer at %zu)",
+                  per_peer_at_smallest / 1e3, sizes.front(),
+                  per_peer_at_largest / 1e3, sizes.back());
+    results.check("memory_per_peer_sublinear",
+                  per_peer_at_smallest > 0 &&
+                      per_peer_at_largest <= 3.0 * per_peer_at_smallest,
+                  text);
+  }
 
   // --- Paper-fidelity guardrail: at 20 peers the oracle and the
   // incremental path must agree exactly.

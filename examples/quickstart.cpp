@@ -17,6 +17,9 @@
 //   --report OUT.html     self-contained HTML swarm-health report
 //   --snapshot OUT.json   deterministic JSON time-series snapshot
 //   --sample-interval S   swarm sampling cadence in seconds (default 1)
+//   --profile             install the hot-path profiler and print the
+//                         phase tree after the run (also honoured via
+//                         VSPLICE_PROFILE=1); figures are unaffected
 //   --log-level LEVEL     debug|info|warn|error|off; wins over
 //                         VSPLICE_LOG_LEVEL
 
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
   std::string snapshot_json_path;
   double sample_interval_s = 0;
   bool timeline = false;
+  bool profile = false;
   int jobs = 1;
 
   std::vector<std::string> positional;
@@ -80,6 +84,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<int>(*parsed);
     } else if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -143,6 +149,7 @@ int main(int argc, char** argv) {
   if (sample_interval_s > 0) {
     config.sample_interval = Duration::seconds(sample_interval_s);
   }
+  config.profile = profile;
   std::printf("\nstreaming through a %zu-node swarm at %.0f kB/s "
               "(splicer=%s, policy=%s)...\n",
               config.nodes, bandwidth_kBps, splicer_spec.c_str(),
@@ -197,6 +204,15 @@ int main(int argc, char** argv) {
   }
 
   if (timeline) std::printf("\n%s", result.timeline.c_str());
+  if (!result.profile.empty()) {
+    std::printf("\nhot-path profile (%llu events fired, heap high-water "
+                "%zu):\n%s",
+                static_cast<unsigned long long>(result.events_fired),
+                result.heap_high_water, result.profile.to_text().c_str());
+    std::printf("\nmemory by subsystem (%.0f bytes/peer):\n%s",
+                result.memory_bytes_per_peer,
+                result.memory.to_text().c_str());
+  }
   if (!report_html_path.empty() || !snapshot_json_path.empty())
     std::printf("\nanomalies flagged: %zu\n", result.anomaly_count);
   if (!trace_path.empty())

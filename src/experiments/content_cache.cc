@@ -2,6 +2,7 @@
 
 #include "core/playlist.h"
 #include "core/splicer.h"
+#include "obs/profiler.h"
 #include "video/encoder.h"
 
 namespace vsplice::experiments {
@@ -25,6 +26,7 @@ std::shared_ptr<const ContentArtifacts> ContentCache::get(
   // the first one publishes. The entry shared_ptr keeps it alive even if
   // clear() races and drops the map slot.
   std::call_once(entry->once, [&] {
+    VSPLICE_PROFILE_SCOPE("content.build");
     const video::VideoStream stream = video::make_paper_video(video_seed);
     const auto splicer = core::make_splicer(splicer_spec);
     core::SegmentIndex index = splicer->splice(stream);

@@ -1,5 +1,6 @@
 #include "experiments/paper_setup.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,13 @@ std::string resolve_trace_path(const std::string& configured) {
   if (!configured.empty()) return configured;
   const char* env = std::getenv("VSPLICE_TRACE");
   return env != nullptr ? std::string{env} : std::string{};
+}
+
+/// True when VSPLICE_PROFILE is set to anything but "" or "0".
+bool profile_env_enabled() {
+  const char* env = std::getenv("VSPLICE_PROFILE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
 }
 
 /// "fig2.html" + run 2 -> "fig2.run2.html" (keeps the extension so the
@@ -79,6 +87,34 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   require(config.pair_loss >= 0.0 && config.pair_loss < 1.0,
           "pair loss must be in [0, 1)");
 
+  // --- Simulator first, then observability, so a cache-miss content
+  // build below happens with the profiler already installed (the fetch
+  // touches no simulator or RNG state, so the order is free).
+  sim::Simulator sim;
+
+  // Observability: installed for the scope of this run when any output
+  // was requested. Nests under any context the caller pre-installed
+  // (tests drive their own Observability; then none is created here
+  // and the caller's bus sees every event).
+  const std::string trace_path = resolve_trace_path(config.trace_path);
+  const bool profile = config.profile || profile_env_enabled();
+  // The report/snapshot outputs need the swarm sampler, and the sampler's
+  // anomaly scan needs the in-memory event stream for stall attribution.
+  const bool wants_sampling = config.sample_interval.count_micros() > 0 ||
+                              !config.report_html_path.empty() ||
+                              !config.snapshot_json_path.empty();
+  std::optional<obs::Observability> observability;
+  if (!trace_path.empty() || config.timeline_summary ||
+      !config.metrics_csv_path.empty() || wants_sampling || profile) {
+    obs::ObsOptions obs_options;
+    obs_options.trace_path = trace_path;
+    obs_options.collect_events = config.timeline_summary || wants_sampling;
+    obs_options.metrics_csv_path = config.metrics_csv_path;
+    obs_options.clock = [&sim] { return sim.now(); };
+    obs_options.profile = profile;
+    observability.emplace(std::move(obs_options));
+  }
+
   // --- Content: the fixed 2-minute 1 Mbps video, spliced per config —
   // synthesized once per (video_seed, splicer) process-wide and shared
   // immutably across runs and sweep workers.
@@ -96,29 +132,6 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   // --- Network: star topology, per-node loss contribution chosen so the
   // end-to-end loss between any two peers matches the configured value.
-  sim::Simulator sim;
-
-  // Observability: installed for the scope of this run when any output
-  // was requested. Nests under any context the caller pre-installed
-  // (tests drive their own Observability; then none is created here
-  // and the caller's bus sees every event).
-  const std::string trace_path = resolve_trace_path(config.trace_path);
-  // The report/snapshot outputs need the swarm sampler, and the sampler's
-  // anomaly scan needs the in-memory event stream for stall attribution.
-  const bool wants_sampling = config.sample_interval.count_micros() > 0 ||
-                              !config.report_html_path.empty() ||
-                              !config.snapshot_json_path.empty();
-  std::optional<obs::Observability> observability;
-  if (!trace_path.empty() || config.timeline_summary ||
-      !config.metrics_csv_path.empty() || wants_sampling) {
-    obs::ObsOptions obs_options;
-    obs_options.trace_path = trace_path;
-    obs_options.collect_events = config.timeline_summary || wants_sampling;
-    obs_options.metrics_csv_path = config.metrics_csv_path;
-    obs_options.clock = [&sim] { return sim.now(); };
-    observability.emplace(std::move(obs_options));
-  }
-
   net::Network network{sim};
   const double node_loss = 1.0 - std::sqrt(1.0 - config.pair_loss);
 
@@ -270,9 +283,32 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.timeline = observability->timeline();
   }
 
+  // --- Resource accounting (always; capacity-based, deterministic).
+  result.events_fired = sim.fired_count();
+  result.heap_high_water = sim.heap_high_water();
+  result.memory = swarm.memory_breakdown();
+  if (series_store) {
+    result.memory.add("obs.timeseries", series_store->memory_bytes());
+  }
+  result.memory_total_bytes = result.memory.total();
+  result.memory_peak_bytes = result.memory_total_bytes;
+  if (!leechers.empty()) {
+    result.memory_bytes_per_peer =
+        static_cast<double>(result.memory_total_bytes) /
+        static_cast<double>(leechers.size());
+  }
+  if (observability) {
+    result.profile = observability->profile_snapshot();
+  }
+
   if (wants_sampling) {
     sampling_task->stop();
     sampler->sample(sim.now());  // closing sample at the run's end
+    if (const obs::Series* mem_total = series_store->find("mem.total")) {
+      result.memory_peak_bytes =
+          std::max(result.memory_peak_bytes,
+                   static_cast<std::uint64_t>(mem_total->max_value()));
+    }
     obs::RunInfo info;
     info.title = config.report_title;
     if (info.title.empty()) {
@@ -283,9 +319,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                    " pool @ " + buf;
     }
     info.params = report_params(config, sample_interval);
-    const obs::ReportData report =
+    obs::ReportData report =
         obs::build_report(std::move(info), *series_store,
                           observability->events(), &observability->registry());
+    report.profile = result.profile;
+    report.memory = result.memory;
+    report.memory_peak_bytes = result.memory_peak_bytes;
+    report.memory_bytes_per_peer = result.memory_bytes_per_peer;
     result.anomaly_count = report.anomalies.size();
     if (!config.snapshot_json_path.empty()) {
       obs::write_text_file(config.snapshot_json_path,

@@ -11,6 +11,8 @@
 
 #include "common/units.h"
 #include "core/segment.h"
+#include "obs/profiler.h"
+#include "obs/resource.h"
 #include "streaming/metrics.h"
 
 namespace vsplice::experiments {
@@ -94,6 +96,15 @@ struct ScenarioConfig {
   std::string snapshot_json_path;
   /// Report title; defaults to "<splicer> splicing, <policy> pool @ B".
   std::string report_title;
+
+  /// Install the hot-path profiler for this run (also enabled by
+  /// VSPLICE_PROFILE=1 in the environment). The profiler only reads the
+  /// wall clock — figure outputs are byte-identical with it on or off;
+  /// the measured nanoseconds land in ScenarioResult::profile and the
+  /// report's "Profile" section. Note the snapshot/report files embed
+  /// those measured nanoseconds, so the "identical seeds produce
+  /// byte-identical files" guarantee holds only with profiling off.
+  bool profile = false;
 };
 
 struct ScenarioResult {
@@ -152,6 +163,25 @@ struct ScenarioResult {
   /// all viewers. Not deterministic (it is a clock, not a counter) —
   /// excluded from the identity comparisons, reported by bench_scale.
   std::uint64_t scheduling_engine_ns = 0;
+
+  /// Event-loop health at end of run (deterministic counters).
+  std::uint64_t events_fired = 0;
+  std::size_t heap_high_water = 0;
+
+  /// Per-subsystem byte gauges at end of run (always filled;
+  /// capacity-based and deterministic — see obs/resource.h).
+  obs::MemoryBreakdown memory;
+  std::uint64_t memory_total_bytes = 0;
+  /// Peak of the sampled mem.total series; equals memory_total_bytes
+  /// when sampling was off.
+  std::uint64_t memory_peak_bytes = 0;
+  /// memory_total_bytes / viewer_count — the ROADMAP's per-peer budget.
+  double memory_bytes_per_peer = 0;
+
+  /// Hot-path call-tree (empty unless ScenarioConfig::profile or
+  /// VSPLICE_PROFILE=1). Wall nanoseconds: NOT deterministic, excluded
+  /// from identity comparisons like scheduling_engine_ns.
+  obs::ProfileSnapshot profile;
 };
 
 /// Runs one full swarm simulation.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/profiler.h"
 
 namespace vsplice::net {
 
@@ -130,6 +131,7 @@ std::vector<Rate> max_min_allocation(
 void StarAllocator::allocate(const std::vector<StarFlowSpec>& flows,
                              const std::vector<Rate>& link_capacity,
                              std::vector<Rate>& out) {
+  VSPLICE_PROFILE_SCOPE("net.star_allocate");
   const std::size_t n = flows.size();
   const std::size_t links = link_capacity.size();
   require(links >= 1, "star topology needs the hub trunk (link 0)");

@@ -66,6 +66,16 @@ class StarAllocator {
                 const std::vector<Rate>& link_capacity,
                 std::vector<Rate>& out);
 
+  /// Bytes held by the scratch buffers (capacity-based; they grow to
+  /// the high-water mark of (flows, links) and stay there).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(remaining_.capacity() * sizeof(double) +
+                                      active_.capacity() * sizeof(std::uint32_t) +
+                                      cap_.capacity() * sizeof(double) +
+                                      alloc_.capacity() * sizeof(double) +
+                                      fixed_.capacity() + bottleneck_.capacity());
+  }
+
  private:
   // Scratch (sized on demand, retained across calls).
   std::vector<double> remaining_;        // per link: spare capacity

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace vsplice::net {
 
@@ -235,6 +236,7 @@ void Network::compute_effective_capacities() {
 }
 
 void Network::reallocate() {
+  VSPLICE_PROFILE_SCOPE("net.reallocate");
   check_invariant(!in_reallocate_, "reallocate is not reentrant");
   in_reallocate_ = true;
   ++stats_.reallocations;

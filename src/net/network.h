@@ -126,6 +126,34 @@ class Network {
   [[nodiscard]] const TcpParams& tcp() const { return tcp_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
+  /// Bytes held by the flow table, per-node accounting, connection
+  /// registry, and reallocation scratch (capacity-based; see
+  /// obs/resource.h). The ordered flow map is approximated as one
+  /// red-black node (3 pointers + color word) per entry.
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    const std::uint64_t map_node =
+        sizeof(std::pair<FlowId, Flow>) + 4 * sizeof(void*);
+    return static_cast<std::uint64_t>(flows_.size()) * map_node +
+           static_cast<std::uint64_t>(nodes_.capacity()) * sizeof(NodeSpec) +
+           static_cast<std::uint64_t>(link_capacity_.capacity()) *
+               sizeof(Rate) +
+           static_cast<std::uint64_t>(uploaded_.capacity() +
+                                      downloaded_.capacity()) *
+               sizeof(double) +
+           static_cast<std::uint64_t>(connections_.capacity()) *
+               sizeof(void*) +
+           allocator_.memory_bytes() +
+           static_cast<std::uint64_t>(scratch_capacity_.capacity() +
+                                      scratch_rates_.capacity()) *
+               sizeof(Rate) +
+           static_cast<std::uint64_t>(downlink_flows_.capacity()) *
+               sizeof(std::uint32_t) +
+           static_cast<std::uint64_t>(scratch_specs_.capacity()) *
+               sizeof(StarFlowSpec) +
+           static_cast<std::uint64_t>(scratch_flows_.capacity()) *
+               sizeof(std::pair<FlowId, Flow*>);
+  }
+
   /// Connection registry: lets protocol code hold a connection by id and
   /// find out later whether it still exists (e.g. queued requests whose
   /// requester may have hung up in the meantime).

@@ -196,6 +196,55 @@ void scan_seeder_saturation(const TimeSeriesStore& store,
   flush();
 }
 
+void scan_event_queue_garbage(const TimeSeriesStore& store,
+                              std::vector<Anomaly>& out) {
+  // Lazy cancellation leaves dead entries in the simulator heap until
+  // they surface; a garbage share that stays above 1/2 means the heap
+  // is mostly carrying cancelled events — sift work wasted on garbage.
+  const Series* ratio = store.find("sim.garbage_ratio");
+  if (ratio == nullptr) return;
+  constexpr double kThreshold = 0.5;
+  bool in_run = false;
+  TimePoint run_start;
+  TimePoint run_end;
+  std::size_t run_samples = 0;
+  double worst = 0.0;
+  const auto flush = [&] {
+    // Sustained = at least 3 raw samples, matching seeder saturation:
+    // one garbage-heavy instant right after a churn burst is expected.
+    if (in_run && run_samples >= 3) {
+      Anomaly anomaly;
+      anomaly.kind = "event_queue_garbage";
+      anomaly.onset = run_start;
+      anomaly.end = run_end;
+      char buf[140];
+      std::snprintf(buf, sizeof buf,
+                    "event heap > 50%% lazily-cancelled garbage for "
+                    "%.1f s (worst %.0f%%)",
+                    (run_end - run_start).as_seconds(), worst * 100.0);
+      anomaly.detail = buf;
+      out.push_back(std::move(anomaly));
+    }
+    in_run = false;
+    run_samples = 0;
+    worst = 0.0;
+  };
+  for (const Sample& s : ratio->samples()) {
+    if (s.min > kThreshold) {
+      if (!in_run) {
+        in_run = true;
+        run_start = s.time;
+      }
+      run_end = s.time;
+      run_samples += s.count;
+      worst = std::max(worst, s.max);
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
 }  // namespace
 
 std::vector<Anomaly> scan_anomalies(const TimeSeriesStore& store,
@@ -205,6 +254,7 @@ std::vector<Anomaly> scan_anomalies(const TimeSeriesStore& store,
   scan_pool_collapses(store, out);
   scan_low_availability(store, out);
   scan_seeder_saturation(store, out);
+  scan_event_queue_garbage(store, out);
   std::sort(out.begin(), out.end(), [](const Anomaly& a, const Anomaly& b) {
     if (a.onset.count_micros() != b.onset.count_micros()) {
       return a.onset.count_micros() < b.onset.count_micros();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -79,6 +80,12 @@ class FieldWriter {
   }
   void field(const char* key, double v) {
     begin(key);
+    // Non-finite values have no JSON literal; null keeps the line valid
+    // (and parse_jsonl_line round-trips it as the text "null").
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6g", v);
     out_ += buf;
@@ -645,6 +652,10 @@ Observability::Observability(ObsOptions options)
     stream_writer_->attach(bus_);
   }
   if (options_.collect_events) recorder_.attach(bus_);
+  if (options_.profile) {
+    profiler_ = std::make_unique<Profiler>();
+    profiler_scope_ = std::make_unique<ScopedProfiler>(profiler_.get());
+  }
   if (options_.capture_logs) {
     previous_sink_ = set_log_sink(
         [this](LogLevel level, const std::string& component,

@@ -26,6 +26,7 @@
 
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace vsplice::obs {
@@ -143,6 +144,9 @@ struct ObsOptions {
   std::function<TimePoint()> clock;
   /// Mirror log lines that pass the level filter into the trace.
   bool capture_logs = true;
+  /// Install a hot-path profiler for this thread (VSPLICE_PROFILE_SCOPE
+  /// accumulates into it; read back via profile_snapshot()).
+  bool profile = false;
 };
 
 /// Owns a TraceBus + MetricsRegistry, installs them as the scoped
@@ -170,6 +174,13 @@ class Observability {
   /// when metrics_csv_path is set).
   void write_metrics_csv(const std::string& path) const;
 
+  /// True when ObsOptions::profile installed a profiler.
+  [[nodiscard]] bool profiling() const { return profiler_ != nullptr; }
+  /// The accumulated hot-path profile; empty when not profiling.
+  [[nodiscard]] ProfileSnapshot profile_snapshot() const {
+    return profiler_ != nullptr ? profiler_->snapshot() : ProfileSnapshot{};
+  }
+
  private:
   ObsOptions options_;
   TraceBus bus_;
@@ -181,6 +192,11 @@ class Observability {
   LogSink previous_sink_;
   bool sink_installed_ = false;
   ScopedObs scope_;
+  /// Allocated only when options_.profile; installed for this thread
+  /// right after scope_ (independent thread_local, so the declaration
+  /// order next to ScopedObs carries no restore-order constraint).
+  std::unique_ptr<Profiler> profiler_;
+  std::unique_ptr<ScopedProfiler> profiler_scope_;
 };
 
 }  // namespace vsplice::obs

@@ -1,0 +1,192 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace vsplice::obs {
+
+std::uint64_t profile_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Profiler::Profiler() { nodes_.emplace_back(); }
+
+std::uint32_t Profiler::enter(const char* name) {
+  const std::uint32_t saved = current_;
+  // Find (or create) the child of `current_` with this name. Names are
+  // string literals, so repeat visits from the same scope hit the
+  // pointer-equality compare; strcmp handles the same name reaching a
+  // site through different literals (e.g. across translation units).
+  for (const std::uint32_t child : nodes_[saved].children) {
+    const char* child_name = nodes_[child].name;
+    if (child_name == name || std::strcmp(child_name, name) == 0) {
+      current_ = child;
+      return saved;
+    }
+  }
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  Node node;
+  node.name = name;
+  node.parent = saved;
+  nodes_.push_back(std::move(node));
+  nodes_[saved].children.push_back(index);  // push_back may reallocate;
+                                            // re-index, don't hold refs
+  current_ = index;
+  return saved;
+}
+
+void Profiler::leave(std::uint32_t saved_current,
+                     std::uint64_t elapsed_ns) {
+  Node& node = nodes_[current_];
+  ++node.count;
+  node.total_ns += elapsed_ns;
+  node.max_ns = std::max(node.max_ns, elapsed_ns);
+  current_ = saved_current;
+}
+
+void Profiler::reset() {
+  nodes_.clear();
+  nodes_.emplace_back();
+  current_ = 0;
+}
+
+namespace {
+
+struct DfsFrame {
+  std::uint32_t node;
+  std::size_t depth;
+  std::string path;
+};
+
+}  // namespace
+
+ProfileSnapshot Profiler::snapshot() const {
+  ProfileSnapshot snap;
+  // Explicit DFS with children sorted by name at each level so the
+  // entry order (and therefore the report structure) is deterministic.
+  std::vector<DfsFrame> stack;
+  auto push_children = [&](std::uint32_t parent, std::size_t depth,
+                           const std::string& prefix) {
+    std::vector<std::uint32_t> kids = nodes_[parent].children;
+    std::sort(kids.begin(), kids.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return std::strcmp(nodes_[a].name, nodes_[b].name) < 0;
+              });
+    // Reverse so the stack pops them in name order.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      const std::string path =
+          prefix.empty() ? nodes_[*it].name : prefix + "/" + nodes_[*it].name;
+      stack.push_back(DfsFrame{*it, depth, path});
+    }
+  };
+  push_children(0, 0, "");
+  while (!stack.empty()) {
+    const DfsFrame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[frame.node];
+    std::uint64_t children_total = 0;
+    for (const std::uint32_t child : node.children) {
+      children_total += nodes_[child].total_ns;
+    }
+    ProfileEntry entry;
+    entry.path = frame.path;
+    entry.name = node.name;
+    entry.depth = frame.depth;
+    entry.count = node.count;
+    entry.total_ns = node.total_ns;
+    entry.self_ns = node.total_ns > children_total
+                        ? node.total_ns - children_total
+                        : 0;
+    entry.max_ns = node.max_ns;
+    snap.entries.push_back(std::move(entry));
+    push_children(frame.node, frame.depth + 1, snap.entries.back().path);
+  }
+  return snap;
+}
+
+const ProfileEntry* ProfileSnapshot::find(const std::string& path) const {
+  for (const ProfileEntry& entry : entries) {
+    if (entry.path == path) return &entry;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string fmt_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3f s",
+                  static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3f ms",
+                  static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3f us",
+                  static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu ns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ProfileSnapshot::to_text() const {
+  if (entries.empty()) return "(no profile data)\n";
+  std::string out =
+      "phase                                     count      total       "
+      "self        max\n";
+  for (const ProfileEntry& entry : entries) {
+    std::string label(entry.depth * 2, ' ');
+    label += entry.name;
+    if (label.size() < 38) label.resize(38, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " %9llu",
+                  static_cast<unsigned long long>(entry.count));
+    out += label;
+    out += buf;
+    for (const std::uint64_t v :
+         {entry.total_ns, entry.self_ns, entry.max_ns}) {
+      std::string cell = fmt_ns(v);
+      if (cell.size() < 11) cell.insert(0, 11 - cell.size(), ' ');
+      out += " " + cell;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ProfileSnapshot merge(const ProfileSnapshot& a, const ProfileSnapshot& b) {
+  // Rebuild a tree keyed by path, then emit in DFS-by-name order. A
+  // std::map over the full path gives lexicographic order, which for
+  // "/"-joined paths is exactly DFS with name-sorted children ('/' is
+  // below every printable character used in scope names except the
+  // digits/punctuation we don't use — scope names are [a-z._] by
+  // convention, all above '/').
+  std::map<std::string, ProfileEntry> by_path;
+  for (const ProfileSnapshot* snap : {&a, &b}) {
+    for (const ProfileEntry& entry : snap->entries) {
+      auto [it, inserted] = by_path.emplace(entry.path, entry);
+      if (!inserted) {
+        it->second.count += entry.count;
+        it->second.total_ns += entry.total_ns;
+        it->second.self_ns += entry.self_ns;
+        it->second.max_ns = std::max(it->second.max_ns, entry.max_ns);
+      }
+    }
+  }
+  ProfileSnapshot out;
+  out.entries.reserve(by_path.size());
+  for (auto& [path, entry] : by_path) out.entries.push_back(std::move(entry));
+  return out;
+}
+
+}  // namespace vsplice::obs

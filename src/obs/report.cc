@@ -16,10 +16,10 @@ namespace vsplice::obs {
 
 namespace {
 
-/// %.6g with NaN/inf clamped: snapshot values must always reparse.
+/// %.6g with NaN/inf serialized as null: non-finite values have no JSON
+/// literal, and null keeps the snapshot valid for every parser.
 std::string fmt_g(double v) {
-  if (std::isnan(v)) return "0";
-  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6g", v);
   return buf;
@@ -491,7 +491,23 @@ footer{margin-top:28px;color:var(--muted);font-size:12px}
 const char* anomaly_dot_class(const std::string& kind) {
   if (kind == "buffer_drain") return "dot-critical";
   if (kind == "low_availability") return "dot-serious";
+  if (kind == "event_queue_garbage") return "dot-serious";
   return "dot-warning";  // pool_collapse, seeder_saturation
+}
+
+/// Human-readable byte count for tiles and memory tables.
+std::string fmt_bytes(std::uint64_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / 1e6);
+  } else if (bytes >= 10'000) {
+    std::snprintf(buf, sizeof buf, "%.1f kB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
 }
 
 }  // namespace
@@ -644,6 +660,32 @@ std::string render_json_snapshot(const ReportData& data) {
     out += "\"counters\":{" + counters + "},\"gauges\":{" + gauges +
            "},\"histograms\":{" + histograms + "}";
   }
+
+  out += "},\n\"profile\":[";
+  for (std::size_t i = 0; i < data.profile.entries.size(); ++i) {
+    const ProfileEntry& entry = data.profile.entries[i];
+    if (i > 0) out += ',';
+    out += "\n{\"path\":" + json_escape(entry.path) +
+           ",\"name\":" + json_escape(entry.name) +
+           ",\"depth\":" + std::to_string(entry.depth) +
+           ",\"count\":" + std::to_string(entry.count) +
+           ",\"total_ns\":" + std::to_string(entry.total_ns) +
+           ",\"self_ns\":" + std::to_string(entry.self_ns) +
+           ",\"max_ns\":" + std::to_string(entry.max_ns) + "}";
+  }
+
+  out += "],\n\"memory\":{";
+  if (!data.memory.empty()) {
+    out += "\"subsystems\":{";
+    for (std::size_t i = 0; i < data.memory.subsystems.size(); ++i) {
+      if (i > 0) out += ',';
+      out += json_escape(data.memory.subsystems[i].first) + ":" +
+             std::to_string(data.memory.subsystems[i].second);
+    }
+    out += "},\"total_bytes\":" + std::to_string(data.memory.total()) +
+           ",\"peak_bytes\":" + std::to_string(data.memory_peak_bytes) +
+           ",\"bytes_per_peer\":" + fmt_g(data.memory_bytes_per_peer);
+  }
   out += "}\n}\n";
   return out;
 }
@@ -741,6 +783,36 @@ std::string render_html_report(const ReportData& data) {
             "</div>\n";
   }
 
+  // Per-subsystem memory rollup (see obs/resource.h).
+  if (!data.memory.empty()) {
+    const std::uint64_t total = data.memory.total();
+    html += "<h2>Memory</h2>\n<p class=\"sub\">Capacity-based bytes "
+            "held per subsystem at end of run";
+    if (data.memory_peak_bytes > 0) {
+      html += "; sampled peak " + fmt_bytes(data.memory_peak_bytes);
+    }
+    if (data.memory_bytes_per_peer > 0.0) {
+      html += "; " +
+              fmt_bytes(static_cast<std::uint64_t>(
+                  data.memory_bytes_per_peer)) +
+              " per peer";
+    }
+    html += "</p>\n<table><tr><th>Subsystem</th><th>Bytes</th>"
+            "<th>Share</th></tr>";
+    for (const auto& [subsystem, bytes] : data.memory.subsystems) {
+      const double share =
+          total > 0 ? 100.0 * static_cast<double>(bytes) /
+                          static_cast<double>(total)
+                    : 0.0;
+      html += "<tr><td>" + html_escape(subsystem) +
+              "</td><td class=\"num\">" + fmt_bytes(bytes) +
+              "</td><td class=\"num\">" + fmt_fixed(share, 1) +
+              "%</td></tr>";
+    }
+    html += "<tr><td>total</td><td class=\"num\">" + fmt_bytes(total) +
+            "</td><td class=\"num\">100.0%</td></tr></table>\n";
+  }
+
   // Per-viewer cards: buffer timeline with stall shading + pool steps.
   html += "<h2>Viewers</h2>\n<div class=\"grid\">";
   for (const auto& [node, stall_spans] : viewers) {
@@ -834,6 +906,31 @@ std::string render_html_report(const ReportData& data) {
         if (refs.empty()) html += "-";
       }
       html += "</td></tr>";
+    }
+    html += "</table>\n";
+  }
+
+  // Hot-path profile (only present on --profile runs).
+  if (!data.profile.empty()) {
+    html += "<h2>Profile</h2>\n<p class=\"sub\">Hierarchical phase "
+            "profile (wall time; structure is deterministic, the "
+            "nanoseconds are not).</p>\n";
+    html += "<table><tr><th>Phase</th><th>Count</th><th>Total (ms)</th>"
+            "<th>Self (ms)</th><th>Max (ms)</th></tr>";
+    for (const ProfileEntry& entry : data.profile.entries) {
+      std::string indent;
+      for (std::size_t d = 0; d < entry.depth; ++d) {
+        indent += "&nbsp;&nbsp;&nbsp;";
+      }
+      html += "<tr><td>" + indent + html_escape(entry.name) +
+              "</td><td class=\"num\">" + std::to_string(entry.count) +
+              "</td><td class=\"num\">" +
+              fmt_fixed(static_cast<double>(entry.total_ns) / 1e6, 3) +
+              "</td><td class=\"num\">" +
+              fmt_fixed(static_cast<double>(entry.self_ns) / 1e6, 3) +
+              "</td><td class=\"num\">" +
+              fmt_fixed(static_cast<double>(entry.max_ns) / 1e6, 3) +
+              "</td></tr>";
     }
     html += "</table>\n";
   }

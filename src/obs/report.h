@@ -15,8 +15,12 @@
 #include <utility>
 #include <vector>
 
+#include <cstdint>
+
 #include "obs/anomaly.h"
 #include "obs/exporters.h"
+#include "obs/profiler.h"
+#include "obs/resource.h"
 #include "obs/timeseries.h"
 
 namespace vsplice::obs {
@@ -41,6 +45,17 @@ struct ReportData {
   std::vector<StallAttribution> attributions;
   /// Preformatted per-viewer timeline (summarize_timeline), optional.
   std::string timeline;
+  /// Hot-path profile (empty unless the run profiled); values are wall
+  /// nanoseconds, so a profiled snapshot is NOT byte-identical across
+  /// machines — the structure (paths, counts) is.
+  ProfileSnapshot profile;
+  /// Per-subsystem byte gauges at end of run (empty = no Memory
+  /// section).
+  MemoryBreakdown memory;
+  /// Peak of the sampled mem.total series (0 when not sampled).
+  std::uint64_t memory_peak_bytes = 0;
+  /// End-of-run total bytes divided by viewer count (0 when unknown).
+  double memory_bytes_per_peer = 0.0;
 };
 
 /// Joins everything the writers need: explains the stalls from the

@@ -1,0 +1,62 @@
+#include "obs/resource.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vsplice::obs {
+
+void MemoryBreakdown::add(const std::string& subsystem,
+                          std::uint64_t bytes_to_add) {
+  const auto it = std::lower_bound(
+      subsystems.begin(), subsystems.end(), subsystem,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != subsystems.end() && it->first == subsystem) {
+    it->second += bytes_to_add;
+  } else {
+    subsystems.insert(it, {subsystem, bytes_to_add});
+  }
+}
+
+std::uint64_t MemoryBreakdown::bytes(const std::string& subsystem) const {
+  for (const auto& [name, b] : subsystems) {
+    if (name == subsystem) return b;
+  }
+  return 0;
+}
+
+std::uint64_t MemoryBreakdown::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, b] : subsystems) sum += b;
+  return sum;
+}
+
+std::string MemoryBreakdown::to_text() const {
+  std::string out;
+  for (const auto& [name, b] : subsystems) {
+    std::string label = name;
+    if (label.size() < 24) label.resize(24, ' ');
+    char buf[48];
+    std::snprintf(buf, sizeof buf, " %12llu B\n",
+                  static_cast<unsigned long long>(b));
+    out += label;
+    out += buf;
+  }
+  std::string label = "total";
+  label.resize(24, ' ');
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " %12llu B\n",
+                static_cast<unsigned long long>(total()));
+  out += label;
+  out += buf;
+  return out;
+}
+
+MemoryBreakdown merge(const MemoryBreakdown& a, const MemoryBreakdown& b) {
+  MemoryBreakdown out = a;
+  for (const auto& [name, bytes] : b.subsystems) out.add(name, bytes);
+  return out;
+}
+
+}  // namespace vsplice::obs

@@ -1,0 +1,50 @@
+// Resource accounting: per-subsystem byte gauges.
+//
+// The big owners (simulator heap + callback slots, message-pool nodes,
+// bitfield words, dense availability structures, holders_ lists,
+// timeseries stores, content-cache artifacts) each expose a
+// memory_bytes() accessor computed from container capacities.
+// Swarm::memory_breakdown() rolls them up into a MemoryBreakdown —
+// a sorted (subsystem, bytes) list with a total and a bytes-per-peer
+// figure — which lands in SwarmObservation samples, ScenarioResult,
+// the report's "Memory" section, and BENCH_scale.json.
+//
+// Capacity-based accounting is deterministic within a binary (same
+// stdlib growth policy), cheap enough to sample every tick, and tracks
+// the quantity the ROADMAP budgets: bytes of live data structures per
+// peer, not allocator slack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vsplice::obs {
+
+/// Sorted per-subsystem byte gauges for one point in time.
+struct MemoryBreakdown {
+  /// (subsystem, bytes), sorted by subsystem name.
+  std::vector<std::pair<std::string, std::uint64_t>> subsystems;
+
+  /// Adds `bytes` to `subsystem` (creating it if absent, keeping the
+  /// list sorted).
+  void add(const std::string& subsystem, std::uint64_t bytes);
+
+  /// Bytes for one subsystem; 0 when absent.
+  [[nodiscard]] std::uint64_t bytes(const std::string& subsystem) const;
+
+  /// Sum over all subsystems.
+  [[nodiscard]] std::uint64_t total() const;
+
+  [[nodiscard]] bool empty() const { return subsystems.empty(); }
+
+  /// Aligned "subsystem  bytes" table.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Element-wise sum (union of subsystems).
+[[nodiscard]] MemoryBreakdown merge(const MemoryBreakdown& a,
+                                    const MemoryBreakdown& b);
+
+}  // namespace vsplice::obs

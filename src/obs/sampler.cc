@@ -128,6 +128,44 @@ void SwarmSampler::sample(TimePoint now) {
   previous_seeder_bytes_ = obs.seeder_uploaded_bytes;
   previous_delivered_ = obs.network_bytes_delivered;
 
+  // Event-loop health: queue depth, heap high-water, the
+  // lazily-cancelled garbage share, and the fired-event rate (derived
+  // from the cumulative count like the byte rates above).
+  store_.series("sim.queue_depth")
+      .append(now, static_cast<double>(obs.queue_depth));
+  store_.series("sim.heap_high_water")
+      .append(now, static_cast<double>(obs.heap_high_water));
+  const double garbage =
+      obs.heap_entries == 0
+          ? 0.0
+          : static_cast<double>(obs.heap_entries - obs.queue_depth) /
+                static_cast<double>(obs.heap_entries);
+  store_.series("sim.garbage_ratio").append(now, garbage);
+  double events_per_sec = 0.0;
+  if (dt > 0.0) {
+    events_per_sec = std::max(
+        static_cast<double>(obs.events_fired - previous_events_fired_) / dt,
+        0.0);
+  }
+  store_.series("sim.events_per_sec").append(now, events_per_sec);
+  previous_events_fired_ = obs.events_fired;
+
+  // Per-subsystem memory gauges plus the ROADMAP's bytes-per-peer
+  // budget figure (total over the leechers the probe reported).
+  if (!obs.memory.empty()) {
+    for (const auto& [subsystem, bytes] : obs.memory.subsystems) {
+      store_.series("mem." + subsystem)
+          .append(now, static_cast<double>(bytes));
+    }
+    const std::uint64_t total = obs.memory.total();
+    store_.series("mem.total").append(now, static_cast<double>(total));
+    if (!obs.peers.empty()) {
+      store_.series("mem.bytes_per_peer")
+          .append(now, static_cast<double>(total) /
+                           static_cast<double>(obs.peers.size()));
+    }
+  }
+
   previous_time_ = now;
   have_previous_ = true;
   ++samples_;

@@ -13,6 +13,10 @@
 //                    seeder_upload_rate_Bps | goodput_Bps
 // Availability:      avail.seg<NNNN> (replica count per segment,
 //                    zero-padded so lexicographic order == index order)
+// Event-loop health: sim.queue_depth | heap_high_water | garbage_ratio |
+//                    events_per_sec
+// Memory gauges:     mem.<subsystem> | mem.total | mem.bytes_per_peer
+//                    (see obs/resource.h)
 #pragma once
 
 #include <cstddef>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/resource.h"
 #include "obs/timeseries.h"
 
 namespace vsplice::obs {
@@ -58,6 +63,14 @@ struct SwarmObservation {
   std::int64_t seeder_uploaded_bytes = 0;
   /// Cumulative payload bytes delivered across every network flow.
   double network_bytes_delivered = 0.0;
+  /// Event-loop health, read from the run's Simulator.
+  std::uint64_t events_fired = 0;  ///< cumulative over the run
+  std::size_t queue_depth = 0;     ///< live (non-cancelled) pending events
+  std::size_t heap_entries = 0;    ///< raw entries incl. cancelled garbage
+  std::size_t heap_high_water = 0;
+  /// Per-subsystem byte gauges (see obs/resource.h); empty when the
+  /// probe does not supply them.
+  MemoryBreakdown memory;
 };
 
 class SwarmSampler {
@@ -92,6 +105,7 @@ class SwarmSampler {
   std::map<std::int64_t, std::int64_t> previous_bytes_;
   std::int64_t previous_seeder_bytes_ = 0;
   double previous_delivered_ = 0.0;
+  std::uint64_t previous_events_fired_ = 0;
 };
 
 }  // namespace vsplice::obs

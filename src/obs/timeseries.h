@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -55,6 +56,11 @@ class Series {
   [[nodiscard]] double min_value() const;
   [[nodiscard]] double max_value() const;
 
+  /// Bytes held by the sample storage (see obs/resource.h).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(samples_.capacity()) * sizeof(Sample);
+  }
+
  private:
   void compact();
 
@@ -82,6 +88,17 @@ class TimeSeriesStore {
   [[nodiscard]] const std::map<std::string, Series, std::less<>>& all()
       const {
     return series_;
+  }
+
+  /// Bytes held across every series, including map-node and name
+  /// overhead (see obs/resource.h).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    std::uint64_t bytes = 0;
+    for (const auto& [name, series] : series_) {
+      bytes += 4 * sizeof(void*) + sizeof(std::pair<std::string, Series>) +
+               name.size() + series.memory_bytes();
+    }
+    return bytes;
   }
 
  private:

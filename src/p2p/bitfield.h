@@ -86,6 +86,12 @@ class Bitfield {
   /// Packed wire representation, ceil(size/8) bytes.
   [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
 
+  /// Bytes held by the word storage (see obs/resource.h).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(words_.capacity()) *
+           sizeof(std::uint64_t);
+  }
+
   bool operator==(const Bitfield&) const = default;
 
  private:

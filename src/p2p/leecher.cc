@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "p2p/swarm.h"
 
@@ -106,6 +107,37 @@ Bytes Leecher::in_flight_bytes() const {
     if (segment < index_->count()) total += index_->at(segment).size;
   }
   return total;
+}
+
+std::uint64_t Leecher::scheduler_memory_bytes() const {
+  // Capacity-based, like every memory_bytes() (see obs/resource.h).
+  // Ordered containers are approximated as one red-black node (3
+  // pointers + color word) per element plus the payload.
+  const std::uint64_t tree_node = 4 * sizeof(void*);
+  std::uint64_t bytes =
+      static_cast<std::uint64_t>(peer_slot_.capacity() +
+                                 free_slots_.capacity()) *
+          sizeof(std::uint32_t) +
+      static_cast<std::uint64_t>(slots_.capacity()) * sizeof(Bitfield) +
+      static_cast<std::uint64_t>(known_peers_.capacity()) *
+          sizeof(net::NodeId) +
+      static_cast<std::uint64_t>(holders_.capacity()) *
+          sizeof(std::vector<net::NodeId>) +
+      rarity_.memory_bytes() + in_flight_.memory_bytes() +
+      static_cast<std::uint64_t>(choked_at_.size()) *
+          (tree_node + sizeof(std::pair<net::NodeId, TimePoint>)) +
+      static_cast<std::uint64_t>(downloads_.size()) *
+          (tree_node + sizeof(std::pair<std::size_t, Download>)) +
+      static_cast<std::uint64_t>(control_.capacity()) *
+          sizeof(std::pair<net::NodeId, std::unique_ptr<net::Connection>>) +
+      static_cast<std::uint64_t>(segment_offsets_.capacity()) *
+          sizeof(Bytes);
+  for (const Bitfield& slot : slots_) bytes += slot.memory_bytes();
+  for (const auto& holder_list : holders_) {
+    bytes += static_cast<std::uint64_t>(holder_list.capacity()) *
+             sizeof(net::NodeId);
+  }
+  return bytes;
 }
 
 int Leecher::current_pool_target() const {
@@ -276,6 +308,7 @@ void Leecher::on_have(net::NodeId from, const HaveMsg& msg) {
 // -------------------------------------------------------- download logic
 
 void Leecher::schedule_downloads() {
+  VSPLICE_PROFILE_SCOPE("p2p.schedule");
   if (!online_ || !index_ || !player_) return;
   if (player_->buffer().complete()) return;
   const int pool = current_pool_target();
@@ -296,6 +329,7 @@ void Leecher::schedule_downloads() {
 }
 
 std::optional<std::size_t> Leecher::next_segment_to_fetch() const {
+  VSPLICE_PROFILE_SCOPE("p2p.pick_segment");
   const EngineTimer timer{sched_.engine_ns};
   ++sched_.segment_picks;
   const auto& buffer = player_->buffer();
@@ -344,6 +378,7 @@ bool Leecher::holder_has(net::NodeId peer, std::size_t segment) const {
 
 std::optional<net::NodeId> Leecher::pick_holder(
     std::size_t segment, const std::set<net::NodeId>& excluded) {
+  VSPLICE_PROFILE_SCOPE("p2p.pick_holder");
   const EngineTimer timer{sched_.engine_ns};
   ++sched_.holder_picks;
   const TimePoint now = swarm_.simulator().now();

@@ -131,6 +131,11 @@ class Leecher final : public Peer {
     return sched_;
   }
 
+  /// Bytes held by the scheduling structures: dense availability slots,
+  /// holder lists, rarity buckets, in-flight bookkeeping, and control
+  /// connections (capacity-based; see obs/resource.h).
+  [[nodiscard]] std::uint64_t scheduler_memory_bytes() const;
+
   void handle_message(net::NodeId from, net::Connection& conn,
                       const Message& message) override;
   /// Keep the base class's serialized-bytes entry point visible (tests

@@ -74,6 +74,13 @@ class MessagePool {
   }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Bytes held by the node storage and freelist (see obs/resource.h).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(nodes_.size()) * sizeof(Node) +
+           static_cast<std::uint64_t>(free_.capacity()) *
+               sizeof(std::uint32_t);
+  }
+
  private:
   std::deque<Node> nodes_;
   std::vector<std::uint32_t> free_;

@@ -39,6 +39,21 @@ class RarityBuckets {
       std::size_t from, std::size_t to,
       const std::function<bool(std::size_t)>& pred) const;
 
+  /// Bytes held by the count table and buckets (see obs/resource.h).
+  /// Each std::set element is approximated as one red-black node:
+  /// 3 pointers + color word + the key.
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    const std::uint64_t set_node = 4 * sizeof(void*) + sizeof(std::size_t);
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(counts_.capacity()) * sizeof(std::uint32_t) +
+        static_cast<std::uint64_t>(buckets_.capacity()) *
+            sizeof(std::set<std::size_t>);
+    for (const auto& bucket : buckets_) {
+      bytes += static_cast<std::uint64_t>(bucket.size()) * set_node;
+    }
+    return bytes;
+  }
+
  private:
   /// counts_[segment] -> bucket index; buckets_[c] holds the segments
   /// with exactly c known holders, ordered by index.

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace vsplice::p2p {
@@ -150,7 +151,34 @@ bool Swarm::all_finished() const {
   return any;
 }
 
+obs::MemoryBreakdown Swarm::memory_breakdown() const {
+  obs::MemoryBreakdown out;
+  out.add("sim", network_.simulator().memory_bytes());
+  out.add("net", network_.memory_bytes());
+  out.add("p2p.pool", pool_.memory_bytes());
+  std::uint64_t sched = 0;
+  std::uint64_t swarm_tables =
+      static_cast<std::uint64_t>(peers_.capacity()) *
+          sizeof(std::unique_ptr<Peer>) +
+      static_cast<std::uint64_t>(by_node_.capacity()) * sizeof(Peer*) +
+      static_cast<std::uint64_t>(replicas_.capacity()) *
+          sizeof(std::uint32_t);
+  for (const auto& peer : peers_) {
+    swarm_tables += peer->have().memory_bytes();
+    const auto* leecher = dynamic_cast<const Leecher*>(peer.get());
+    if (leecher != nullptr) sched += leecher->scheduler_memory_bytes();
+  }
+  out.add("p2p.sched", sched);
+  out.add("p2p.swarm", swarm_tables);
+  out.add("content",
+          static_cast<std::uint64_t>(index_->count()) *
+                  sizeof(core::Segment) +
+              playlist_text_->size());
+  return out;
+}
+
 obs::SwarmObservation Swarm::observe() const {
+  VSPLICE_PROFILE_SCOPE("swarm.observe");
   obs::SwarmObservation out;
   if (brute_force_) {
     // Retained pre-change histogram rebuild: every online peer's
@@ -197,10 +225,17 @@ obs::SwarmObservation Swarm::observe() const {
     out.peers.push_back(p);
   }
   out.network_bytes_delivered = network_.stats().bytes_delivered;
+  const sim::Simulator& sim = network_.simulator();
+  out.events_fired = sim.fired_count();
+  out.queue_depth = sim.pending_events();
+  out.heap_entries = sim.heap_entries();
+  out.heap_high_water = sim.heap_high_water();
+  out.memory = memory_breakdown();
   return out;
 }
 
 void Swarm::deliver(net::NodeId from, MessagePool::Node* node) {
+  VSPLICE_PROFILE_SCOPE("swarm.deliver");
   // Read the delivery context, then take the message out before
   // anything can throw or recurse: the node goes back to the freelist
   // immediately, and dispatch below may send (and acquire) further

@@ -89,6 +89,14 @@ class Swarm {
   /// oracle mode).
   [[nodiscard]] obs::SwarmObservation observe() const;
 
+  /// Per-subsystem byte gauges over everything this swarm (and its
+  /// network/simulator) owns: "sim" event queue, "net" flow table +
+  /// allocation scratch, "p2p.pool" message nodes, "p2p.sched" the
+  /// leechers' scheduling structures, "p2p.swarm" peer/replica tables,
+  /// "content" the shared segment index + playlist. Capacity-based and
+  /// deterministic (see obs/resource.h).
+  [[nodiscard]] obs::MemoryBreakdown memory_breakdown() const;
+
   /// Selects the retained pre-change code paths (linear peer lookup,
   /// full replica-histogram rebuild in observe); the differential tests
   /// and bench_scale use them as the oracle against the incremental

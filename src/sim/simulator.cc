@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace vsplice::sim {
 
@@ -25,8 +26,12 @@ EventId Simulator::at(TimePoint t, std::function<void()> fn) {
     callbacks_.push_back(std::move(fn));
   }
   const EventId id = make_id(slot, generation_[slot]);
-  heap_.push_back(Entry{t, next_sequence_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  {
+    VSPLICE_PROFILE_SCOPE("sim.schedule");
+    heap_.push_back(Entry{t, next_sequence_++, id});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  heap_high_water_ = std::max(heap_high_water_, heap_.size());
   ++live_;
   events_scheduled_.add();
   return id;
@@ -74,6 +79,7 @@ void Simulator::drop_stale() const {
 }
 
 void Simulator::fire() {
+  VSPLICE_PROFILE_SCOPE("sim.fire");
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const Entry entry = heap_.back();
   heap_.pop_back();

@@ -76,6 +76,40 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending_events() const { return live_; }
 
+  /// Cumulative events fired over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t fired_count() const { return fired_count_; }
+
+  /// Raw heap entries, including lazily-cancelled garbage.
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+
+  /// Deepest the heap has ever been (entries, including garbage).
+  [[nodiscard]] std::size_t heap_high_water() const {
+    return heap_high_water_;
+  }
+
+  /// Fraction of current heap entries that are lazily-cancelled
+  /// garbage, [0, 1]; 0 when the heap is empty. A ratio that stays
+  /// above 0.5 means lazy deletion is carrying more dead weight than
+  /// live events (see the event_queue_garbage anomaly scanner).
+  [[nodiscard]] double garbage_ratio() const {
+    if (heap_.empty()) return 0.0;
+    return static_cast<double>(heap_.size() - live_) /
+           static_cast<double>(heap_.size());
+  }
+
+  /// Bytes held by the event queue: heap entries plus per-slot
+  /// generation/callback/free-list storage (capacity-based; see
+  /// obs/resource.h).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(heap_.capacity()) * sizeof(Entry) +
+           static_cast<std::uint64_t>(generation_.capacity()) *
+               sizeof(std::uint32_t) +
+           static_cast<std::uint64_t>(callbacks_.capacity()) *
+               sizeof(std::function<void()>) +
+           static_cast<std::uint64_t>(free_slots_.capacity()) *
+               sizeof(std::uint32_t);
+  }
+
   /// Timestamp of the next pending event, or TimePoint::infinity().
   [[nodiscard]] TimePoint next_event_time() const;
 
@@ -127,6 +161,7 @@ class Simulator {
   std::uint64_t fired_count_ = 0;
   std::uint64_t event_limit_ = 0;
   std::size_t live_ = 0;
+  std::size_t heap_high_water_ = 0;
 
   // Lazy deletion: cancelled entries stay in the heap (their slot's
   // generation no longer matches) and are dropped when they surface.

@@ -1,0 +1,677 @@
+// bench_compare: perf-regression gate over BENCH_*.json files.
+//
+// Diffs a current bench output against a committed baseline, metric by
+// metric, with per-kind tolerances:
+//   - checks.* booleans: true -> false is a regression (false -> true is
+//     an improvement, reported but passing);
+//   - timing metrics (wall seconds, *_ns, *_seconds): lower is better;
+//     regression when current > baseline * time-tolerance. The factor
+//     defaults to 4x because CI runners are far noisier and slower than
+//     the machines that produce baselines — this gate catches order-of-
+//     magnitude slips (a reverted optimization), not 10% jitter;
+//   - throughput metrics (*_mops_per_sec, *speedup*, *_per_sec): higher
+//     is better; regression when current < baseline / time-tolerance;
+//   - bytes_per_peer / *_bytes: lower is better, 1.5x factor — memory
+//     accounting is deterministic, so growth is a real code change;
+//   - everything else (decision counts, stall figures, table cells):
+//     deterministic simulation output, compared with a small relative
+//     tolerance (default 1e-9, effectively exact);
+//   - a metric present in the baseline but missing from the current run
+//     is a regression (a silently dropped check is the worst kind);
+//     new metrics are listed as notes.
+//
+//   bench_compare BASELINE.json CURRENT.json [options]
+//     --time-tolerance X   factor for timing/throughput metrics (4.0)
+//     --memory-tolerance X factor for byte metrics (1.5)
+//     --tolerance X        relative tolerance for exact metrics (1e-9)
+//     --table OUT.md       also write the comparison as a markdown table
+//     --self-test          run the built-in unit tests and exit
+//
+// Exit codes: 0 = no regression, 1 = regression, 2 = usage/parse error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace {
+
+// ------------------------------------------------------------ JSON value
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  // monostate = null.
+  std::variant<std::monostate, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+};
+
+// ----------------------------------------------------------- JSON parser
+//
+// Minimal recursive-descent parser for the machine-written subset the
+// bench files use (no surrogate-pair unescaping; \uXXXX below 0x80 only,
+// which is all json_escape emits). Returns false on malformed input.
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_{std::move(text)} {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing junk is a parse error
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out.v = std::move(s);
+        return true;
+      }
+      case 't':
+        out.v = true;
+        return literal("true");
+      case 'f':
+        out.v = false;
+        return literal("false");
+      case 'n':
+        out.v = std::monostate{};
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    JsonObject object;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out.v = std::move(object);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      object.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out.v = std::move(object);
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    JsonArray array;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out.v = std::move(array);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out.v = std::move(array);
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          if (code >= 0x80) return false;  // bench files are pure ASCII
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    out.v = value;
+    return true;
+  }
+
+  const std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// -------------------------------------------------------------- flatten
+
+/// One comparable leaf: a bool, a number, or a null (skipped metric).
+struct Leaf {
+  enum class Kind { Bool, Number, Null } kind = Kind::Null;
+  bool b = false;
+  double number = 0;
+};
+
+/// Flattens nested objects/arrays into "checks.speedup_10x",
+/// "values.alloc_star_ns", "tables.stalls.series.4 sec[2]" paths.
+/// Strings (the "bench" name) are skipped — they are identity, not
+/// metrics.
+void flatten(const JsonValue& value, const std::string& path,
+             std::map<std::string, Leaf>& out) {
+  if (const auto* object = std::get_if<JsonObject>(&value.v)) {
+    for (const auto& [key, child] : *object) {
+      flatten(child, path.empty() ? key : path + "." + key, out);
+    }
+  } else if (const auto* array = std::get_if<JsonArray>(&value.v)) {
+    for (std::size_t i = 0; i < array->size(); ++i) {
+      flatten((*array)[i], path + "[" + std::to_string(i) + "]", out);
+    }
+  } else if (const auto* b = std::get_if<bool>(&value.v)) {
+    out[path] = Leaf{Leaf::Kind::Bool, *b, 0};
+  } else if (const auto* number = std::get_if<double>(&value.v)) {
+    out[path] = Leaf{Leaf::Kind::Number, false, *number};
+  } else if (std::holds_alternative<std::monostate>(value.v)) {
+    out[path] = Leaf{Leaf::Kind::Null, false, 0};
+  }
+  // strings: intentionally dropped
+}
+
+// ------------------------------------------------------- classification
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+enum class MetricKind {
+  LowerBetterTime,   // wall seconds, ns per call
+  HigherBetterRate,  // throughput, speedups
+  LowerBetterBytes,  // memory gauges
+  Exact,             // deterministic counts and figures
+  Environment,       // machine-shaped (worker counts); never compared
+};
+
+MetricKind classify(const std::string& path) {
+  // Worker counts (e2e_jobs = one per hardware thread) describe the
+  // machine, not the code.
+  if (contains(path, "jobs") || contains(path, "threads")) {
+    return MetricKind::Environment;
+  }
+  // Simulated-time figures (mean_startup_s, stall seconds) look like
+  // timing metrics but are deterministic simulation output — compare
+  // them exactly, before the "_s" suffix rule can claim them.
+  if (contains(path, "startup") || contains(path, "stall")) {
+    return MetricKind::Exact;
+  }
+  // Throughput first: "mops_per_sec" would otherwise match the "_s"
+  // timing suffix via substrings.
+  if (contains(path, "per_sec") || contains(path, "speedup") ||
+      contains(path, "ops_per")) {
+    return MetricKind::HigherBetterRate;
+  }
+  // A ratio of two measured times (the profiler's disabled-overhead
+  // share) is as noisy as the times themselves.
+  if (contains(path, "overhead_ratio")) {
+    return MetricKind::LowerBetterTime;
+  }
+  if (ends_with(path, "_s") || ends_with(path, "_ns") ||
+      ends_with(path, "_seconds") || contains(path, "wall_s") ||
+      contains(path, "elapsed")) {
+    return MetricKind::LowerBetterTime;
+  }
+  if (ends_with(path, "_bytes") || contains(path, "bytes_per_peer")) {
+    return MetricKind::LowerBetterBytes;
+  }
+  return MetricKind::Exact;
+}
+
+// ------------------------------------------------------------ comparison
+
+struct Options {
+  double time_tolerance = 4.0;
+  double memory_tolerance = 1.5;
+  double exact_tolerance = 1e-9;
+};
+
+struct Row {
+  std::string path;
+  std::string baseline;
+  std::string current;
+  std::string verdict;  // "ok" | "REGRESSION" | "improved" | "note"
+  std::string detail;
+};
+
+std::string fmt_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_leaf(const Leaf& leaf) {
+  switch (leaf.kind) {
+    case Leaf::Kind::Bool: return leaf.b ? "true" : "false";
+    case Leaf::Kind::Number: return fmt_number(leaf.number);
+    case Leaf::Kind::Null: return "null";
+  }
+  return "?";
+}
+
+/// Compares flattened metric maps; returns rows (regressions included)
+/// sorted by path. Regression count lands in `regressions`.
+std::vector<Row> compare(const std::map<std::string, Leaf>& baseline,
+                         const std::map<std::string, Leaf>& current,
+                         const Options& options, int& regressions) {
+  std::vector<Row> rows;
+  regressions = 0;
+  const auto push = [&](const std::string& path, const std::string& base,
+                        const std::string& cur, const char* verdict,
+                        std::string detail) {
+    if (std::strcmp(verdict, "REGRESSION") == 0) ++regressions;
+    rows.push_back(Row{path, base, cur, verdict, std::move(detail)});
+  };
+
+  for (const auto& [path, base] : baseline) {
+    const auto it = current.find(path);
+    if (it == current.end()) {
+      push(path, fmt_leaf(base), "missing", "REGRESSION",
+           "metric disappeared from the current run");
+      continue;
+    }
+    const Leaf& cur = it->second;
+    if (base.kind == Leaf::Kind::Null || cur.kind == Leaf::Kind::Null) {
+      push(path, fmt_leaf(base), fmt_leaf(cur), "note",
+           "non-finite value; not compared");
+      continue;
+    }
+    if (base.kind == Leaf::Kind::Bool || cur.kind == Leaf::Kind::Bool) {
+      if (base.kind != cur.kind) {
+        push(path, fmt_leaf(base), fmt_leaf(cur), "REGRESSION",
+             "metric changed type");
+      } else if (base.b && !cur.b) {
+        push(path, "true", "false", "REGRESSION", "check now fails");
+      } else if (!base.b && cur.b) {
+        push(path, "false", "true", "improved", "check now passes");
+      } else {
+        push(path, fmt_leaf(base), fmt_leaf(cur), "ok", "");
+      }
+      continue;
+    }
+
+    const double b = base.number;
+    const double c = cur.number;
+    char detail[120];
+    switch (classify(path)) {
+      case MetricKind::LowerBetterTime: {
+        const bool bad = b > 0 && c > b * options.time_tolerance;
+        std::snprintf(detail, sizeof detail, "%.2fx baseline (limit %.1fx)",
+                      b > 0 ? c / b : 0.0, options.time_tolerance);
+        push(path, fmt_number(b), fmt_number(c),
+             bad ? "REGRESSION" : "ok", bad ? detail : "");
+        break;
+      }
+      case MetricKind::HigherBetterRate: {
+        const bool bad = b > 0 && c < b / options.time_tolerance;
+        std::snprintf(detail, sizeof detail,
+                      "%.2fx baseline (limit 1/%.1fx)", b > 0 ? c / b : 0.0,
+                      options.time_tolerance);
+        push(path, fmt_number(b), fmt_number(c),
+             bad ? "REGRESSION" : "ok", bad ? detail : "");
+        break;
+      }
+      case MetricKind::LowerBetterBytes: {
+        const bool bad = b > 0 && c > b * options.memory_tolerance;
+        std::snprintf(detail, sizeof detail, "%.2fx baseline (limit %.1fx)",
+                      b > 0 ? c / b : 0.0, options.memory_tolerance);
+        push(path, fmt_number(b), fmt_number(c),
+             bad ? "REGRESSION" : "ok", bad ? detail : "");
+        break;
+      }
+      case MetricKind::Exact: {
+        const double scale = std::max({1.0, std::fabs(b), std::fabs(c)});
+        const bool bad = std::fabs(c - b) > options.exact_tolerance * scale;
+        std::snprintf(detail, sizeof detail,
+                      "deterministic metric drifted by %g", c - b);
+        push(path, fmt_number(b), fmt_number(c),
+             bad ? "REGRESSION" : "ok", bad ? detail : "");
+        break;
+      }
+      case MetricKind::Environment:
+        push(path, fmt_number(b), fmt_number(c), "note",
+             "machine-dependent; not compared");
+        break;
+    }
+  }
+  for (const auto& [path, cur] : current) {
+    if (baseline.find(path) == baseline.end()) {
+      push(path, "missing", fmt_leaf(cur), "note",
+           "new metric (not in baseline)");
+    }
+  }
+  return rows;
+}
+
+// --------------------------------------------------------------- output
+
+std::string markdown_table(const std::string& baseline_path,
+                           const std::string& current_path,
+                           const std::vector<Row>& rows, int regressions) {
+  std::ostringstream out;
+  out << "# bench_compare\n\n"
+      << "- baseline: `" << baseline_path << "`\n"
+      << "- current: `" << current_path << "`\n"
+      << "- regressions: **" << regressions << "**\n\n"
+      << "| metric | baseline | current | verdict | detail |\n"
+      << "|---|---|---|---|---|\n";
+  for (const Row& row : rows) {
+    // Regressions and notes always; passing rows too (the table is the
+    // auditable artifact, and bench files are small).
+    out << "| " << row.path << " | " << row.baseline << " | "
+        << row.current << " | " << row.verdict << " | " << row.detail
+        << " |\n";
+  }
+  return out.str();
+}
+
+bool load_json(const std::string& path, JsonValue& out,
+               std::string& error) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonParser parser{text};
+  if (!parser.parse(out)) {
+    error = "malformed JSON in " + path;
+    return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- self-test
+
+#define EXPECT(cond)                                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "self-test FAILED at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      return 1;                                                           \
+    }                                                                     \
+  } while (0)
+
+int self_test() {
+  // Parser round-trips the bench subset, including escapes and null.
+  {
+    JsonValue v;
+    JsonParser p{R"({"a":1.5,"b":[true,null,-2e3],"c":{"d":"x\nA"}})"};
+    EXPECT(p.parse(v));
+    std::map<std::string, Leaf> flat;
+    flatten(v, "", flat);
+    EXPECT(flat.at("a").number == 1.5);
+    EXPECT(flat.at("b[0]").b == true);
+    EXPECT(flat.at("b[1]").kind == Leaf::Kind::Null);
+    EXPECT(flat.at("b[2]").number == -2000.0);
+    EXPECT(flat.find("c.d") == flat.end());  // strings dropped
+  }
+  {
+    JsonValue v;
+    JsonParser bad{R"({"a":)"};
+    EXPECT(!bad.parse(v));
+    JsonParser trailing{R"({} junk)"};
+    EXPECT(!trailing.parse(v));
+  }
+
+  // Classification.
+  EXPECT(classify("values.alloc_star_ns") == MetricKind::LowerBetterTime);
+  EXPECT(classify("values.e2e_serial_seconds") ==
+         MetricKind::LowerBetterTime);
+  EXPECT(classify("values.n500.4s.wall_s") == MetricKind::LowerBetterTime);
+  EXPECT(classify("values.event_loop_mops_per_sec") ==
+         MetricKind::HigherBetterRate);
+  EXPECT(classify("values.speedup.n500.scheduling") ==
+         MetricKind::HigherBetterRate);
+  EXPECT(classify("values.n500.4s.bytes_per_peer") ==
+         MetricKind::LowerBetterBytes);
+  EXPECT(classify("values.n500.4s.memory_total_bytes") ==
+         MetricKind::LowerBetterBytes);
+  EXPECT(classify("checks.speedup_10x") == MetricKind::HigherBetterRate);
+  EXPECT(classify("values.n20.4s.segment_picks") == MetricKind::Exact);
+  EXPECT(classify("tables.stalls.series.4 sec[0]") == MetricKind::Exact);
+  EXPECT(classify("values.e2e_jobs") == MetricKind::Environment);
+  EXPECT(classify("values.n20.4s.mean_startup_s") == MetricKind::Exact);
+  EXPECT(classify("values.profiler_disabled_overhead_ratio") ==
+         MetricKind::LowerBetterTime);
+
+  // Comparison verdicts.
+  const Options options;
+  std::map<std::string, Leaf> base;
+  std::map<std::string, Leaf> cur;
+  base["checks.ok"] = Leaf{Leaf::Kind::Bool, true, 0};
+  cur["checks.ok"] = Leaf{Leaf::Kind::Bool, false, 0};
+  base["values.a_wall_s"] = Leaf{Leaf::Kind::Number, false, 1.0};
+  cur["values.a_wall_s"] = Leaf{Leaf::Kind::Number, false, 3.9};  // < 4x
+  base["values.b_wall_s"] = Leaf{Leaf::Kind::Number, false, 1.0};
+  cur["values.b_wall_s"] = Leaf{Leaf::Kind::Number, false, 4.1};  // > 4x
+  base["values.rate_per_sec"] = Leaf{Leaf::Kind::Number, false, 100.0};
+  cur["values.rate_per_sec"] = Leaf{Leaf::Kind::Number, false, 20.0};
+  base["values.count"] = Leaf{Leaf::Kind::Number, false, 42.0};
+  cur["values.count"] = Leaf{Leaf::Kind::Number, false, 43.0};
+  base["values.gone_wall_s"] = Leaf{Leaf::Kind::Number, false, 1.0};
+  base["values.skipped_s"] = Leaf{Leaf::Kind::Null, false, 0};
+  cur["values.skipped_s"] = Leaf{Leaf::Kind::Number, false, 9.0};
+  cur["values.brand_new"] = Leaf{Leaf::Kind::Number, false, 7.0};
+
+  int regressions = 0;
+  const std::vector<Row> rows = compare(base, cur, options, regressions);
+  // check flipped, b_wall_s over limit, rate collapsed, count drifted,
+  // gone_wall_s missing = 5 regressions; a_wall_s ok; skipped_s and
+  // brand_new are notes.
+  EXPECT(regressions == 5);
+  int notes = 0;
+  int oks = 0;
+  for (const Row& row : rows) {
+    if (row.verdict == "note") ++notes;
+    if (row.verdict == "ok") ++oks;
+    if (row.path == "values.a_wall_s") EXPECT(row.verdict == "ok");
+    if (row.path == "values.b_wall_s") EXPECT(row.verdict == "REGRESSION");
+    if (row.path == "values.gone_wall_s")
+      EXPECT(row.verdict == "REGRESSION");
+  }
+  EXPECT(notes == 2);
+  EXPECT(oks == 1);
+
+  // Identical inputs never regress (the baseline-refresh invariant).
+  int self_regressions = 0;
+  compare(base, base, options, self_regressions);
+  EXPECT(self_regressions == 0);
+
+  std::printf("bench_compare self-test: all passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string table_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return self_test();
+    if (arg == "--time-tolerance" && i + 1 < argc) {
+      options.time_tolerance = std::strtod(argv[++i], nullptr);
+      if (options.time_tolerance < 1.0) {
+        std::fprintf(stderr, "bad --time-tolerance (need >= 1)\n");
+        return 2;
+      }
+    } else if (arg == "--memory-tolerance" && i + 1 < argc) {
+      options.memory_tolerance = std::strtod(argv[++i], nullptr);
+      if (options.memory_tolerance < 1.0) {
+        std::fprintf(stderr, "bad --memory-tolerance (need >= 1)\n");
+        return 2;
+      }
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      options.exact_tolerance = std::strtod(argv[++i], nullptr);
+      if (options.exact_tolerance < 0.0) {
+        std::fprintf(stderr, "bad --tolerance (need >= 0)\n");
+        return 2;
+      }
+    } else if (arg == "--table" && i + 1 < argc) {
+      table_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CURRENT.json "
+                 "[--time-tolerance X] [--memory-tolerance X]\n"
+                 "       [--tolerance X] [--table OUT.md] [--self-test]\n");
+    return 2;
+  }
+
+  JsonValue baseline_json;
+  JsonValue current_json;
+  std::string error;
+  if (!load_json(positional[0], baseline_json, error) ||
+      !load_json(positional[1], current_json, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  std::map<std::string, Leaf> baseline;
+  std::map<std::string, Leaf> current;
+  flatten(baseline_json, "", baseline);
+  flatten(current_json, "", current);
+
+  int regressions = 0;
+  const std::vector<Row> rows =
+      compare(baseline, current, options, regressions);
+
+  std::printf("%-52s %14s %14s  %s\n", "metric", "baseline", "current",
+              "verdict");
+  for (const Row& row : rows) {
+    if (row.verdict == "ok") continue;  // stdout shows the interesting rows
+    std::printf("%-52s %14s %14s  %s%s%s\n", row.path.c_str(),
+                row.baseline.c_str(), row.current.c_str(),
+                row.verdict.c_str(), row.detail.empty() ? "" : " - ",
+                row.detail.c_str());
+  }
+  std::printf("%zu metrics compared, %d regression%s\n", rows.size(),
+              regressions, regressions == 1 ? "" : "s");
+
+  if (!table_path.empty()) {
+    std::ofstream out{table_path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", table_path.c_str());
+      return 2;
+    }
+    out << markdown_table(positional[0], positional[1], rows, regressions);
+  }
+  return regressions > 0 ? 1 : 0;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Refresh the committed perf baselines in bench/baselines/ — the one
+# command to run after an intentional perf-relevant change:
+#
+#   tools/refresh_baselines.sh [BUILD_DIR]
+#
+# Builds (Release) if needed, runs the three gated benches in --quick
+# mode, and copies their BENCH_*.json over bench/baselines/. Commit the
+# result together with the change that moved the numbers.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j"$(nproc)" \
+  --target bench_micro bench_scale bench_wire bench_compare
+
+mkdir -p "$repo/bench/baselines"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+(cd "$tmp" && "$build/bench/bench_micro" --quick)
+(cd "$tmp" && "$build/bench/bench_scale" --quick)
+(cd "$tmp" && "$build/bench/bench_wire" --quick)
+
+for name in core scale wire; do
+  cp "$tmp/BENCH_$name.json" "$repo/bench/baselines/BENCH_$name.json"
+  echo "refreshed bench/baselines/BENCH_$name.json"
+done
+
+# Sanity: a fresh baseline must compare clean against itself.
+for name in core scale wire; do
+  "$build/tools/bench_compare" \
+    "$repo/bench/baselines/BENCH_$name.json" \
+    "$repo/bench/baselines/BENCH_$name.json" > /dev/null
+done
+echo "baselines self-compare clean"
