@@ -1,11 +1,14 @@
 // Shared command-line handling for the figure benches.
 //
 // Every bench binary accepts the same flags:
-//   --jobs N                  worker threads for the sweep grid (0 = one
-//                             per hardware thread; default 1 = serial).
-//                             Results and output files are byte-identical
-//                             at any job count.
+//   --jobs N                  worker threads for the sweep grid ("auto" =
+//                             one per hardware thread; default 1 =
+//                             serial). Results and output files are
+//                             byte-identical at any job count.
 //   --trace BASE              per-cell JSONL event traces
+//   --trace-chrome OUT.json   chrome://tracing / Perfetto span timeline
+//                             of the representative run (implies span
+//                             tracing on that run)
 //   --report OUT.html         self-contained HTML run report
 //   --snapshot OUT.json       deterministic JSON snapshot
 //   --sample-interval SECONDS swarm sampling cadence (default 1 s)
@@ -27,11 +30,13 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "experiments/paper_setup.h"
+#include "obs/report.h"
 
 namespace vsplice::bench {
 
 struct BenchOptions {
   std::string trace_base;
+  std::string trace_chrome;
   std::string report_html;
   std::string snapshot_json;
   double sample_interval_s = 0.0;  // 0 = scenario default (1 s)
@@ -40,7 +45,8 @@ struct BenchOptions {
   bool parsed = true;              // false after a usage error
 
   [[nodiscard]] bool wants_report() const {
-    return !report_html.empty() || !snapshot_json.empty();
+    return !report_html.empty() || !snapshot_json.empty() ||
+           !trace_chrome.empty();
   }
 };
 
@@ -48,9 +54,10 @@ inline void print_bench_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--trace BASE] [--report OUT.html] "
                "[--snapshot OUT.json]\n"
-               "          [--sample-interval SECONDS] [--log-level LEVEL]\n"
-               "  --jobs N   run sweep cells on N threads (0 = one per "
-               "hardware thread)\n",
+               "          [--trace-chrome OUT.json] "
+               "[--sample-interval SECONDS] [--log-level LEVEL]\n"
+               "  --jobs N   run sweep cells on N threads (N >= 1, or "
+               "\"auto\" for one per hardware thread)\n",
                prog);
 }
 
@@ -60,15 +67,25 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--jobs" && i + 1 < argc) {
-      const auto parsed = parse_int(argv[++i]);
-      if (!parsed || *parsed < 0 || *parsed > 4096) {
-        std::fprintf(stderr, "bad --jobs: %s\n", argv[i]);
-        opts.parsed = false;
-        return opts;
+      const std::string value = argv[++i];
+      if (value == "auto") {
+        opts.jobs = 0;  // ParallelRunner: one per hardware thread
+      } else {
+        const auto parsed = parse_int(value);
+        if (!parsed || *parsed < 1 || *parsed > 4096) {
+          std::fprintf(stderr,
+                       "bad --jobs: %s (need an integer >= 1, or "
+                       "\"auto\" for one per hardware thread)\n",
+                       value.c_str());
+          opts.parsed = false;
+          return opts;
+        }
+        opts.jobs = static_cast<int>(*parsed);
       }
-      opts.jobs = static_cast<int>(*parsed);
     } else if (arg == "--trace" && i + 1 < argc) {
       opts.trace_base = argv[++i];
+    } else if (arg == "--trace-chrome" && i + 1 < argc) {
+      opts.trace_chrome = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       opts.report_html = argv[++i];
     } else if (arg == "--snapshot" && i + 1 < argc) {
@@ -97,6 +114,18 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       return opts;
     }
   }
+  // Fail fast on unwritable destinations instead of discovering the
+  // typo'd directory after the whole sweep has run. (--trace is a base
+  // path; probing it validates its directory.)
+  for (const std::string* path :
+       {&opts.trace_base, &opts.trace_chrome, &opts.report_html,
+        &opts.snapshot_json}) {
+    if (!path->empty() && !obs::probe_writable_path(*path)) {
+      std::fprintf(stderr, "cannot write to '%s'\n", path->c_str());
+      opts.parsed = false;
+      return opts;
+    }
+  }
   return opts;
 }
 
@@ -110,6 +139,7 @@ inline void write_representative_report(experiments::ScenarioConfig config,
   config.seed = std::uint64_t{1000003};
   config.report_html_path = opts.report_html;
   config.snapshot_json_path = opts.snapshot_json;
+  config.trace_chrome_path = opts.trace_chrome;
   config.report_title = title;
   config.profile = opts.profile;
   if (opts.sample_interval_s > 0.0) {
@@ -128,6 +158,9 @@ inline void write_representative_report(experiments::ScenarioConfig config,
   }
   if (!opts.snapshot_json.empty()) {
     std::printf("snapshot written to %s\n", opts.snapshot_json.c_str());
+  }
+  if (!opts.trace_chrome.empty()) {
+    std::printf("chrome trace written to %s\n", opts.trace_chrome.c_str());
   }
 }
 

@@ -26,6 +26,7 @@
 #include "bench_json.h"
 #include "common/rng.h"
 #include "obs/profiler.h"
+#include "obs/span.h"
 #include "core/playlist.h"
 #include "core/splicer.h"
 #include "experiments/parallel.h"
@@ -244,6 +245,72 @@ void run_profiler_overhead_bench(bench::BenchResults& results,
   results.check("profiler_overhead_ok", overhead < 0.02, text);
 }
 
+void run_span_overhead_bench(bench::BenchResults& results,
+                             double event_loop_ns_per_op, bool quick) {
+  // Same contract as the profiler scope: with no recorder installed,
+  // open_span()/close_span() are one thread-local pointer read and a
+  // branch. Measure the marginal cost of a disabled open+close pair and
+  // bound it against the event loop's ns/op.
+  const std::size_t iters = quick ? 2'000'000 : 20'000'000;
+  const auto time_spans = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const std::uint64_t id = obs::open_span(
+          obs::SpanKind::kPieceTransfer, TimePoint::origin(), 0, 1, 0);
+      obs::close_span(id, TimePoint::origin());
+      benchmark::DoNotOptimize(i);
+    }
+    return seconds_since(start);
+  };
+  const auto time_empty = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(i);
+    }
+    return seconds_since(start);
+  };
+  // Two passes each, keep the minimum: frequency ramps on shared runners.
+  double span_s = time_spans();
+  double empty_s = time_empty();
+  span_s = std::min(span_s, time_spans());
+  empty_s = std::min(empty_s, time_empty());
+  const double span_ns =
+      std::max(0.0, span_s - empty_s) / static_cast<double>(iters) * 1e9;
+  const double overhead =
+      event_loop_ns_per_op > 0 ? span_ns / event_loop_ns_per_op : 0.0;
+
+  // The enabled cost, for the record (allowed to cost real time; the
+  // differential test guarantees it cannot change any figure).
+  obs::SpanRecorder recorder{iters / 10 + 1};
+  double enabled_ns = 0;
+  {
+    obs::ScopedSpanRecorder installed{&recorder};
+    const std::size_t enabled_iters = iters / 10;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < enabled_iters; ++i) {
+      const std::uint64_t id = obs::open_span(
+          obs::SpanKind::kPieceTransfer, TimePoint::origin(), 0, 1, 0);
+      obs::close_span(id, TimePoint::origin());
+      benchmark::DoNotOptimize(i);
+    }
+    enabled_ns = seconds_since(start) /
+                 static_cast<double>(enabled_iters) * 1e9;
+  }
+
+  std::printf("span open+close: disabled %.2f ns, enabled %.1f ns "
+              "(disabled = %.2f%% of a %.0f ns event-loop op)\n",
+              span_ns, enabled_ns, overhead * 100.0, event_loop_ns_per_op);
+  results.add_value("span_disabled_ns", span_ns);
+  results.add_value("span_enabled_ns", enabled_ns);
+  results.add_value("span_disabled_overhead_ratio", overhead);
+  char text[120];
+  std::snprintf(text, sizeof text,
+                "disabled span open+close costs < 2%% of an event-loop op "
+                "(%.2f%%)",
+                overhead * 100.0);
+  results.check("span_overhead_ok", overhead < 0.02, text);
+}
+
 /// One stalls-vs-bandwidth value per grid cell, for exact serial/parallel
 /// comparison.
 std::vector<double> sweep_fingerprint(const experiments::SweepResult& s) {
@@ -316,6 +383,7 @@ int run_core_suite(bool quick) {
   run_allocator_bench(results, quick);
   const double event_loop_ns = run_event_loop_bench(results, quick);
   run_profiler_overhead_bench(results, event_loop_ns, quick);
+  run_span_overhead_bench(results, event_loop_ns, quick);
   run_e2e_bench(results, quick);
   results.write();
   return results.all_checks_passed() ? 0 : 1;

@@ -8,10 +8,13 @@
 //
 // Observability flags:
 //   --jobs N              additionally run the paper's three-repetition
-//                         average on N worker threads (0 = one per
+//                         average on N worker threads ("auto" = one per
 //                         hardware thread; default 1 = single run only)
 //   --trace PATH          write a JSONL event trace of the swarm run
 //                         (also honoured via the VSPLICE_TRACE env var)
+//   --trace-chrome PATH   write a chrome://tracing / Perfetto trace of
+//                         the causal span chains (implies span tracing;
+//                         also honoured via VSPLICE_SPANS=1)
 //   --metrics-csv PATH    dump the metrics registry as CSV
 //   --timeline            print the per-viewer stall-attribution timeline
 //   --report OUT.html     self-contained HTML swarm-health report
@@ -20,6 +23,9 @@
 //   --profile             install the hot-path profiler and print the
 //                         phase tree after the run (also honoured via
 //                         VSPLICE_PROFILE=1); figures are unaffected
+//   --spans               record causal lifecycle spans and print the
+//                         per-phase segment waterfall; figures are
+//                         unaffected (spans only read simulated time)
 //   --log-level LEVEL     debug|info|warn|error|off; wins over
 //                         VSPLICE_LOG_LEVEL
 
@@ -33,6 +39,7 @@
 #include "core/playlist.h"
 #include "core/splicer.h"
 #include "experiments/paper_setup.h"
+#include "obs/report.h"
 #include "video/encoder.h"
 
 int main(int argc, char** argv) {
@@ -42,12 +49,14 @@ int main(int argc, char** argv) {
   std::string splicer_spec = "4s";
   std::string policy_spec = "adaptive";
   std::string trace_path;
+  std::string trace_chrome_path;
   std::string metrics_csv_path;
   std::string report_html_path;
   std::string snapshot_json_path;
   double sample_interval_s = 0;
   bool timeline = false;
   bool profile = false;
+  bool spans = false;
   int jobs = 1;
 
   std::vector<std::string> positional;
@@ -55,6 +64,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--trace-chrome" && i + 1 < argc) {
+      trace_chrome_path = argv[++i];
     } else if (arg == "--metrics-csv" && i + 1 < argc) {
       metrics_csv_path = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
@@ -76,16 +87,26 @@ int main(int argc, char** argv) {
       }
       set_log_level(level);  // explicit set wins over VSPLICE_LOG_LEVEL
     } else if (arg == "--jobs" && i + 1 < argc) {
-      const auto parsed = parse_int(argv[++i]);
-      if (!parsed || *parsed < 0 || *parsed > 4096) {
-        std::fprintf(stderr, "bad --jobs: %s\n", argv[i]);
-        return 2;
+      const std::string value = argv[++i];
+      if (value == "auto") {
+        jobs = 0;  // ParallelRunner: one worker per hardware thread
+      } else {
+        const auto parsed = parse_int(value);
+        if (!parsed || *parsed < 1 || *parsed > 4096) {
+          std::fprintf(stderr,
+                       "bad --jobs: %s (need an integer >= 1, or "
+                       "\"auto\" for one per hardware thread)\n",
+                       value.c_str());
+          return 2;
+        }
+        jobs = static_cast<int>(*parsed);
       }
-      jobs = static_cast<int>(*parsed);
     } else if (arg == "--timeline") {
       timeline = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--spans") {
+      spans = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -97,6 +118,18 @@ int main(int argc, char** argv) {
     bandwidth_kBps = parse_double(positional[0]).value_or(256);
   if (positional.size() > 1) splicer_spec = positional[1];
   if (positional.size() > 2) policy_spec = positional[2];
+
+  // Fail fast on unwritable output destinations: a full simulated run
+  // followed by a silent write failure is the worst way to learn about a
+  // typo'd directory.
+  for (const std::string* path :
+       {&trace_path, &trace_chrome_path, &metrics_csv_path,
+        &report_html_path, &snapshot_json_path}) {
+    if (!path->empty() && !obs::probe_writable_path(*path)) {
+      std::fprintf(stderr, "cannot write to '%s'\n", path->c_str());
+      return 2;
+    }
+  }
 
   // 1. The content: a 2-minute, 1 Mbps synthetic MPEG-4 video.
   const video::VideoStream stream = video::make_paper_video();
@@ -142,6 +175,8 @@ int main(int argc, char** argv) {
   config.policy = policy_spec;
   config.bandwidth = Rate::kilobytes_per_second(bandwidth_kBps);
   config.trace_path = trace_path;
+  config.trace_chrome_path = trace_chrome_path;
+  config.spans = spans;
   config.metrics_csv_path = metrics_csv_path;
   config.timeline_summary = timeline;
   config.report_html_path = report_html_path;
@@ -194,6 +229,7 @@ int main(int argc, char** argv) {
     repeated_config.metrics_csv_path.clear();
     repeated_config.report_html_path.clear();
     repeated_config.snapshot_json_path.clear();
+    repeated_config.trace_chrome_path.clear();
     repeated_config.timeline_summary = false;
     const experiments::RepeatedResult repeated =
         experiments::run_repeated(repeated_config, 3, jobs);
@@ -204,6 +240,13 @@ int main(int argc, char** argv) {
   }
 
   if (timeline) std::printf("\n%s", result.timeline.c_str());
+  if (!result.waterfall.empty()) {
+    std::printf("\nsegment waterfall (%llu spans recorded, %llu "
+                "dropped):\n%s",
+                static_cast<unsigned long long>(result.spans_recorded),
+                static_cast<unsigned long long>(result.spans_dropped),
+                obs::waterfall_to_text(result.waterfall).c_str());
+  }
   if (!result.profile.empty()) {
     std::printf("\nhot-path profile (%llu events fired, heap high-water "
                 "%zu):\n%s",
@@ -217,6 +260,8 @@ int main(int argc, char** argv) {
     std::printf("\nanomalies flagged: %zu\n", result.anomaly_count);
   if (!trace_path.empty())
     std::printf("\ntrace written to %s\n", trace_path.c_str());
+  if (!trace_chrome_path.empty())
+    std::printf("chrome trace written to %s\n", trace_chrome_path.c_str());
   if (!metrics_csv_path.empty())
     std::printf("metrics written to %s\n", metrics_csv_path.c_str());
   if (!report_html_path.empty())

@@ -39,6 +39,13 @@ bool profile_env_enabled() {
          !(env[0] == '0' && env[1] == '\0');
 }
 
+/// Same convention for VSPLICE_SPANS.
+bool spans_env_enabled() {
+  const char* env = std::getenv("VSPLICE_SPANS");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 /// "fig2.html" + run 2 -> "fig2.run2.html" (keeps the extension so the
 /// per-seed reports still open in a browser; traces, which have no
 /// meaningful extension, keep their append-suffix scheme).
@@ -98,6 +105,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // and the caller's bus sees every event).
   const std::string trace_path = resolve_trace_path(config.trace_path);
   const bool profile = config.profile || profile_env_enabled();
+  // A chrome trace is rendered from spans, so asking for one implies
+  // recording them.
+  const bool spans = config.spans || spans_env_enabled() ||
+                     !config.trace_chrome_path.empty();
   // The report/snapshot outputs need the swarm sampler, and the sampler's
   // anomaly scan needs the in-memory event stream for stall attribution.
   const bool wants_sampling = config.sample_interval.count_micros() > 0 ||
@@ -105,13 +116,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                               !config.snapshot_json_path.empty();
   std::optional<obs::Observability> observability;
   if (!trace_path.empty() || config.timeline_summary ||
-      !config.metrics_csv_path.empty() || wants_sampling || profile) {
+      !config.metrics_csv_path.empty() || wants_sampling || profile ||
+      spans) {
     obs::ObsOptions obs_options;
     obs_options.trace_path = trace_path;
     obs_options.collect_events = config.timeline_summary || wants_sampling;
     obs_options.metrics_csv_path = config.metrics_csv_path;
     obs_options.clock = [&sim] { return sim.now(); };
     obs_options.profile = profile;
+    obs_options.spans = spans;
+    obs_options.span_capacity = config.span_capacity;
     observability.emplace(std::move(obs_options));
   }
 
@@ -290,6 +304,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (series_store) {
     result.memory.add("obs.timeseries", series_store->memory_bytes());
   }
+  if (observability && observability->span_tracing()) {
+    // Close anything still open (in-flight downloads at the time limit)
+    // so the exporters see finite windows, then account for the buffer.
+    obs::SpanRecorder* recorder = observability->span_recorder();
+    recorder->finish(sim.now());
+    result.memory.add("obs.spans", recorder->memory_bytes());
+    result.spans_recorded = recorder->spans().size();
+    result.spans_dropped = recorder->dropped();
+    result.waterfall = obs::segment_waterfall(recorder->spans());
+  }
   result.memory_total_bytes = result.memory.total();
   result.memory_peak_bytes = result.memory_total_bytes;
   if (!leechers.empty()) {
@@ -299,6 +323,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   if (observability) {
     result.profile = observability->profile_snapshot();
+  }
+  if (observability && !config.trace_chrome_path.empty()) {
+    obs::write_text_file(
+        config.trace_chrome_path,
+        obs::render_chrome_trace(observability->spans(),
+                                 profile ? &result.profile : nullptr));
   }
 
   if (wants_sampling) {
@@ -319,9 +349,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                    " pool @ " + buf;
     }
     info.params = report_params(config, sample_interval);
-    obs::ReportData report =
-        obs::build_report(std::move(info), *series_store,
-                          observability->events(), &observability->registry());
+    obs::ReportData report = obs::build_report(
+        std::move(info), *series_store, observability->events(),
+        &observability->registry(),
+        observability->span_tracing() ? &observability->spans() : nullptr);
     report.profile = result.profile;
     report.memory = result.memory;
     report.memory_peak_bytes = result.memory_peak_bytes;
@@ -362,6 +393,10 @@ ScenarioConfig repetition_config(const ScenarioConfig& base, int run_index,
     if (!config.snapshot_json_path.empty()) {
       config.snapshot_json_path =
           with_run_suffix(base.snapshot_json_path, run_index + 1);
+    }
+    if (!config.trace_chrome_path.empty()) {
+      config.trace_chrome_path =
+          with_run_suffix(base.trace_chrome_path, run_index + 1);
     }
   }
   return config;

@@ -13,6 +13,7 @@
 #include "core/segment.h"
 #include "obs/profiler.h"
 #include "obs/resource.h"
+#include "obs/span.h"
 #include "streaming/metrics.h"
 
 namespace vsplice::experiments {
@@ -105,6 +106,21 @@ struct ScenarioConfig {
   /// those measured nanoseconds, so the "identical seeds produce
   /// byte-identical files" guarantee holds only with profiling off.
   bool profile = false;
+
+  /// Record causal lifecycle spans for this run (also enabled by
+  /// VSPLICE_SPANS=1, and implied by trace_chrome_path). Spans only read
+  /// simulated time — figure outputs are byte-identical with them on or
+  /// off; the per-phase waterfall lands in ScenarioResult::waterfall,
+  /// stall causes gain a "critical path" clause, and the report grows a
+  /// "Segment waterfall" section.
+  bool spans = false;
+  /// Cap on recorded spans; excess spans are dropped (newest-first) and
+  /// counted in ScenarioResult::spans_dropped.
+  std::size_t span_capacity = obs::kDefaultSpanCapacity;
+  /// Chrome trace-event (chrome://tracing / Perfetto) destination;
+  /// empty = none. Implies span recording; includes the profiler flame
+  /// when profiling is also on.
+  std::string trace_chrome_path;
 };
 
 struct ScenarioResult {
@@ -182,6 +198,14 @@ struct ScenarioResult {
   /// VSPLICE_PROFILE=1). Wall nanoseconds: NOT deterministic, excluded
   /// from identity comparisons like scheduling_engine_ns.
   obs::ProfileSnapshot profile;
+
+  /// Per-phase latency waterfall over every delivered segment (empty
+  /// unless ScenarioConfig::spans / VSPLICE_SPANS=1 / trace_chrome_path).
+  /// Built from simulated time, so it IS deterministic.
+  std::vector<obs::PhaseStats> waterfall;
+  /// Span-recorder accounting for the run (0 when spans were off).
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
 };
 
 /// Runs one full swarm simulation.

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace vsplice::net {
@@ -132,6 +133,12 @@ void Connection::push(Bytes size,
   fetch_->started = now;
   fetch_->size = size;
   fetch_->on_done = std::move(on_done);
+  if (span_parent_ != 0) {
+    // A granted segment request: the PIECE payload starts flowing now.
+    span_transfer_ = obs::open_span(
+        obs::SpanKind::kPieceTransfer, now, span_parent_,
+        static_cast<std::int64_t>(client_.value), span_segment_, size);
+  }
   start_response_flow();
 }
 
@@ -198,6 +205,15 @@ void Connection::finish_fetch(bool aborted, Bytes delivered) {
   auto on_done = std::move(fetch_->on_done);
   fetch_.reset();
   last_activity_ = sim.now();
+  if (span_transfer_ != 0) {
+    obs::set_span_attr(span_transfer_, delivered);
+    if (aborted) {
+      obs::abort_span(span_transfer_, sim.now());
+    } else {
+      obs::close_span(span_transfer_, sim.now());
+    }
+    span_transfer_ = 0;
+  }
   on_done(result);
 }
 
@@ -206,6 +222,16 @@ void Connection::close() {
   const bool was_established = state_ == State::Established;
   state_ = State::Closed;
   cancel_tracked_events();
+  if (span_request_ != 0) {
+    // The REQUEST never reached the server (or was abandoned before the
+    // grant); record the send leg as aborted.
+    obs::abort_span(span_request_, net_.simulator().now());
+    span_request_ = 0;
+  }
+  if (span_transfer_ != 0) {
+    obs::abort_span(span_transfer_, net_.simulator().now());
+    span_transfer_ = 0;
+  }
   if (was_established) {
     obs::count("net.connections_closed");
     obs::emit(net_.simulator().now(),

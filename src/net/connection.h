@@ -88,6 +88,31 @@ class Connection {
   /// connection is destroyed.
   [[nodiscard]] std::uint64_t id() const { return id_; }
 
+  /// Causal-span context for the transfer this connection was opened
+  /// for: the requesting leecher stamps its segment-root span id, the
+  /// open request-send span id, and the segment index here. The serving
+  /// peer takes the request span when the REQUEST arrives, and the
+  /// connection itself opens/closes the PIECE-transfer span around the
+  /// response flow. Zero ids are inert (span tracing off), so this is
+  /// three member stores on the hot path.
+  void set_span_context(std::uint64_t parent, std::uint64_t request_span,
+                        std::int64_t segment) {
+    span_parent_ = parent;
+    span_request_ = request_span;
+    span_segment_ = segment;
+  }
+  /// Returns the pending request-send span id and clears it — the
+  /// caller becomes responsible for closing it. 0 when none.
+  std::uint64_t take_request_span() {
+    const std::uint64_t id = span_request_;
+    span_request_ = 0;
+    return id;
+  }
+  /// The segment-root span id of the download this connection serves
+  /// (0 = no span context).
+  [[nodiscard]] std::uint64_t span_parent() const { return span_parent_; }
+  [[nodiscard]] std::int64_t span_segment() const { return span_segment_; }
+
  private:
   struct ActiveFetch {
     FlowId flow;
@@ -129,6 +154,12 @@ class Connection {
   sim::EventId connect_event_ = sim::kInvalidEventId;
   std::vector<PendingMessage> messages_;
   std::vector<std::uint32_t> free_message_slots_;
+  /// Span context (see set_span_context); all zero when tracing is off
+  /// or the connection carries no segment transfer.
+  std::uint64_t span_parent_ = 0;
+  std::uint64_t span_request_ = 0;
+  std::uint64_t span_transfer_ = 0;
+  std::int64_t span_segment_ = -1;
 };
 
 }  // namespace vsplice::net

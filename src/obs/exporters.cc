@@ -417,6 +417,20 @@ std::string kilobytes(Bytes b) {
 }  // namespace
 
 std::vector<StallExplanation> explain_stalls(
+    const std::vector<Event>& events, const std::vector<Span>& spans) {
+  std::vector<StallExplanation> out = explain_stalls(events);
+  if (spans.empty()) return out;
+  for (StallExplanation& ex : out) {
+    ex.critical_phase = dominant_phase(
+        spans, ex.node, static_cast<std::int64_t>(ex.segment));
+    if (!ex.critical_phase.empty()) {
+      ex.cause += "; critical path: " + ex.critical_phase;
+    }
+  }
+  return out;
+}
+
+std::vector<StallExplanation> explain_stalls(
     const std::vector<Event>& events) {
   // Median transfer size across the whole trace — the yardstick for
   // calling a blocking segment "oversized" (a static-scene GOP is several
@@ -655,6 +669,10 @@ Observability::Observability(ObsOptions options)
   if (options_.profile) {
     profiler_ = std::make_unique<Profiler>();
     profiler_scope_ = std::make_unique<ScopedProfiler>(profiler_.get());
+  }
+  if (options_.spans) {
+    spans_ = std::make_unique<SpanRecorder>(options_.span_capacity);
+    span_scope_ = std::make_unique<ScopedSpanRecorder>(spans_.get());
   }
   if (options_.capture_logs) {
     previous_sink_ = set_log_sink(

@@ -27,6 +27,7 @@
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace vsplice::obs {
@@ -110,12 +111,23 @@ struct StallExplanation {
   std::string category;
   /// Human-readable one-liner with the numbers behind the verdict.
   std::string cause;
+  /// When causal spans were recorded: the dominant phase on the span
+  /// chain of the blocking segment's delivery (dominant_phase() over
+  /// the last fetch), e.g. "server_queue" or "piece_transfer". Empty
+  /// when span tracing was off or no chain was recorded.
+  std::string critical_phase;
 };
 
 /// Joins every StallBegin against the segment/churn/pool events around
 /// it. Every stall receives a non-empty category and cause.
 [[nodiscard]] std::vector<StallExplanation> explain_stalls(
     const std::vector<Event>& events);
+
+/// Like explain_stalls(events), additionally walking each stall's span
+/// chain (when non-empty) to fill critical_phase and append the
+/// provenance-backed phase to the cause text.
+[[nodiscard]] std::vector<StallExplanation> explain_stalls(
+    const std::vector<Event>& events, const std::vector<Span>& spans);
 
 /// Per-viewer session timelines (join/start/stalls/finish) with each
 /// stall attributed, followed by a cause tally.
@@ -147,6 +159,11 @@ struct ObsOptions {
   /// Install a hot-path profiler for this thread (VSPLICE_PROFILE_SCOPE
   /// accumulates into it; read back via profile_snapshot()).
   bool profile = false;
+  /// Install a causal-span recorder for this thread (lifecycle code
+  /// feeds it through obs::open_span/close_span; read back via spans()).
+  bool spans = false;
+  /// Span capacity cap (spans beyond it are dropped and counted).
+  std::size_t span_capacity = kDefaultSpanCapacity;
 };
 
 /// Owns a TraceBus + MetricsRegistry, installs them as the scoped
@@ -181,6 +198,20 @@ class Observability {
     return profiler_ != nullptr ? profiler_->snapshot() : ProfileSnapshot{};
   }
 
+  /// True when ObsOptions::spans installed a span recorder.
+  [[nodiscard]] bool span_tracing() const { return spans_ != nullptr; }
+  /// The installed recorder; nullptr when span tracing is off.
+  [[nodiscard]] SpanRecorder* span_recorder() { return spans_.get(); }
+  /// Recorded spans; empty when span tracing is off.
+  [[nodiscard]] const std::vector<Span>& spans() const {
+    static const std::vector<Span> kEmpty;
+    return spans_ != nullptr ? spans_->spans() : kEmpty;
+  }
+  /// Spans rejected by the capacity cap; 0 when span tracing is off.
+  [[nodiscard]] std::uint64_t spans_dropped() const {
+    return spans_ != nullptr ? spans_->dropped() : 0;
+  }
+
  private:
   ObsOptions options_;
   TraceBus bus_;
@@ -197,6 +228,10 @@ class Observability {
   /// order next to ScopedObs carries no restore-order constraint).
   std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<ScopedProfiler> profiler_scope_;
+  /// Allocated only when options_.spans; same install pattern as the
+  /// profiler (independent thread_local).
+  std::unique_ptr<SpanRecorder> spans_;
+  std::unique_ptr<ScopedSpanRecorder> span_scope_;
 };
 
 }  // namespace vsplice::obs

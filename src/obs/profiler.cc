@@ -141,13 +141,31 @@ std::string fmt_ns(std::uint64_t ns) {
 
 std::string ProfileSnapshot::to_text() const {
   if (entries.empty()) return "(no profile data)\n";
-  std::string out =
-      "phase                                     count      total       "
-      "self        max\n";
+  // Size the label column to the longest indented name so deep trees
+  // and long phase names stay aligned instead of overflowing a fixed
+  // width; 38 remains the floor so shallow tables keep their shape.
+  std::size_t label_width = 38;
+  for (const ProfileEntry& entry : entries) {
+    label_width = std::max(label_width,
+                           entry.depth * 2 + entry.name.size());
+  }
+
+  // %-of-parent needs each entry's parent total. Entries arrive in DFS
+  // order, so the parent of a depth-d entry is the most recent depth-d-1
+  // entry; top-level entries are charged against their combined total.
+  std::uint64_t root_total = 0;
+  for (const ProfileEntry& entry : entries) {
+    if (entry.depth == 0) root_total += entry.total_ns;
+  }
+
+  std::string out = "phase";
+  out.append(label_width - 5, ' ');
+  out += "     count       total        self         max  parent%\n";
+  std::vector<std::uint64_t> totals_at_depth;
   for (const ProfileEntry& entry : entries) {
     std::string label(entry.depth * 2, ' ');
     label += entry.name;
-    if (label.size() < 38) label.resize(38, ' ');
+    if (label.size() < label_width) label.resize(label_width, ' ');
     char buf[64];
     std::snprintf(buf, sizeof buf, " %9llu",
                   static_cast<unsigned long long>(entry.count));
@@ -158,6 +176,20 @@ std::string ProfileSnapshot::to_text() const {
       std::string cell = fmt_ns(v);
       if (cell.size() < 11) cell.insert(0, 11 - cell.size(), ' ');
       out += " " + cell;
+    }
+    if (entry.depth + 1 > totals_at_depth.size()) {
+      totals_at_depth.resize(entry.depth + 1, 0);
+    }
+    totals_at_depth[entry.depth] = entry.total_ns;
+    const std::uint64_t parent_total =
+        entry.depth == 0 ? root_total : totals_at_depth[entry.depth - 1];
+    if (parent_total > 0) {
+      std::snprintf(buf, sizeof buf, "   %5.1f%%",
+                    100.0 * static_cast<double>(entry.total_ns) /
+                        static_cast<double>(parent_total));
+      out += buf;
+    } else {
+      out += "        -";
     }
     out += "\n";
   }

@@ -516,12 +516,18 @@ std::string fmt_bytes(std::uint64_t bytes) {
 
 ReportData build_report(RunInfo info, const TimeSeriesStore& store,
                         const std::vector<Event>& events,
-                        const MetricsRegistry* metrics) {
+                        const MetricsRegistry* metrics,
+                        const std::vector<Span>* spans) {
   ReportData data;
   data.info = std::move(info);
   data.series = &store;
   data.metrics = metrics;
-  data.stalls = explain_stalls(events);
+  if (spans != nullptr) {
+    data.stalls = explain_stalls(events, *spans);
+    data.waterfall = segment_waterfall(*spans);
+  } else {
+    data.stalls = explain_stalls(events);
+  }
   data.anomalies = scan_anomalies(store, events);
   data.attributions = attribute_stalls(data.stalls, data.anomalies);
   if (!events.empty()) data.timeline = summarize_timeline(events);
@@ -541,6 +547,18 @@ bool write_text_file(const std::string& path, const std::string& text) {
     log_message(LogLevel::Error, "obs", "failed writing '" + path + "'");
     return false;
   }
+  return true;
+}
+
+bool probe_writable_path(const std::string& path) {
+  if (path.empty()) return false;
+  std::FILE* existing = std::fopen(path.c_str(), "rb");
+  const bool existed = existing != nullptr;
+  if (existing != nullptr) std::fclose(existing);
+  std::FILE* probe = std::fopen(path.c_str(), "ab");
+  if (probe == nullptr) return false;
+  std::fclose(probe);
+  if (!existed) std::remove(path.c_str());
   return true;
 }
 
@@ -606,7 +624,9 @@ std::string render_json_snapshot(const ReportData& data) {
            std::to_string(stall.duration.count_micros()) +
            ",\"segment\":" + std::to_string(stall.segment) +
            ",\"category\":" + json_escape(stall.category) +
-           ",\"cause\":" + json_escape(stall.cause) + ",\"anomalies\":[";
+           ",\"cause\":" + json_escape(stall.cause) +
+           ",\"critical_phase\":" + json_escape(stall.critical_phase) +
+           ",\"anomalies\":[";
     if (i < data.attributions.size()) {
       const std::vector<std::size_t>& refs = data.attributions[i].anomalies;
       for (std::size_t j = 0; j < refs.size(); ++j) {
@@ -629,6 +649,18 @@ std::string render_json_snapshot(const ReportData& data) {
            (a.end.is_infinite() ? std::string{"-1"}
                                 : std::to_string(a.end.count_micros())) +
            ",\"detail\":" + json_escape(a.detail) + "}";
+  }
+
+  out += "],\n\"waterfall\":[";
+  for (std::size_t i = 0; i < data.waterfall.size(); ++i) {
+    const PhaseStats& phase = data.waterfall[i];
+    if (i > 0) out += ',';
+    out += "\n{\"phase\":" + json_escape(phase.phase) +
+           ",\"count\":" + std::to_string(phase.count) +
+           ",\"p50_s\":" + fmt_g(phase.p50_s) +
+           ",\"p95_s\":" + fmt_g(phase.p95_s) +
+           ",\"p99_s\":" + fmt_g(phase.p99_s) +
+           ",\"total_s\":" + fmt_g(phase.total_s) + "}";
   }
 
   out += "],\n\"metrics\":{";
@@ -871,6 +903,25 @@ std::string render_html_report(const ReportData& data) {
               fmt_fixed(a.onset.as_seconds(), 1) +
               " s</td><td class=\"num\">" + end_time_label(a.end) +
               "</td><td>" + html_escape(a.detail) + "</td></tr>";
+    }
+    html += "</table>\n";
+  }
+
+  // Per-phase delivery waterfall (only present on span-traced runs).
+  if (!data.waterfall.empty()) {
+    html += "<h2>Segment waterfall</h2>\n<p class=\"sub\">Per-phase "
+            "latency over every delivered segment, from the causal span "
+            "chains (simulated time; deterministic).</p>\n";
+    html += "<table><tr><th>Phase</th><th>Count</th><th>p50 (s)</th>"
+            "<th>p95 (s)</th><th>p99 (s)</th><th>Total (s)</th></tr>";
+    for (const PhaseStats& phase : data.waterfall) {
+      html += "<tr><td>" + html_escape(phase.phase) +
+              "</td><td class=\"num\">" + std::to_string(phase.count) +
+              "</td><td class=\"num\">" + fmt_fixed(phase.p50_s, 3) +
+              "</td><td class=\"num\">" + fmt_fixed(phase.p95_s, 3) +
+              "</td><td class=\"num\">" + fmt_fixed(phase.p99_s, 3) +
+              "</td><td class=\"num\">" + fmt_fixed(phase.total_s, 1) +
+              "</td></tr>";
     }
     html += "</table>\n";
   }

@@ -49,6 +49,9 @@ struct ReportData {
   /// nanoseconds, so a profiled snapshot is NOT byte-identical across
   /// machines — the structure (paths, counts) is.
   ProfileSnapshot profile;
+  /// Per-phase segment-delivery waterfall (empty unless the run recorded
+  /// causal spans). Built from simulated time: deterministic.
+  std::vector<PhaseStats> waterfall;
   /// Per-subsystem byte gauges at end of run (empty = no Memory
   /// section).
   MemoryBreakdown memory;
@@ -60,11 +63,15 @@ struct ReportData {
 
 /// Joins everything the writers need: explains the stalls from the
 /// event trace, scans the series for anomalies, attributes one to the
-/// other, and renders the timeline text.
+/// other, and renders the timeline text. When `spans` is non-null the
+/// stall causes gain their span-chain critical-path clause and the
+/// waterfall section is filled.
 [[nodiscard]] ReportData build_report(RunInfo info,
                                       const TimeSeriesStore& store,
                                       const std::vector<Event>& events,
                                       const MetricsRegistry* metrics =
+                                          nullptr,
+                                      const std::vector<Span>* spans =
                                           nullptr);
 
 [[nodiscard]] std::string render_json_snapshot(const ReportData& data);
@@ -72,5 +79,11 @@ struct ReportData {
 
 /// Writes `text` to `path` verbatim; logs and returns false on failure.
 bool write_text_file(const std::string& path, const std::string& text);
+
+/// True when `path` can be opened for writing. Probes without
+/// clobbering: an existing file is opened for append and left intact; a
+/// missing one is created and removed again. CLIs call this up front so
+/// a typo'd output directory fails before the simulation, not after.
+[[nodiscard]] bool probe_writable_path(const std::string& path);
 
 }  // namespace vsplice::obs

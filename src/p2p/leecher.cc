@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "p2p/swarm.h"
 
@@ -74,6 +75,9 @@ void Leecher::join() {
   obs::emit(join_time_,
             obs::PeerJoined{static_cast<std::int64_t>(node_.value)});
   obs::count("p2p.peers_joined");
+  announce_span_ = obs::open_span(obs::SpanKind::kAnnounce, join_time_, 0,
+                                  static_cast<std::int64_t>(node_.value),
+                                  -1);
   fetch_metadata();
 }
 
@@ -225,6 +229,9 @@ void Leecher::on_metadata(const std::string& playlist_text) {
       swarm_.simulator(), config_.tick, [this] { schedule_downloads(); });
   tick_->start();
 
+  obs::close_span(announce_span_, swarm_.simulator().now());
+  announce_span_ = 0;
+
   schedule_downloads();
 }
 
@@ -365,6 +372,9 @@ void Leecher::start_download(std::size_t segment) {
   Download& download = downloads_[segment];
   download.segment = segment;
   download.started = swarm_.simulator().now();
+  download.span = obs::open_span(obs::SpanKind::kSegment, download.started,
+                                 0, static_cast<std::int64_t>(node_.value),
+                                 static_cast<std::int64_t>(segment));
   in_flight_.set(segment);
   attempt_download(download);
 }
@@ -425,6 +435,12 @@ void Leecher::attempt_download(Download& download) {
   if (!holder) {
     // Everyone with the segment choked us this round; cool off, then
     // try the full holder set again.
+    if (download.wait_span == 0) {
+      download.wait_span = obs::open_span(
+          obs::SpanKind::kChokeWait, sim.now(), download.span,
+          static_cast<std::int64_t>(node_.value),
+          static_cast<std::int64_t>(segment));
+    }
     download.tried.clear();
     download.retry_event = sim.after(config_.choke_backoff, [this, segment] {
       const auto it = downloads_.find(segment);
@@ -440,16 +456,35 @@ void Leecher::attempt_download(Download& download) {
 
 void Leecher::request_from(Download& download, net::NodeId holder) {
   const std::size_t segment = download.segment;
+  const TimePoint now = swarm_.simulator().now();
   download.holder = holder;
-  obs::emit(swarm_.simulator().now(),
+  obs::emit(now,
             obs::SegmentRequested{static_cast<std::int64_t>(node_.value),
                                   static_cast<std::int64_t>(holder.value),
                                   segment, index_->at(segment).size});
   obs::count("p2p.segment_requests");
+  if (download.wait_span != 0) {
+    obs::close_span(download.wait_span, now);
+    download.wait_span = 0;
+  }
+  obs::instant_span(obs::SpanKind::kRequestDecision, now, download.span,
+                    static_cast<std::int64_t>(node_.value),
+                    static_cast<std::int64_t>(segment),
+                    static_cast<std::int64_t>(holder.value));
   if (download.conn) swarm_.dispose_connection(std::move(download.conn));
   download.conn = std::make_unique<net::Connection>(swarm_.network(), rng_,
                                                     node_, holder);
   net::Connection* raw = download.conn.get();
+  // The request-send span travels with the connection: the serving peer
+  // closes it at REQUEST arrival; Connection::close() aborts it if the
+  // request is abandoned first (timeout, choke retry, rebalance).
+  raw->set_span_context(
+      download.span,
+      obs::open_span(obs::SpanKind::kRequestSend, now, download.span,
+                     static_cast<std::int64_t>(node_.value),
+                     static_cast<std::int64_t>(segment),
+                     static_cast<std::int64_t>(holder.value)),
+      static_cast<std::int64_t>(segment));
   raw->connect([this, raw, segment] {
     const auto it = downloads_.find(segment);
     if (it == downloads_.end() || it->second.conn.get() != raw) return;
@@ -555,19 +590,38 @@ void Leecher::on_segment_complete(std::size_t segment, Bytes bytes,
       it != downloads_.end()
           ? static_cast<std::int64_t>(it->second.holder.value)
           : -1;
-  obs::emit(swarm_.simulator().now(),
+  const TimePoint now = swarm_.simulator().now();
+  obs::emit(now,
             obs::SegmentReceived{static_cast<std::int64_t>(node_.value),
                                  holder_id, segment, bytes, elapsed});
   obs::count("p2p.segments_received");
   obs::observe("p2p.segment_latency_s", elapsed.as_seconds(),
                kSegmentLatencySpec);
+  // Close out the causal chain: verify + buffer insert are instants in
+  // this discrete model (no decode latency is simulated), then the
+  // kSegment root itself. The root id moves to the player, which emits
+  // the playout span when the playhead consumes the segment.
+  std::uint64_t root = 0;
+  if (it != downloads_.end()) {
+    root = it->second.span;
+    it->second.span = 0;  // cancel_download must not abort it
+  }
+  if (root != 0) {
+    const auto node_id = static_cast<std::int64_t>(node_.value);
+    const auto seg = static_cast<std::int64_t>(segment);
+    obs::instant_span(obs::SpanKind::kVerify, now, root, node_id, seg,
+                      bytes);
+    obs::instant_span(obs::SpanKind::kBufferInsert, now, root, node_id,
+                      seg);
+    obs::close_span(root, now);
+  }
   cancel_download(segment);
   mark_have(segment);
   if (config_.estimate_bandwidth) estimator_.record(bytes, elapsed);
   VSPLICE_DEBUG("leecher") << node_.to_string() << ": segment " << segment
                            << " complete (" << format_bytes(bytes) << " in "
                            << elapsed.to_string() << ")";
-  player_->on_segment_downloaded(segment);
+  player_->on_segment_downloaded(segment, root);
   broadcast_have(segment);
   schedule_downloads();
 }
@@ -582,6 +636,8 @@ void Leecher::cancel_download(std::size_t segment) {
     sim.cancel(download.retry_event);
   if (download.timeout_event != sim::kInvalidEventId)
     sim.cancel(download.timeout_event);
+  if (download.wait_span != 0) obs::abort_span(download.wait_span, sim.now());
+  if (download.span != 0) obs::abort_span(download.span, sim.now());
   if (download.conn) swarm_.dispose_connection(std::move(download.conn));
 }
 

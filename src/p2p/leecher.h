@@ -157,6 +157,10 @@ class Leecher final : public Peer {
     TimePoint started;
     sim::EventId retry_event = sim::kInvalidEventId;
     sim::EventId timeout_event = sim::kInvalidEventId;
+    /// kSegment root span of this download (0 = span tracing off).
+    std::uint64_t span = 0;
+    /// Open kChokeWait span while backing off with no viable holder.
+    std::uint64_t wait_span = 0;
   };
 
   void fetch_metadata();
@@ -251,6 +255,8 @@ class Leecher final : public Peer {
   /// changes are only interesting as transitions, so equal values are
   /// suppressed.
   int last_pool_emitted_ = -1;
+  /// kAnnounce span: join() -> metadata + peer list (0 = tracing off).
+  std::uint64_t announce_span_ = 0;
 };
 
 }  // namespace vsplice::p2p

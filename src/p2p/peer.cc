@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/span.h"
 #include "p2p/swarm.h"
 
 namespace vsplice::p2p {
@@ -69,6 +70,9 @@ void Peer::on_choke(net::NodeId, net::Connection&) {}
 void Peer::on_request(net::NodeId from, net::Connection& conn,
                       const RequestMsg& msg) {
   ++stats_.requests_received;
+  // The request-send leg of the requester's span chain ends here, at
+  // REQUEST arrival (no-op ids when span tracing is off).
+  obs::close_span(conn.take_request_span(), swarm_.simulator().now());
   const bool have_it =
       msg.segment < have_.size() && have_.get(msg.segment);
   if (!have_it) {
@@ -79,6 +83,13 @@ void Peer::on_request(net::NodeId from, net::Connection& conn,
   if (active_uploads_ < config_.max_upload_slots) {
     VSPLICE_DEBUG("peer") << node_.to_string() << " serving segment "
                           << msg.segment << " to " << from.to_string();
+    if (conn.span_parent() != 0) {
+      // Zero queue time, recorded so the server_queue percentiles cover
+      // every granted request, not only the queued ones.
+      obs::instant_span(obs::SpanKind::kServerQueue,
+                        swarm_.simulator().now(), conn.span_parent(),
+                        static_cast<std::int64_t>(from.value), msg.segment);
+    }
     serve_piece(conn, msg);
     return;
   }
@@ -86,7 +97,15 @@ void Peer::on_request(net::NodeId from, net::Connection& conn,
     // Hold the request; the requester waits on the open connection and
     // is served when a slot frees (BitTorrent-style unchoking).
     ++stats_.requests_queued;
-    request_queue_.push_back(PendingRequest{from, conn.id(), msg});
+    PendingRequest pending{from, conn.id(), msg};
+    if (conn.span_parent() != 0) {
+      pending.queue_span = obs::open_span(
+          obs::SpanKind::kServerQueue, swarm_.simulator().now(),
+          conn.span_parent(), static_cast<std::int64_t>(from.value),
+          msg.segment,
+          static_cast<std::int64_t>(request_queue_.size()));
+    }
+    request_queue_.push_back(pending);
     return;
   }
   ++stats_.requests_choked;
@@ -102,10 +121,16 @@ void Peer::serve_from_queue() {
         swarm_.network().find_connection(pending.connection_id);
     if (conn == nullptr || !conn->established() ||
         conn->fetch_in_progress()) {
-      continue;  // requester hung up (or the connection is busy); skip
+      // requester hung up (or the connection is busy); skip
+      obs::abort_span(pending.queue_span, swarm_.simulator().now());
+      continue;
     }
     const Peer* client = swarm_.find(pending.client);
-    if (client == nullptr || !client->online()) continue;
+    if (client == nullptr || !client->online()) {
+      obs::abort_span(pending.queue_span, swarm_.simulator().now());
+      continue;
+    }
+    obs::close_span(pending.queue_span, swarm_.simulator().now());
     serve_piece(*conn, pending.request);
   }
 }

@@ -130,6 +130,9 @@ class Peer {
     net::NodeId client;
     std::uint64_t connection_id = 0;
     RequestMsg request;
+    /// Open kServerQueue span while the request waits for a free upload
+    /// slot (0 = span tracing off).
+    std::uint64_t queue_span = 0;
   };
 
   Swarm& swarm_;

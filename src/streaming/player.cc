@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace vsplice::streaming {
@@ -31,8 +32,15 @@ void Player::start_session(TimePoint session_start) {
   maybe_start_playback();
 }
 
-void Player::on_segment_downloaded(std::size_t segment) {
+void Player::on_segment_downloaded(std::size_t segment,
+                                   std::uint64_t fetch_span) {
   buffer_.mark_downloaded(segment);
+  if (fetch_span != 0) {
+    if (fetch_spans_.size() <= segment) {
+      fetch_spans_.resize(buffer_.index().count(), 0);
+    }
+    fetch_spans_[segment] = fetch_span;
+  }
   if (obs::tracing()) {
     obs::emit(sim_.now(), obs::BufferLevel{config_.trace_id,
                                            buffer_.buffered_ahead(playhead())});
@@ -44,6 +52,7 @@ void Player::on_segment_downloaded(std::size_t segment) {
       if (session_started_) maybe_start_playback();
       break;
     case State::Playing:
+      flush_consumed();
       // The frontier may have moved; push the exhaustion point out.
       schedule_exhaustion();
       break;
@@ -131,7 +140,9 @@ void Player::schedule_exhaustion() {
 }
 
 void Player::handle_exhaustion() {
-  // The playhead has reached the download frontier.
+  // The playhead has reached the download frontier. Flush playout spans
+  // now, while the anchor that played those segments is still current.
+  flush_consumed();
   if (buffer_.frontier() == buffer_.index().count()) {
     finish();
     return;
@@ -150,6 +161,31 @@ void Player::handle_exhaustion() {
   VSPLICE_DEBUG("player") << "stall #" << metrics_.stall_count << " at media "
                           << stall.playhead.to_string();
   if (on_stall) on_stall();
+}
+
+void Player::flush_consumed() {
+  if (!obs::span_tracing()) return;
+  check_invariant(state_ == State::Playing,
+                  "playout spans are flushed against the Playing anchor");
+  const Duration head = playhead();
+  const core::SegmentIndex& index = buffer_.index();
+  while (consumed_ < index.count() && index.at(consumed_).end() <= head) {
+    const core::Segment& seg = index.at(consumed_);
+    // Retroactive wall-time window: while Playing, media position m was
+    // rendered at anchor_time_ + (m - anchor_media_). Stalls only occur
+    // at segment boundaries, so a fully consumed segment always lies
+    // inside the current anchor stretch.
+    const TimePoint start = anchor_time_ + (seg.start - anchor_media_);
+    const TimePoint end = anchor_time_ + (seg.end() - anchor_media_);
+    const std::uint64_t parent =
+        consumed_ < fetch_spans_.size() ? fetch_spans_[consumed_] : 0;
+    obs::close_span(
+        obs::open_span(obs::SpanKind::kPlayout, start, parent,
+                       config_.trace_id,
+                       static_cast<std::int64_t>(consumed_)),
+        end);
+    ++consumed_;
+  }
 }
 
 void Player::finish() {

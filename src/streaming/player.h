@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/units.h"
 #include "core/segment.h"
@@ -49,7 +50,11 @@ class Player {
   void start_session(TimePoint session_start);
 
   /// Transport notification: `segment` is fully downloaded.
-  void on_segment_downloaded(std::size_t segment);
+  /// `fetch_span` is the causal kSegment root span id of the download
+  /// (0 when span tracing is off) — the playout span emitted when the
+  /// playhead consumes this segment is parented to it.
+  void on_segment_downloaded(std::size_t segment,
+                             std::uint64_t fetch_span = 0);
 
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] bool started() const { return metrics_.started; }
@@ -87,6 +92,13 @@ class Player {
   void schedule_exhaustion();
   void handle_exhaustion();
   void finish();
+  /// Emits kPlayout spans for every segment the playhead has fully
+  /// consumed since the last call, mapping media windows back onto the
+  /// wall clock via the current Playing anchor. Must run before the
+  /// anchor changes (i.e. at stall begin and on frontier advances), so
+  /// the retroactive mapping stays within one playing stretch. No-op
+  /// when span tracing is off.
+  void flush_consumed();
 
   sim::Simulator& sim_;
   PlayerConfig config_;
@@ -105,6 +117,13 @@ class Player {
   /// Frontier segment whose absence caused the current stall.
   std::size_t stall_segment_ = 0;
   sim::EventId exhaustion_event_ = sim::kInvalidEventId;
+
+  /// Next segment index the playhead has not yet fully consumed (only
+  /// advanced while span tracing is on — see flush_consumed()).
+  std::size_t consumed_ = 0;
+  /// Per-segment fetch-root span ids (sized lazily; only populated when
+  /// span tracing is on).
+  std::vector<std::uint64_t> fetch_spans_;
 };
 
 }  // namespace vsplice::streaming

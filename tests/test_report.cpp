@@ -1,6 +1,7 @@
 // Swarm-health sampling, anomaly scanning, and run-report tests:
-// time-series downsampling, sampler rate derivation and naming, the four
-// anomaly kinds, stall attribution, snapshot byte-determinism, and the
+// time-series downsampling, sampler rate derivation and naming, the five
+// anomaly kinds (with exact threshold-boundary pins), stall attribution,
+// snapshot byte-determinism, and the
 // self-containment of the HTML report.
 #include <gtest/gtest.h>
 
@@ -279,6 +280,179 @@ TEST(AnomalyScan, AttributesEveryStallToSomeAnomaly) {
   ASSERT_EQ(attributions.size(), 1u);
   ASSERT_EQ(attributions[0].anomalies.size(), 1u);
   EXPECT_EQ(attributions[0].anomalies[0], 0u);
+}
+
+// ------------------------------------------- anomaly threshold boundaries
+//
+// Each detector's exact boundary, plus the degenerate empty-series and
+// single-sample inputs, for all five kinds. These pin the comparison
+// directions (<= vs <) so a refactor cannot silently shift a threshold
+// by one sample or one epsilon.
+
+TEST(AnomalyBoundary, EmptyStoreAndEventsFlagNothing) {
+  TimeSeriesStore store;
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
+  // Named but empty series must behave like absent ones.
+  store.series("peer.1.pool");
+  store.series(SwarmSampler::segment_series(0));
+  store.series("swarm.seeder_upload_slots");
+  store.series("swarm.seeder_active_uploads");
+  store.series("sim.garbage_ratio");
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
+}
+
+TEST(AnomalyBoundary, BufferDrainWithoutBufferSeriesUsesStallTime) {
+  // buffer_drain is emitted per stall even with no sampled buffer; the
+  // onset then falls back to the stall time itself.
+  TimeSeriesStore store;
+  std::vector<obs::Event> events;
+  obs::Event begin;
+  begin.time = at_s(7);
+  begin.seq = 1;
+  begin.payload = obs::StallBegin{2, Duration::seconds(4.0), 6};
+  events.push_back(begin);
+  const std::vector<Anomaly> anomalies = obs::scan_anomalies(store, events);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, "buffer_drain");
+  EXPECT_EQ(anomalies[0].onset, at_s(7));
+  EXPECT_EQ(anomalies[0].end, at_s(7));  // no StallEnd: zero-length
+}
+
+TEST(AnomalyBoundary, BufferDrainSingleSampleSeries) {
+  TimeSeriesStore store;
+  store.series("peer.2.buffer_s").append(at_s(5), 3.0);
+  std::vector<obs::Event> events;
+  obs::Event begin;
+  begin.time = at_s(6);
+  begin.seq = 1;
+  begin.payload = obs::StallBegin{2, Duration::seconds(4.0), 6};
+  events.push_back(begin);
+  const std::vector<Anomaly> anomalies = obs::scan_anomalies(store, events);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].onset, at_s(5));  // the lone pre-stall sample
+}
+
+TEST(AnomalyBoundary, PoolCollapseTriggersAtExactlyOne) {
+  // The low threshold is <= 1.0: exactly k=1 is a collapse once the
+  // pool has been armed by reaching exactly k=2 (arm is >= 2.0).
+  TimeSeriesStore store;
+  Series& pool = store.series("peer.1.pool");
+  pool.append(at_s(0), 2.0);  // arms at exactly the arm threshold
+  pool.append(at_s(1), 1.0);  // exactly the low threshold
+  const std::vector<Anomaly> anomalies = obs::scan_anomalies(store, {});
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, "pool_collapse");
+  EXPECT_EQ(anomalies[0].onset, at_s(1));
+}
+
+TEST(AnomalyBoundary, PoolJustAboveThresholdsStaysQuiet) {
+  // 1.9 never reaches the arm threshold; a drop to 1.1 stays above the
+  // low threshold even when armed. Neither may flag.
+  TimeSeriesStore store;
+  Series& never_armed = store.series("peer.1.pool");
+  never_armed.append(at_s(0), 1.9);
+  never_armed.append(at_s(1), 1.0);
+  Series& armed_but_high = store.series("peer.2.pool");
+  armed_but_high.append(at_s(0), 4.0);
+  armed_but_high.append(at_s(1), 1.1);
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
+}
+
+TEST(AnomalyBoundary, PoolSingleSampleIsInitialConditionNotCollapse) {
+  TimeSeriesStore store;
+  store.series("peer.3.pool").append(at_s(0), 1.0);
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
+}
+
+TEST(AnomalyBoundary, AvailabilityExactlyTwoReplicasIsSafe) {
+  // The low threshold is <= 1.5 ("below 2 replicas"): exactly 2 online
+  // replicas must not flag; exactly 1 must.
+  TimeSeriesStore store;
+  Series& safe = store.series(SwarmSampler::segment_series(1));
+  safe.append(at_s(0), 3.0);
+  safe.append(at_s(1), 2.0);
+  const std::vector<Anomaly> none = obs::scan_anomalies(store, {});
+  EXPECT_TRUE(none.empty());
+  Series& fragile = store.series(SwarmSampler::segment_series(2));
+  fragile.append(at_s(0), 3.0);
+  fragile.append(at_s(1), 1.0);
+  const std::vector<Anomaly> anomalies = obs::scan_anomalies(store, {});
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, "low_availability");
+  EXPECT_EQ(anomalies[0].segment, 2);
+}
+
+TEST(AnomalyBoundary, AvailabilitySingleSampleNeverFlags) {
+  // One sample cannot both arm (>= 2 replicas) and drop (< 2).
+  TimeSeriesStore store;
+  store.series(SwarmSampler::segment_series(0)).append(at_s(0), 1.0);
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
+}
+
+TEST(AnomalyBoundary, SeederSaturationNeedsExactlyThreeSamples) {
+  // Sustained = >= 3 raw samples: two busy samples stay quiet, three
+  // flag. Run both cases through the same series shape.
+  for (const int busy : {2, 3}) {
+    TimeSeriesStore store;
+    Series& slots = store.series("swarm.seeder_upload_slots");
+    Series& active = store.series("swarm.seeder_active_uploads");
+    for (int i = 0; i < 4; ++i) {
+      slots.append(at_s(i), 2.0);
+      active.append(at_s(i), i < busy ? 2.0 : 0.0);
+    }
+    const std::vector<Anomaly> anomalies = obs::scan_anomalies(store, {});
+    if (busy < 3) {
+      EXPECT_TRUE(anomalies.empty()) << busy << " busy samples";
+    } else {
+      ASSERT_EQ(anomalies.size(), 1u) << busy << " busy samples";
+      EXPECT_EQ(anomalies[0].kind, "seeder_saturation");
+      EXPECT_EQ(anomalies[0].onset, at_s(0));
+      EXPECT_EQ(anomalies[0].end, at_s(2));
+    }
+  }
+}
+
+TEST(AnomalyBoundary, SeederWithZeroSlotsNeverSaturates) {
+  TimeSeriesStore store;
+  for (int i = 0; i < 4; ++i) {
+    store.series("swarm.seeder_upload_slots").append(at_s(i), 0.0);
+    store.series("swarm.seeder_active_uploads").append(at_s(i), 0.0);
+  }
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
+}
+
+TEST(AnomalyBoundary, GarbageRatioExactlyHalfIsNotGarbageHeavy) {
+  // The threshold is strictly > 0.5: a heap sitting at exactly one half
+  // garbage must not flag, however long it stays there.
+  TimeSeriesStore store;
+  Series& ratio = store.series("sim.garbage_ratio");
+  for (int i = 0; i < 5; ++i) ratio.append(at_s(i), 0.5);
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
+}
+
+TEST(AnomalyBoundary, GarbageRatioAboveHalfNeedsThreeSamples) {
+  for (const int heavy : {2, 3}) {
+    TimeSeriesStore store;
+    Series& ratio = store.series("sim.garbage_ratio");
+    for (int i = 0; i < 4; ++i) {
+      ratio.append(at_s(i), i < heavy ? 0.6 : 0.1);
+    }
+    const std::vector<Anomaly> anomalies = obs::scan_anomalies(store, {});
+    if (heavy < 3) {
+      EXPECT_TRUE(anomalies.empty()) << heavy << " heavy samples";
+    } else {
+      ASSERT_EQ(anomalies.size(), 1u) << heavy << " heavy samples";
+      EXPECT_EQ(anomalies[0].kind, "event_queue_garbage");
+      EXPECT_NE(anomalies[0].detail.find("60%"), std::string::npos)
+          << anomalies[0].detail;
+    }
+  }
+}
+
+TEST(AnomalyBoundary, GarbageSingleSampleIsABurstNotAnAnomaly) {
+  TimeSeriesStore store;
+  store.series("sim.garbage_ratio").append(at_s(0), 0.9);
+  EXPECT_TRUE(obs::scan_anomalies(store, {}).empty());
 }
 
 // ----------------------------------------------- end-to-end scenario runs

@@ -17,8 +17,11 @@
 //     deterministic simulation output, compared with a small relative
 //     tolerance (default 1e-9, effectively exact);
 //   - a metric present in the baseline but missing from the current run
-//     is a regression (a silently dropped check is the worst kind);
-//     new metrics are listed as notes.
+//     is a regression (a silently dropped check is the worst kind),
+//     unless it is machine-shaped (jobs/threads), which is only a note;
+//     new metrics are listed as notes. Added and removed keys also get
+//     their own sections in the markdown table so a renamed metric is
+//     impossible to miss.
 //
 //   bench_compare BASELINE.json CURRENT.json [options]
 //     --time-tolerance X   factor for timing/throughput metrics (4.0)
@@ -374,8 +377,16 @@ std::vector<Row> compare(const std::map<std::string, Leaf>& baseline,
   for (const auto& [path, base] : baseline) {
     const auto it = current.find(path);
     if (it == current.end()) {
-      push(path, fmt_leaf(base), "missing", "REGRESSION",
-           "metric disappeared from the current run");
+      // A dropped machine-shaped key (different worker count) is noise;
+      // a dropped deterministic/timing/check key is a silently lost
+      // guarantee and must fail the gate.
+      if (classify(path) == MetricKind::Environment) {
+        push(path, fmt_leaf(base), "missing", "note",
+             "machine-dependent metric removed; not compared");
+      } else {
+        push(path, fmt_leaf(base), "missing", "REGRESSION",
+             "metric disappeared from the current run");
+      }
       continue;
     }
     const Leaf& cur = it->second;
@@ -460,7 +471,37 @@ std::string markdown_table(const std::string& baseline_path,
   out << "# bench_compare\n\n"
       << "- baseline: `" << baseline_path << "`\n"
       << "- current: `" << current_path << "`\n"
-      << "- regressions: **" << regressions << "**\n\n"
+      << "- regressions: **" << regressions << "**\n\n";
+
+  // Key-set drift in its own section: a renamed or dropped metric hides
+  // easily in a long comparison table, never in a short list.
+  std::vector<const Row*> added;
+  std::vector<const Row*> removed;
+  for (const Row& row : rows) {
+    if (row.baseline == "missing") added.push_back(&row);
+    if (row.current == "missing") removed.push_back(&row);
+  }
+  out << "## Removed keys\n\n";
+  if (removed.empty()) {
+    out << "(none)\n\n";
+  } else {
+    for (const Row* row : removed) {
+      out << "- `" << row->path << "` (was " << row->baseline << ") — "
+          << row->verdict << ": " << row->detail << "\n";
+    }
+    out << "\n";
+  }
+  out << "## Added keys\n\n";
+  if (added.empty()) {
+    out << "(none)\n\n";
+  } else {
+    for (const Row* row : added) {
+      out << "- `" << row->path << "` = " << row->current << "\n";
+    }
+    out << "\n";
+  }
+
+  out << "## Comparison\n\n"
       << "| metric | baseline | current | verdict | detail |\n"
       << "|---|---|---|---|---|\n";
   for (const Row& row : rows) {
@@ -560,6 +601,8 @@ int self_test() {
   base["values.count"] = Leaf{Leaf::Kind::Number, false, 42.0};
   cur["values.count"] = Leaf{Leaf::Kind::Number, false, 43.0};
   base["values.gone_wall_s"] = Leaf{Leaf::Kind::Number, false, 1.0};
+  base["values.gone_count"] = Leaf{Leaf::Kind::Number, false, 11.0};
+  base["values.gone_jobs"] = Leaf{Leaf::Kind::Number, false, 8.0};
   base["values.skipped_s"] = Leaf{Leaf::Kind::Null, false, 0};
   cur["values.skipped_s"] = Leaf{Leaf::Kind::Number, false, 9.0};
   cur["values.brand_new"] = Leaf{Leaf::Kind::Number, false, 7.0};
@@ -567,9 +610,10 @@ int self_test() {
   int regressions = 0;
   const std::vector<Row> rows = compare(base, cur, options, regressions);
   // check flipped, b_wall_s over limit, rate collapsed, count drifted,
-  // gone_wall_s missing = 5 regressions; a_wall_s ok; skipped_s and
-  // brand_new are notes.
-  EXPECT(regressions == 5);
+  // gone_wall_s + gone_count (deterministic key removed) = 6
+  // regressions; a_wall_s ok; gone_jobs (machine-shaped removal),
+  // skipped_s, and brand_new are notes.
+  EXPECT(regressions == 6);
   int notes = 0;
   int oks = 0;
   for (const Row& row : rows) {
@@ -579,9 +623,31 @@ int self_test() {
     if (row.path == "values.b_wall_s") EXPECT(row.verdict == "REGRESSION");
     if (row.path == "values.gone_wall_s")
       EXPECT(row.verdict == "REGRESSION");
+    if (row.path == "values.gone_count")
+      EXPECT(row.verdict == "REGRESSION");
+    if (row.path == "values.gone_jobs") EXPECT(row.verdict == "note");
   }
-  EXPECT(notes == 2);
+  EXPECT(notes == 3);
   EXPECT(oks == 1);
+
+  // The markdown table surfaces key-set drift in dedicated sections.
+  const std::string table = markdown_table("base.json", "cur.json", rows,
+                                           regressions);
+  EXPECT(table.find("## Removed keys") != std::string::npos);
+  EXPECT(table.find("## Added keys") != std::string::npos);
+  EXPECT(table.find("- `values.gone_wall_s` (was 1)") != std::string::npos);
+  EXPECT(table.find("- `values.gone_jobs` (was 8) — note") !=
+         std::string::npos);
+  EXPECT(table.find("- `values.brand_new` = 7") != std::string::npos);
+
+  // No key drift renders explicit "(none)" markers.
+  int none_regressions = 0;
+  const std::vector<Row> same =
+      compare(base, base, options, none_regressions);
+  const std::string same_table =
+      markdown_table("base.json", "base.json", same, none_regressions);
+  EXPECT(same_table.find("## Removed keys\n\n(none)") != std::string::npos);
+  EXPECT(same_table.find("## Added keys\n\n(none)") != std::string::npos);
 
   // Identical inputs never regress (the baseline-refresh invariant).
   int self_regressions = 0;
