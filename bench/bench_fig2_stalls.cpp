@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
 
   ScenarioConfig base;  // the paper topology: 20 nodes, 50 ms, 5% loss
   base.trace_path = opts.trace_base;
+  base.loop_threads = opts.loop_threads;
   const std::vector<Rate> bandwidths{
       Rate::kilobytes_per_second(128), Rate::kilobytes_per_second(256),
       Rate::kilobytes_per_second(512), Rate::kilobytes_per_second(768)};

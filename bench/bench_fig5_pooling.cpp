@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   ScenarioConfig base;
   base.trace_path = opts.trace_base;
+  base.loop_threads = opts.loop_threads;
   base.splicer = "4s";
   const std::vector<Rate> bandwidths{
       Rate::kilobytes_per_second(128), Rate::kilobytes_per_second(256),

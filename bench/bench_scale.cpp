@@ -16,14 +16,21 @@
 // The 20-peer paper configuration is also run both ways and checked for
 // identical results (same stalls, same startup, same decisions), the
 // guardrail that the optimization did not change the science.
+// The largest sweep size is additionally rerun with the deterministic
+// parallel event loop (8 lanes, DESIGN.md §14) — identity checked on
+// every machine, whole-run speedup gated at >= 2x when the machine has
+// >= 8 hardware threads — and full mode pushes one 10,000-peer
+// parallel-loop point past the serial sweep.
 //
 //   ./bench_scale            full sweep  {20,100,500,1000,2000} x {gop,4s}
 //   ./bench_scale --quick    CI sweep    {20,100,500} x {4s}
 //
 // Writes BENCH_scale.json; exit code 1 when any check fails.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.h"
@@ -131,6 +138,7 @@ int run_bench(bool quick) {
                         r.memory_bytes_per_peer);
       results.add_value(key(nodes, splicer, "memory_total_bytes"),
                         static_cast<double>(r.memory_total_bytes));
+      results.add_value(key(nodes, splicer, "loop_threads"), 1);
 
       // QoE shape: the swarm must actually stream at every size — every
       // run makes decisions, and started viewers have positive startup.
@@ -181,6 +189,95 @@ int run_bench(bool quick) {
                   per_peer_at_smallest > 0 &&
                       per_peer_at_largest <= 3.0 * per_peer_at_smallest,
                   text);
+  }
+
+  // --- Parallel event loop (DESIGN.md §14): the largest sweep size
+  // rerun with 8 execution lanes must reproduce the serial results
+  // exactly; the wall-clock ratio is the whole-run speedup. The >= 2x
+  // gate engages only with >= 8 hardware threads — with fewer, lanes
+  // oversubscribe and the ratio measures scheduler thrash, not the
+  // code — but identity is checked on every machine.
+  {
+    const std::size_t nodes = sizes.back();
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    constexpr int kLanes = 8;
+    experiments::ScenarioConfig config = scale_config(nodes, "4s");
+    const RunPoint serial = run_point(config);
+    config.loop_threads = kLanes;
+    const RunPoint parallel = run_point(config);
+    const experiments::ScenarioResult& a = serial.result;
+    const experiments::ScenarioResult& b = parallel.result;
+    const bool identical =
+        a.total_stalls == b.total_stalls &&
+        a.total_stall_seconds == b.total_stall_seconds &&
+        a.mean_startup_seconds == b.mean_startup_seconds &&
+        a.wall_time.count_micros() == b.wall_time.count_micros() &&
+        a.network_bytes_delivered == b.network_bytes_delivered &&
+        a.events_fired == b.events_fired &&
+        a.memory_total_bytes == b.memory_total_bytes &&
+        a.segment_picks == b.segment_picks &&
+        a.holder_picks == b.holder_picks;
+    const double speedup =
+        parallel.wall_s > 0 ? serial.wall_s / parallel.wall_s : 0.0;
+    std::printf(
+        "  %4zu peers, parallel loop: serial %.2f s, %d lanes %.2f s "
+        "(%.2fx, %u hw threads)\n",
+        nodes, serial.wall_s, kLanes, parallel.wall_s, speedup, hw);
+    results.add_value("loop_threads", kLanes);
+    results.add_value("hardware_concurrency", hw);
+    results.add_value("parallel_loop_serial_s", serial.wall_s);
+    results.add_value("parallel_loop_parallel_s", parallel.wall_s);
+    results.add_value("parallel_loop_speedup", speedup);
+    results.check("parallel_matches_serial_loop", identical,
+                  "largest sweep size: 8-lane loop reproduces the "
+                  "serial results exactly");
+    if (hw >= static_cast<unsigned>(kLanes)) {
+      char text[120];
+      std::snprintf(text, sizeof text,
+                    "whole-run speedup >= 2x at %d loop threads (%.2fx)",
+                    kLanes, speedup);
+      results.check("parallel_loop_speedup_2x", speedup >= 2.0, text);
+    } else {
+      std::printf(
+          "  speedup gate skipped: %u hardware threads < %d lanes "
+          "(identity still checked)\n",
+          hw, kLanes);
+    }
+  }
+
+  // --- Frontier point (full mode only): ten thousand peers with the
+  // parallel loop — well past what the serial sweep exercises — to
+  // record that the engine holds together at that scale. Recorded like
+  // any sweep point, plus its lane count.
+  if (!quick) {
+    const std::size_t nodes = 10000;
+    experiments::ScenarioConfig config = scale_config(nodes, "4s");
+    config.loop_threads = 8;
+    std::printf("  %4zu peers, parallel loop running...\n", nodes);
+    const RunPoint point = run_point(config);
+    const experiments::ScenarioResult& r = point.result;
+    std::printf("  %4zu peers, 4s : %6.2f wall-s/sim-min, %zu/%zu "
+                "finished\n",
+                nodes, point.wall_s_per_sim_min, r.finished_viewers,
+                r.viewer_count);
+    results.add_value(key(nodes, "4s", "wall_s"), point.wall_s);
+    results.add_value(key(nodes, "4s", "wall_s_per_sim_min"),
+                      point.wall_s_per_sim_min);
+    results.add_value(key(nodes, "4s", "segment_picks"),
+                      static_cast<double>(r.segment_picks));
+    results.add_value(key(nodes, "4s", "holder_picks"),
+                      static_cast<double>(r.holder_picks));
+    results.add_value(key(nodes, "4s", "bytes_per_peer"),
+                      r.memory_bytes_per_peer);
+    results.add_value(key(nodes, "4s", "memory_total_bytes"),
+                      static_cast<double>(r.memory_total_bytes));
+    results.add_value(key(nodes, "4s", "loop_threads"),
+                      config.loop_threads);
+    results.check("frontier_streams",
+                  r.segment_picks > 0 && r.holder_picks > 0,
+                  "the 10k-peer parallel-loop point makes scheduling "
+                  "decisions");
   }
 
   // --- Paper-fidelity guardrail: at 20 peers the oracle and the

@@ -46,6 +46,14 @@ bool spans_env_enabled() {
          !(env[0] == '0' && env[1] == '\0');
 }
 
+/// VSPLICE_LOOP_THREADS, or 1 when absent/empty/unparseable.
+int loop_threads_env() {
+  const char* env = std::getenv("VSPLICE_LOOP_THREADS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  const int n = std::atoi(env);
+  return n >= 1 ? n : 1;
+}
+
 /// "fig2.html" + run 2 -> "fig2.run2.html" (keeps the extension so the
 /// per-seed reports still open in a browser; traces, which have no
 /// meaningful extension, keep their append-suffix scheme).
@@ -98,6 +106,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // build below happens with the profiler already installed (the fetch
   // touches no simulator or RNG state, so the order is free).
   sim::Simulator sim;
+  sim.set_loop_threads(config.loop_threads > 0 ? config.loop_threads
+                                               : loop_threads_env());
 
   // Observability: installed for the scope of this run when any output
   // was requested. Nests under any context the caller pre-installed
@@ -287,6 +297,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.holder_picks += sched.holder_picks;
     result.candidates_scanned += sched.candidates_scanned;
     result.scheduling_engine_ns += sched.engine_ns;
+    result.speculation_adopted += leecher->speculation_adopted();
+    result.speculation_recomputed += leecher->speculation_recomputed();
   }
   result.pieces_aborted = swarm.stats().pieces_aborted;
   result.messages_routed = swarm.stats().messages_routed;

@@ -207,6 +207,38 @@ void Network::advance_progress() {
   const Duration dt = now - last_update_;
   last_update_ = now;
   if (dt.is_zero() || flows_.empty()) return;
+  sim::TaskPool* pool = sim_.task_pool();
+  if (pool != nullptr && pool->lanes() > 1 &&
+      flows_.size() >= StarAllocator::kParallelFlows) {
+    // Sharded integration (DESIGN.md §14): each flow's byte movement —
+    // and its own `remaining`, per-flow state — is computed in parallel
+    // over a deterministic partition; the cross-flow accumulators
+    // (uploaded_/downloaded_/bytes_delivered) are then credited serially
+    // in FlowId order, reproducing the serial loop's floating-point
+    // accumulation order exactly.
+    scratch_progress_.clear();
+    for (auto& [id, flow] : flows_) scratch_progress_.push_back(&flow);
+    const std::size_t count = scratch_progress_.size();
+    scratch_moved_.resize(count);
+    const double seconds = dt.as_seconds();
+    pool->parallel_for(
+        count, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            Flow& flow = *scratch_progress_[i];
+            if (flow.rate.is_zero()) continue;
+            const double moved = std::min(
+                flow.remaining, flow.rate.bytes_per_second() * seconds);
+            flow.remaining -= moved;
+            scratch_moved_[i] = moved;
+          }
+        });
+    for (std::size_t i = 0; i < count; ++i) {
+      const Flow& flow = *scratch_progress_[i];
+      if (flow.rate.is_zero()) continue;
+      credit_transfer(flow, scratch_moved_[i]);
+    }
+    return;
+  }
   for (auto& [id, flow] : flows_) {
     if (flow.rate.is_zero()) continue;
     const double moved = std::min(
@@ -251,6 +283,9 @@ void Network::reallocate() {
                                           flow.cap});
     scratch_flows_.emplace_back(id, &flow);
   }
+  // The simulator's worker pool (if any) is idle between barrier windows,
+  // so the allocator may borrow it to shard its per-round scans.
+  allocator_.set_task_pool(sim_.task_pool());
   allocator_.allocate(scratch_specs_, scratch_capacity_, scratch_rates_);
 
   for (std::size_t i = 0; i < scratch_flows_.size(); ++i) {

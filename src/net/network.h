@@ -228,6 +228,12 @@ class Network {
   std::vector<StarFlowSpec> scratch_specs_;
   std::vector<Rate> scratch_rates_;
   std::vector<std::pair<FlowId, Flow*>> scratch_flows_;
+  // Sharded-progress scratch, used only when the simulator runs a worker
+  // pool and the flow table is large (DESIGN.md §14). Excluded from
+  // memory_bytes(): accounting pool-only scratch would make reported
+  // memory depend on loop_threads and break serial/parallel identity.
+  std::vector<Flow*> scratch_progress_;
+  std::vector<double> scratch_moved_;
 };
 
 }  // namespace vsplice::net

@@ -1,0 +1,86 @@
+#include "sim/task_pool.h"
+
+#include <utility>
+
+namespace vsplice::sim {
+
+TaskPool::TaskPool(std::size_t lanes) {
+  if (lanes <= 1) return;
+  workers_.reserve(lanes - 1);
+  for (std::size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool TaskPool::run_one(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  ++busy_;
+  lock.unlock();
+  task();
+  lock.lock();
+  --busy_;
+  return true;
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lock{mu_};
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    run_one(lock);
+    if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void TaskPool::quiesce() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock{mu_};
+  // Help drain: the commit thread is a lane, not a spectator.
+  while (run_one(lock)) {
+  }
+  idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void TaskPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t blocks = std::min(n, lanes());
+  if (blocks <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  // Deterministic contiguous partition: block b covers
+  // [b*n/blocks, (b+1)*n/blocks).
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * n / blocks;
+    const std::size_t end = (b + 1) * n / blocks;
+    submit([&body, b, begin, end] { body(b, begin, end); });
+  }
+  quiesce();
+}
+
+}  // namespace vsplice::sim

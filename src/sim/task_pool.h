@@ -1,0 +1,80 @@
+// A small quiescent worker pool for the deterministic parallel event
+// loop (DESIGN.md §14).
+//
+// The pool is deliberately phase-oriented rather than streaming: the
+// simulation's commit thread alternates between (a) submitting a batch
+// of independent tasks — speculative per-node decision computes, or the
+// per-flow scan blocks of a sharded reallocation — and (b) quiesce(),
+// which drains the queue (the caller executes tasks too, so a pool of
+// size N really applies N lanes) and blocks until every worker is idle.
+// Nothing else in the simulation runs while tasks are in flight, which
+// is what makes the parallel loop trivially race-free: workers only ever
+// read state that the commit thread is *not* mutating, because the
+// commit thread is parked inside quiesce().
+//
+// All handoff goes through one mutex, so every task the commit thread
+// submitted happens-before the worker runs it, and every write a worker
+// made happens-before quiesce() returns — the property the TSan CI job
+// checks end to end.
+//
+// A pool of size <= 1 spawns no threads: submit() runs the task inline
+// and quiesce() is a no-op, so `loop_threads = 1` is byte-for-byte the
+// serial code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vsplice::sim {
+
+class TaskPool {
+ public:
+  /// `lanes` counts the calling thread: a pool of 4 spawns 3 workers.
+  explicit TaskPool(std::size_t lanes);
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+  ~TaskPool();
+
+  /// Total execution lanes (workers + the calling thread); >= 1.
+  [[nodiscard]] std::size_t lanes() const { return workers_.size() + 1; }
+
+  /// Enqueues a task. Tasks must be independent of each other; they may
+  /// start running immediately on a worker. With no workers the task
+  /// runs inline before submit returns.
+  void submit(std::function<void()> task);
+
+  /// Runs queued tasks on the calling thread until the queue is empty,
+  /// then blocks until every worker is idle. On return, all effects of
+  /// all submitted tasks are visible to the caller.
+  void quiesce();
+
+  /// Splits [0, n) into one contiguous block per lane, runs
+  /// body(block, begin, end) for each block across the pool, and
+  /// quiesces. The partition depends only on (n, lanes) — never on
+  /// timing — so a body whose writes are indexed by position (or by
+  /// block, for per-lane reduction partials) is deterministic.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  /// Pops and runs one task; returns false when the queue was empty.
+  /// `lock` is held on entry and re-held on exit.
+  bool run_one(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait: queue non-empty/stop
+  std::condition_variable idle_cv_;  // quiesce waits: queue empty + idle
+  std::deque<std::function<void()>> queue_;
+  std::size_t busy_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vsplice::sim

@@ -1,0 +1,342 @@
+// Deterministic parallel event loop (DESIGN.md §14): TaskPool units,
+// adversarial commit-order stress under timestamp ties / cancellations /
+// window preemption, and the serial-vs-parallel scenario differential
+// that pins the byte-identity contract behind --loop-threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "experiments/paper_setup.h"
+#include "sim/simulator.h"
+#include "sim/task_pool.h"
+
+namespace vsplice {
+namespace {
+
+// ------------------------------------------------------------- TaskPool
+
+TEST(TaskPool, SingleLaneRunsInline) {
+  sim::TaskPool pool{1};
+  EXPECT_EQ(pool.lanes(), 1u);
+  int runs = 0;
+  pool.submit([&] { ++runs; });
+  EXPECT_EQ(runs, 1);  // ran before submit returned: no workers exist
+  pool.quiesce();      // no-op
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(TaskPool, RunsEverySubmittedTask) {
+  sim::TaskPool pool{4};
+  EXPECT_EQ(pool.lanes(), 4u);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&] { runs.fetch_add(1); });
+  }
+  pool.quiesce();
+  EXPECT_EQ(runs.load(), 200);
+}
+
+TEST(TaskPool, QuiescePublishesPlainWrites) {
+  // The mutex handoff must order worker writes before quiesce() returns:
+  // plain (non-atomic) disjoint slots, validated end-to-end by the TSan
+  // CI job.
+  sim::TaskPool pool{4};
+  std::vector<int> slots(64, 0);
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&slots, i] { slots[static_cast<std::size_t>(i)] = i + 1; });
+  }
+  pool.quiesce();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(slots[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST(TaskPool, ParallelForCoversEveryIndexOnce) {
+  sim::TaskPool pool{3};
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                    });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TaskPool, ParallelForPartitionIsDeterministic) {
+  // Block b must cover exactly [b*n/blocks, (b+1)*n/blocks) — the
+  // contract that makes block-indexed reduction scratch deterministic.
+  sim::TaskPool pool{3};
+  const std::size_t n = 10;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(3);
+  pool.parallel_for(n, [&](std::size_t block, std::size_t begin,
+                           std::size_t end) { ranges[block] = {begin, end}; });
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(ranges[1], (std::pair<std::size_t, std::size_t>{3, 6}));
+  EXPECT_EQ(ranges[2], (std::pair<std::size_t, std::size_t>{6, 10}));
+}
+
+TEST(TaskPool, ParallelForFewerItemsThanLanes) {
+  sim::TaskPool pool{8};
+  std::vector<int> hits(3, 0);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                    });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    ADD_FAILURE() << "empty range must not invoke the body";
+  });
+}
+
+// ------------------------------------- commit order under the planner
+
+// Builds one adversarial workload on `sim` and returns the fire log.
+// The workload stacks everything that could trip a window planner:
+// many owner-tagged events at *identical* timestamps across owners,
+// untagged barrier events wedged between them at the same times,
+// cancellations that go stale inside a planned window, and an event
+// that schedules a new earlier event into the already-planned window.
+std::vector<int> run_commit_order_stress(int loop_threads) {
+  sim::Simulator sim;
+  sim.set_loop_threads(loop_threads);
+  constexpr sim::OwnerId kOwners = 16;
+  std::vector<int> hook_runs(kOwners, 0);
+  for (sim::OwnerId o = 0; o < kOwners; ++o) {
+    sim.set_compute_hook(
+        o, [&hook_runs, o](TimePoint) { ++hook_runs[o]; });
+  }
+
+  std::vector<int> log;
+  const auto record = [&log](int label) { return [&log, label] { log.push_back(label); }; };
+  const TimePoint t0 = TimePoint::origin();
+
+  // 1) Tie storm: 320 tagged events over 5 distinct timestamps — 64
+  //    events per timestamp, owners round-robin, so every window is
+  //    packed with same-time entries whose order is decided purely by
+  //    schedule sequence.
+  for (int i = 0; i < 320; ++i) {
+    const TimePoint t = t0 + Duration::seconds(1 + i % 5);
+    sim.at(t, record(i), static_cast<sim::OwnerId>(i) % kOwners);
+  }
+  // 2) Barriers at the very same timestamps (untagged): each one ends a
+  //    window exactly where ties are thickest.
+  for (int i = 0; i < 25; ++i) {
+    const TimePoint t = t0 + Duration::seconds(1 + i % 5);
+    sim.at(t, record(1000 + i));
+  }
+  // 3) Mid-window cancellations: a tagged event at t=3s cancels tagged
+  //    events at t=3s (same timestamp, later sequence — already inside
+  //    the planned window) and at t=4s.
+  std::vector<sim::EventId> doomed;
+  for (int i = 0; i < 40; ++i) {
+    const TimePoint t = t0 + Duration::seconds(3 + i % 2);
+    doomed.push_back(sim.at(t, record(2000 + i),
+                            static_cast<sim::OwnerId>(i) % kOwners));
+  }
+  sim.at(t0 + Duration::seconds(3), [&] {
+    for (std::size_t i = 0; i < doomed.size(); i += 2) sim.cancel(doomed[i]);
+    log.push_back(3000);
+  }, sim::OwnerId{0});
+  // 4) Window preemption: a tagged event at t=2s schedules a new event
+  //    one microsecond later — earlier than everything at t>=3s the
+  //    planner may already have counted.
+  sim.at(t0 + Duration::seconds(2), [&] {
+    sim.after(Duration::micros(1), record(4000));
+    log.push_back(4001);
+  }, sim::OwnerId{1});
+  // 5) A periodic tagged task threading through all of the above.
+  sim::PeriodicTask tick{sim, Duration::millis(700), record(5000),
+                         sim::OwnerId{2}};
+  tick.start();
+  sim.run_until(t0 + Duration::seconds(8));
+  tick.stop();
+  sim.run();
+
+  if (loop_threads > 1) {
+    // The planner must actually have speculated (the workload is dense
+    // with tagged windows); in serial mode hooks never run.
+    int total = 0;
+    for (const int h : hook_runs) total += h;
+    EXPECT_GT(total, 0) << "planner never ran a compute hook";
+  }
+  return log;
+}
+
+TEST(ParallelLoop, CommitOrderMatchesSerialUnderTieStress) {
+  const std::vector<int> serial = run_commit_order_stress(1);
+  ASSERT_FALSE(serial.empty());
+  for (const int threads : {2, 4, 8}) {
+    const std::vector<int> parallel = run_commit_order_stress(threads);
+    EXPECT_EQ(serial, parallel) << "fire order diverged at loop_threads="
+                                << threads;
+  }
+}
+
+TEST(ParallelLoop, OwnerTagsNeverAffectCommitOrder) {
+  // Tags gate only what gets speculated — the pop order is (time,
+  // sequence) regardless. Three tag assignments of the same workload
+  // must fire identically in parallel mode.
+  const auto run_tagged = [](int variant) {
+    sim::Simulator sim;
+    sim.set_loop_threads(4);
+    std::vector<int> log;
+    for (int i = 0; i < 200; ++i) {
+      const sim::OwnerId owner =
+          variant == 0 ? sim::kNoOwner
+          : variant == 1 ? sim::OwnerId{0}
+                         : static_cast<sim::OwnerId>(i % 7);
+      sim.at(TimePoint::origin() + Duration::seconds(1 + i % 3),
+             [&log, i] { log.push_back(i); }, owner);
+    }
+    sim.run();
+    return log;
+  };
+  const std::vector<int> untagged = run_tagged(0);
+  EXPECT_EQ(untagged, run_tagged(1));
+  EXPECT_EQ(untagged, run_tagged(2));
+}
+
+// --------------------------------------------- scenario differential
+
+experiments::ScenarioConfig loop_config() {
+  experiments::ScenarioConfig config;
+  config.nodes = 6;
+  config.join_spread = Duration::seconds(10);
+  return config;
+}
+
+// The deterministic fingerprint: every counter a figure could be built
+// from. scheduling_engine_ns / speculation_* / profile are wall-clock or
+// mode-diagnostic and deliberately excluded (see paper_setup.h).
+void expect_identical(const experiments::ScenarioResult& a,
+                      const experiments::ScenarioResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.total_stalls, b.total_stalls) << what;
+  EXPECT_EQ(a.total_stall_seconds, b.total_stall_seconds) << what;
+  EXPECT_EQ(a.mean_startup_seconds, b.mean_startup_seconds) << what;
+  EXPECT_EQ(a.wall_time, b.wall_time) << what;
+  EXPECT_EQ(a.finished_viewers, b.finished_viewers) << what;
+  EXPECT_EQ(a.requests_served, b.requests_served) << what;
+  EXPECT_EQ(a.requests_choked, b.requests_choked) << what;
+  EXPECT_EQ(a.messages_routed, b.messages_routed) << what;
+  EXPECT_EQ(a.messages_verified, b.messages_verified) << what;
+  EXPECT_EQ(a.seeder_uploaded, b.seeder_uploaded) << what;
+  EXPECT_EQ(a.peers_uploaded, b.peers_uploaded) << what;
+  EXPECT_EQ(a.network_bytes_delivered, b.network_bytes_delivered) << what;
+  EXPECT_EQ(a.segment_picks, b.segment_picks) << what;
+  EXPECT_EQ(a.holder_picks, b.holder_picks) << what;
+  EXPECT_EQ(a.candidates_scanned, b.candidates_scanned) << what;
+  EXPECT_EQ(a.events_fired, b.events_fired) << what;
+  EXPECT_EQ(a.heap_high_water, b.heap_high_water) << what;
+  EXPECT_EQ(a.memory_total_bytes, b.memory_total_bytes) << what;
+  EXPECT_EQ(a.churn_departures, b.churn_departures) << what;
+  ASSERT_EQ(a.viewers.size(), b.viewers.size()) << what;
+  for (std::size_t v = 0; v < a.viewers.size(); ++v) {
+    EXPECT_EQ(a.viewers[v].stall_count, b.viewers[v].stall_count) << what;
+    EXPECT_EQ(a.viewers[v].bytes_downloaded, b.viewers[v].bytes_downloaded)
+        << what;
+  }
+}
+
+TEST(ParallelLoop, ScenarioIdenticalAcrossThreadCounts) {
+  // Config axes that reach different machinery: splicing mode, pool
+  // policy, churn, the brute-force oracle, and the wire-format oracle
+  // (documenting that --loop-threads composes with wire_roundtrip: the
+  // codec runs on the commit thread).
+  std::vector<std::pair<std::string, experiments::ScenarioConfig>> cases;
+  {
+    experiments::ScenarioConfig c = loop_config();
+    cases.emplace_back("4s/adaptive", c);
+    c.splicer = "gop";
+    c.policy = "fixed:4";
+    cases.emplace_back("gop/fixed", c);
+    c = loop_config();
+    c.churn = true;
+    c.nodes = 8;
+    c.churn_mean_lifetime = Duration::seconds(30);
+    cases.emplace_back("churn", c);
+    c = loop_config();
+    c.brute_force_scheduling = true;
+    cases.emplace_back("brute-force", c);
+    c = loop_config();
+    c.wire_roundtrip = true;
+    cases.emplace_back("wire-roundtrip", c);
+  }
+  for (auto& [name, config] : cases) {
+    for (const std::uint64_t seed : {1ull, 99991ull}) {
+      config.seed = seed;
+      config.loop_threads = 1;
+      const experiments::ScenarioResult serial =
+          experiments::run_scenario(config);
+      EXPECT_EQ(serial.speculation_adopted, 0u);
+      EXPECT_EQ(serial.speculation_recomputed, 0u);
+      for (const int threads : {2, 4, 8}) {
+        config.loop_threads = threads;
+        const experiments::ScenarioResult parallel =
+            experiments::run_scenario(config);
+        expect_identical(serial, parallel,
+                         name + " seed " + std::to_string(seed) +
+                             " threads " + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelLoop, SpeculationEngagesAndAdopts) {
+  // Default join spread (45 s): a compressed 10 s spread keeps viewers
+  // so synchronized that nearly every window ends at a message barrier
+  // and no precompute survives to adoption.
+  experiments::ScenarioConfig config;
+  config.nodes = 6;
+  config.loop_threads = 4;
+  const experiments::ScenarioResult result =
+      experiments::run_scenario(config);
+  // The point of the machinery: a healthy fraction of scheduling
+  // decisions must be adopted from barrier-window precomputes, not all
+  // recomputed inline.
+  EXPECT_GT(result.speculation_adopted, 0u);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ParallelLoop, SnapshotBytesIdenticalToSerial) {
+  // The strongest differential: the deterministic JSON snapshot (time
+  // series, figures, anomalies, memory) must be byte-identical.
+  experiments::ScenarioConfig config = loop_config();
+  config.snapshot_json_path = "loop_serial.json";
+  config.loop_threads = 1;
+  (void)experiments::run_scenario(config);
+  config.snapshot_json_path = "loop_threads4.json";
+  config.loop_threads = 4;
+  (void)experiments::run_scenario(config);
+  const std::string serial = slurp("loop_serial.json");
+  const std::string parallel = slurp("loop_threads4.json");
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  std::remove("loop_serial.json");
+  std::remove("loop_threads4.json");
+}
+
+TEST(ParallelLoop, LoopThreadsValidation) {
+  sim::Simulator sim;
+  EXPECT_THROW(sim.set_loop_threads(0), Error);
+  EXPECT_THROW(sim.set_loop_threads(-3), Error);
+  EXPECT_THROW(sim.set_loop_threads(5000), Error);
+  sim.set_loop_threads(2);
+  EXPECT_EQ(sim.loop_threads(), 2);
+  EXPECT_NE(sim.task_pool(), nullptr);
+  sim.set_loop_threads(1);
+  EXPECT_EQ(sim.task_pool(), nullptr);
+}
+
+}  // namespace
+}  // namespace vsplice

@@ -18,7 +18,8 @@
 //     tolerance (default 1e-9, effectively exact);
 //   - a metric present in the baseline but missing from the current run
 //     is a regression (a silently dropped check is the worst kind),
-//     unless it is machine-shaped (jobs/threads), which is only a note;
+//     unless it is machine-shaped (jobs / loop_threads /
+//     hardware_concurrency), which is only a note;
 //     new metrics are listed as notes. Added and removed keys also get
 //     their own sections in the markdown table so a renamed metric is
 //     impossible to miss.
@@ -296,9 +297,12 @@ enum class MetricKind {
 };
 
 MetricKind classify(const std::string& path) {
-  // Worker counts (e2e_jobs = one per hardware thread) describe the
-  // machine, not the code.
-  if (contains(path, "jobs") || contains(path, "threads")) {
+  // Worker counts (e2e_jobs = one per hardware thread), lane counts
+  // (loop_threads) and hardware_concurrency describe the machine or the
+  // bench setup, not the code. This must come first: it also keeps the
+  // "_s" suffix rule off loop_threads-style keys.
+  if (contains(path, "jobs") || contains(path, "threads") ||
+      contains(path, "hardware_concurrency")) {
     return MetricKind::Environment;
   }
   // Simulated-time figures (mean_startup_s, stall seconds) look like
@@ -582,6 +586,18 @@ int self_test() {
   EXPECT(classify("values.n20.4s.segment_picks") == MetricKind::Exact);
   EXPECT(classify("tables.stalls.series.4 sec[0]") == MetricKind::Exact);
   EXPECT(classify("values.e2e_jobs") == MetricKind::Environment);
+  EXPECT(classify("values.loop_threads") == MetricKind::Environment);
+  EXPECT(classify("values.n10000.4s.loop_threads") ==
+         MetricKind::Environment);
+  EXPECT(classify("values.hardware_concurrency") ==
+         MetricKind::Environment);
+  EXPECT(classify("values.parallel_loop_serial_s") ==
+         MetricKind::LowerBetterTime);
+  EXPECT(classify("values.parallel_loop_parallel_s") ==
+         MetricKind::LowerBetterTime);
+  EXPECT(classify("values.parallel_loop_speedup") ==
+         MetricKind::HigherBetterRate);
+  EXPECT(classify("values.parallel_loop_adopted") == MetricKind::Exact);
   EXPECT(classify("values.n20.4s.mean_startup_s") == MetricKind::Exact);
   EXPECT(classify("values.profiler_disabled_overhead_ratio") ==
          MetricKind::LowerBetterTime);
