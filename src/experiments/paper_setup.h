@@ -75,6 +75,15 @@ struct ScenarioConfig {
   /// byte-identical to the fast path, only slower; the differential
   /// test pins that. Also enabled by VSPLICE_WIRE_ROUNDTRIP=1.
   bool wire_roundtrip = false;
+  /// LeecherConfig::control_epoch passthrough (DESIGN.md §15). Zero —
+  /// the default, used by every figure — keeps the per-segment HAVE
+  /// broadcast and is byte-identical to the pre-batching code. Positive
+  /// values coalesce each peer's completed segments into one
+  /// HaveBatchMsg digest per control connection per epoch; results are
+  /// then statistically identical to unbatched (the control-plane
+  /// differential test documents the tolerance), not bit-identical,
+  /// because HAVE arrival times shift by up to one epoch.
+  Duration control_epoch = Duration::zero();
 
   /// Execution lanes for the deterministic parallel event loop
   /// (DESIGN.md §14). 0 = read VSPLICE_LOOP_THREADS from the
@@ -198,6 +207,19 @@ struct ScenarioResult {
   /// uses them to prove the speculative path actually engaged.
   std::uint64_t speculation_adopted = 0;
   std::uint64_t speculation_recomputed = 0;
+
+  /// Control-plane accounting summed over all viewers (DESIGN.md §15).
+  /// `control_have_updates` counts (segment, recipient) availability
+  /// notifications delivered either way; with batching on,
+  /// `control_messages_coalesced` is how many individual HAVE wire
+  /// messages (and simulator events) the digests replaced and
+  /// `control_bytes_saved` the wire bytes avoided. The coalescing ratio
+  /// is coalesced / updates (0 when unbatched, → 1 as epochs fatten).
+  std::uint64_t control_have_updates = 0;
+  std::uint64_t control_digests_sent = 0;
+  std::uint64_t control_messages_coalesced = 0;
+  std::uint64_t control_bytes_saved = 0;
+  double control_coalescing_ratio = 0;
 
   /// Event-loop health at end of run (deterministic counters).
   std::uint64_t events_fired = 0;

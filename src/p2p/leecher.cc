@@ -61,6 +61,15 @@ Leecher::Leecher(Swarm& swarm, net::NodeId node, PeerConfig peer_config,
   require(config_.request_timeout > Duration::zero(),
           "request timeout must be positive");
   require(config_.tick > Duration::zero(), "tick must be positive");
+  require(config_.control_epoch >= Duration::zero(),
+          "control epoch cannot be negative");
+  if (config_.control_epoch > Duration::zero()) {
+    // The flush event mutates only this node's state and its outbound
+    // connections, so it is owner-tagged like the download tick.
+    have_flush_ = std::make_unique<sim::CoalescingFlush>(
+        swarm.simulator(), config_.control_epoch,
+        [this] { flush_pending_haves(); }, node.value);
+  }
 }
 
 Leecher::~Leecher() {
@@ -128,17 +137,22 @@ std::uint64_t Leecher::scheduler_memory_bytes() const {
   // pointers + color word) per element plus the payload.
   const std::uint64_t tree_node = 4 * sizeof(void*);
   std::uint64_t bytes =
-      static_cast<std::uint64_t>(peer_slot_.capacity() +
+      static_cast<std::uint64_t>(known_peer_slots_.capacity() +
                                  free_slots_.capacity()) *
           sizeof(std::uint32_t) +
       static_cast<std::uint64_t>(slots_.capacity()) * sizeof(Bitfield) +
+      static_cast<std::uint64_t>(slot_choked_at_.capacity()) *
+          sizeof(TimePoint) +
+      static_cast<std::uint64_t>(slot_choked_.capacity()) *
+          sizeof(std::uint8_t) +
       static_cast<std::uint64_t>(known_peers_.capacity()) *
           sizeof(net::NodeId) +
       static_cast<std::uint64_t>(holders_.capacity()) *
           sizeof(std::vector<net::NodeId>) +
       rarity_.memory_bytes() + in_flight_.memory_bytes() +
-      static_cast<std::uint64_t>(choked_at_.size()) *
-          (tree_node + sizeof(std::pair<net::NodeId, TimePoint>)) +
+      static_cast<std::uint64_t>(pending_have_.capacity()) *
+          sizeof(std::uint32_t) +
+      (have_flush_ ? sim::CoalescingFlush::memory_bytes() : 0) +
       static_cast<std::uint64_t>(downloads_.size()) *
           (tree_node + sizeof(std::pair<std::size_t, Download>)) +
       static_cast<std::uint64_t>(control_.capacity()) *
@@ -269,14 +283,66 @@ void Leecher::connect_control(net::NodeId peer) {
 }
 
 void Leecher::broadcast_have(std::size_t segment) {
-  // Batched fan-out: one message and one size computation, N deliveries
-  // (each recipient still gets its own pool node — the queues own their
-  // copies independently).
+  if (config_.control_epoch > Duration::zero()) {
+    // Epoch-batched: fold the segment into the pending digest; the
+    // arm-once timer guarantees one flush event per epoch no matter how
+    // many segments complete inside it.
+    pending_have_.push_back(static_cast<std::uint32_t>(segment));
+    have_flush_->arm();
+    return;
+  }
+  // Per-message fan-out: one message and one size computation, N
+  // deliveries (each recipient still gets its own pool node — the
+  // queues own their copies independently).
   const Message have{HaveMsg{static_cast<std::uint32_t>(segment)}};
   const Bytes wire_size = static_cast<Bytes>(encoded_size(have));
+  std::uint64_t recipients = 0;
   for (auto& [peer, conn] : control_) {
-    if (conn->established()) send_sized(*conn, have, wire_size);
+    if (conn->established()) {
+      send_sized(*conn, have, wire_size);
+      ++control_stats_.have_updates;
+      ++recipients;
+    }
   }
+  if (recipients > 0) obs::count("p2p.control_haves", recipients);
+}
+
+void Leecher::flush_pending_haves() {
+  if (!online_ || pending_have_.empty()) return;
+  // Segments complete exactly once, so the buffer holds no duplicates;
+  // sorting yields the strictly-ascending order the wire format requires.
+  std::sort(pending_have_.begin(), pending_have_.end());
+  const std::uint64_t count = pending_have_.size();
+  const Message digest{HaveBatchMsg{pending_have_}};
+  const Bytes wire_size = static_cast<Bytes>(encoded_size(digest));
+  // What the same updates would have cost as individual HAVE messages.
+  const Bytes have_size =
+      static_cast<Bytes>(encoded_size(Message{HaveMsg{}}));
+  const std::uint64_t haves_before = control_stats_.have_updates;
+  const std::uint64_t coalesced_before = control_stats_.messages_coalesced;
+  const std::uint64_t saved_before = control_stats_.bytes_saved;
+  for (auto& [peer, conn] : control_) {
+    if (!conn->established()) continue;
+    send_sized(*conn, digest, wire_size);
+    ++control_stats_.digests_sent;
+    control_stats_.have_updates += count;
+    control_stats_.messages_coalesced += count - 1;
+    control_stats_.bytes_saved +=
+        count * static_cast<std::uint64_t>(have_size) -
+        static_cast<std::uint64_t>(wire_size);
+  }
+  obs::count("p2p.control_digests");
+  if (control_stats_.have_updates > haves_before) {
+    obs::count("p2p.control_haves",
+               control_stats_.have_updates - haves_before);
+  }
+  if (control_stats_.messages_coalesced > coalesced_before) {
+    obs::count("p2p.control_coalesced",
+               control_stats_.messages_coalesced - coalesced_before);
+    obs::count("p2p.control_bytes_saved",
+               control_stats_.bytes_saved - saved_before);
+  }
+  pending_have_.clear();
 }
 
 // ------------------------------------------------------ protocol handlers
@@ -300,20 +366,19 @@ void Leecher::on_bitfield(net::NodeId from, net::Connection&,
   schedule_downloads();
 }
 
-void Leecher::on_have(net::NodeId from, const HaveMsg& msg) {
-  if (!index_ || msg.segment >= index_->count()) return;
+void Leecher::apply_have_update(net::NodeId from, std::uint32_t segment) {
   Bitfield& bf = ensure_known(from);
-  const bool had = msg.segment < bf.size() && bf.get(msg.segment);
-  bf.set(msg.segment);
-  if (!had) add_holder(from, msg.segment);
+  const bool had = segment < bf.size() && bf.get(segment);
+  bf.set(segment);
+  if (!had) add_holder(from, segment);
 
   // Rebalance: if we are still waiting (not yet granted) for this very
   // segment, sometimes switch to the fresh holder. This is what drains
   // demand off the seeder as copies propagate through the swarm.
   // in_flight_ mirrors downloads_, so the common case (a HAVE for a
   // segment we are not fetching) is one bit test, not a tree search.
-  if (in_flight_.get(msg.segment)) {
-    const auto download_it = downloads_.find(msg.segment);
+  if (in_flight_.get(segment)) {
+    const auto download_it = downloads_.find(segment);
     if (download_it != downloads_.end()) {
       Download& download = download_it->second;
       const bool waiting =
@@ -323,6 +388,23 @@ void Leecher::on_have(net::NodeId from, const HaveMsg& msg) {
         request_from(download, from);
       }
     }
+  }
+}
+
+void Leecher::on_have(net::NodeId from, const HaveMsg& msg) {
+  if (!index_ || msg.segment >= index_->count()) return;
+  apply_have_update(from, msg.segment);
+  schedule_downloads();
+}
+
+void Leecher::on_have_batch(net::NodeId from, const HaveBatchMsg& msg) {
+  if (!index_) return;
+  // Apply the whole digest — ensure_known runs once, then the updates
+  // sweep the dense availability slot — and reschedule once at the end
+  // instead of per segment (the big receive-side win of batching).
+  for (const std::uint32_t segment : msg.segments) {
+    if (segment >= index_->count()) continue;
+    apply_have_update(from, segment);
   }
   schedule_downloads();
 }
@@ -454,8 +536,14 @@ void Leecher::start_download(std::size_t segment) {
 bool Leecher::holder_has(net::NodeId peer, std::size_t segment) const {
   const Bitfield* bf = known_have(peer);
   if (bf == nullptr || segment >= bf->size()) return false;
-  const Peer* remote = swarm_.find(peer);
-  return bf->get(segment) && remote != nullptr && remote->online();
+  if (!bf->get(segment)) return false;
+  if (config_.brute_force_scheduling) {
+    // The oracle keeps the original peer-object lookup so its measured
+    // cost stays what the pre-optimization code paid.
+    const Peer* remote = swarm_.find(peer);
+    return remote != nullptr && remote->online();
+  }
+  return swarm_.node_online(peer);
 }
 
 std::optional<net::NodeId> Leecher::pick_holder(
@@ -492,11 +580,26 @@ std::optional<net::NodeId> Leecher::pick_holder_with(
   const auto classify = [&](net::NodeId peer) {
     ++stats.candidates_scanned;
     if (excluded.contains(peer)) return;
-    if (!holder_has(peer, segment)) return;
-    const auto choked = choked_at_.find(peer);
+    // Mirrors holder_has with the slot kept in hand: one binary search
+    // serves the availability check AND the choke-cooldown reads, and
+    // the parallel arrays replace the node-keyed map probe. Predicate
+    // results are identical either way, so RNG draws don't move.
+    const std::uint32_t slot_id = slot_plus_one(peer);
+    if (slot_id == 0) return;
+    const std::uint32_t slot = slot_id - 1;
+    const Bitfield& have = slots_[slot];
+    if (segment >= have.size() || !have.get(segment)) return;
+    if (config_.brute_force_scheduling) {
+      // The oracle keeps the original peer-object lookup so its measured
+      // cost stays what the pre-optimization code paid.
+      const Peer* remote = swarm_.find(peer);
+      if (remote == nullptr || !remote->online()) return;
+    } else if (!swarm_.node_online(peer)) {
+      return;
+    }
     const bool cooling_down =
-        choked != choked_at_.end() &&
-        now - choked->second < config_.choke_cooldown;
+        slot_choked_[slot] != 0 &&
+        now - slot_choked_at_[slot] < config_.choke_cooldown;
     (cooling_down ? cooling : fresh).push_back(peer);
   };
   // Both paths visit candidates in ascending node order — the order the
@@ -633,8 +736,15 @@ void Leecher::on_choke(net::NodeId from, net::Connection& conn) {
 }
 
 void Leecher::on_choked_for(std::size_t segment, net::NodeId holder) {
-  ++epoch_;  // choked_at_ / last_server_ change
-  choked_at_[holder] = swarm_.simulator().now();
+  ++epoch_;  // choke cooldowns / last_server_ change
+  // Record the cooldown in the slot arrays. A holder is always known at
+  // choke time (it was picked from holders_), but guard anyway: the map
+  // this replaced tolerated unknown peers, whose entries were unreadable
+  // (cooldowns are only consulted for known holders).
+  if (const std::uint32_t slot_id = slot_plus_one(holder); slot_id != 0) {
+    slot_choked_[slot_id - 1] = 1;
+    slot_choked_at_[slot_id - 1] = swarm_.simulator().now();
+  }
   if (last_server_ == holder) last_server_.reset();
   const auto it = downloads_.find(segment);
   if (it == downloads_.end()) return;
@@ -740,22 +850,32 @@ void Leecher::cancel_download(std::size_t segment) {
 
 // ------------------------------------------------- availability tracking
 
+std::uint32_t Leecher::slot_plus_one(net::NodeId peer) const {
+  const auto it =
+      std::lower_bound(known_peers_.begin(), known_peers_.end(), peer);
+  if (it == known_peers_.end() || *it != peer) return 0;
+  return known_peer_slots_[static_cast<std::size_t>(
+      it - known_peers_.begin())];
+}
+
 const Bitfield* Leecher::known_have(net::NodeId peer) const {
-  const std::size_t id = peer.value;
-  if (id >= peer_slot_.size() || peer_slot_[id] == 0) return nullptr;
-  return &slots_[peer_slot_[id] - 1];
+  const std::uint32_t slot_id = slot_plus_one(peer);
+  return slot_id == 0 ? nullptr : &slots_[slot_id - 1];
 }
 
 Bitfield* Leecher::known_have(net::NodeId peer) {
-  const std::size_t id = peer.value;
-  if (id >= peer_slot_.size() || peer_slot_[id] == 0) return nullptr;
-  return &slots_[peer_slot_[id] - 1];
+  const std::uint32_t slot_id = slot_plus_one(peer);
+  return slot_id == 0 ? nullptr : &slots_[slot_id - 1];
 }
 
 Bitfield& Leecher::ensure_known(net::NodeId peer) {
-  if (Bitfield* existing = known_have(peer)) return *existing;
-  const std::size_t id = peer.value;
-  if (id >= peer_slot_.size()) peer_slot_.resize(id + 1, 0);
+  const auto it =
+      std::lower_bound(known_peers_.begin(), known_peers_.end(), peer);
+  const std::size_t pos =
+      static_cast<std::size_t>(it - known_peers_.begin());
+  if (it != known_peers_.end() && *it == peer) {
+    return slots_[known_peer_slots_[pos] - 1];
+  }
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -764,10 +884,19 @@ Bitfield& Leecher::ensure_known(net::NodeId peer) {
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back(index_ ? index_->count() : 0);
+    slot_choked_at_.emplace_back(TimePoint::origin());
+    slot_choked_.push_back(0);
   }
-  peer_slot_[id] = slot + 1;
-  known_peers_.insert(
-      std::lower_bound(known_peers_.begin(), known_peers_.end(), peer), peer);
+  // Fresh occupant, fresh choke state (node ids are never recycled, so
+  // this only ever clears a departed peer's leftovers).
+  slot_choked_at_[slot] = TimePoint::origin();
+  slot_choked_[slot] = 0;
+  known_peers_.insert(known_peers_.begin() +
+                          static_cast<std::ptrdiff_t>(pos),
+                      peer);
+  known_peer_slots_.insert(known_peer_slots_.begin() +
+                               static_cast<std::ptrdiff_t>(pos),
+                           slot + 1);
   return slots_[slot];
 }
 
@@ -785,17 +914,19 @@ void Leecher::store_bitfield(net::NodeId peer, Bitfield have) {
 }
 
 void Leecher::forget_peer(net::NodeId peer) {
-  const std::size_t id = peer.value;
-  if (id >= peer_slot_.size() || peer_slot_[id] == 0) return;
-  ++epoch_;  // known availability changes
-  const std::uint32_t slot = peer_slot_[id] - 1;
-  drop_holder_bits(peer, slots_[slot]);
-  slots_[slot] = Bitfield{};
-  peer_slot_[id] = 0;
-  free_slots_.push_back(slot);
   const auto it =
       std::lower_bound(known_peers_.begin(), known_peers_.end(), peer);
-  if (it != known_peers_.end() && *it == peer) known_peers_.erase(it);
+  if (it == known_peers_.end() || *it != peer) return;
+  ++epoch_;  // known availability changes
+  const std::size_t pos =
+      static_cast<std::size_t>(it - known_peers_.begin());
+  const std::uint32_t slot = known_peer_slots_[pos] - 1;
+  drop_holder_bits(peer, slots_[slot]);
+  slots_[slot] = Bitfield{};
+  free_slots_.push_back(slot);
+  known_peers_.erase(it);
+  known_peer_slots_.erase(known_peer_slots_.begin() +
+                          static_cast<std::ptrdiff_t>(pos));
 }
 
 void Leecher::add_holder(net::NodeId peer, std::size_t segment) {
@@ -861,6 +992,10 @@ void Leecher::leave() {
   online_ = false;
   swarm_.simulator().set_compute_hook(node_.value, {});
   if (tick_) tick_->stop();
+  // A churned peer abandons its pending digest: announcing availability
+  // after leaving would advertise a holder that no longer serves.
+  if (have_flush_) have_flush_->cancel();
+  pending_have_.clear();
   std::vector<std::size_t> segments;
   segments.reserve(downloads_.size());
   for (auto& [segment, download] : downloads_) segments.push_back(segment);

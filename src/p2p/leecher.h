@@ -29,6 +29,7 @@
 #include "core/segment.h"
 #include "p2p/peer.h"
 #include "p2p/rarity.h"
+#include "sim/coalescer.h"
 #include "sim/simulator.h"
 #include "streaming/player.h"
 
@@ -80,6 +81,13 @@ struct LeecherConfig {
   /// The differential tests and the scaling benchmark run it as the
   /// oracle; pair it with Swarm::set_brute_force_oracle.
   bool brute_force_scheduling = false;
+  /// Epoch-batched control plane (DESIGN.md §15). Zero (the default)
+  /// keeps the per-segment HAVE broadcast — every figure byte-identical
+  /// to the unbatched code. When positive, completed segments accumulate
+  /// and are flushed as one HaveBatchMsg digest per control connection
+  /// every `control_epoch` at most, collapsing O(segments × neighbours)
+  /// wire messages and simulator events into O(epochs × neighbours).
+  Duration control_epoch = Duration::zero();
 };
 
 /// Counters for the scheduling hot path; the scaling benchmark reports
@@ -93,6 +101,19 @@ struct SchedulerStats {
   std::uint64_t holder_picks = 0;
   std::uint64_t candidates_scanned = 0;
   std::uint64_t engine_ns = 0;
+};
+
+/// Control-plane accounting for the epoch-batched HAVE path. One
+/// "update" is one (segment, recipient) availability notification —
+/// what a single HAVE wire message used to carry. Batched mode delivers
+/// the same updates in digests, so `messages_coalesced` counts the wire
+/// messages (and simulator events) that no longer exist and
+/// `bytes_saved` the wire bytes the digests avoided.
+struct ControlPlaneStats {
+  std::uint64_t have_updates = 0;       // (segment, recipient) pairs sent
+  std::uint64_t digests_sent = 0;       // HaveBatchMsg wire messages
+  std::uint64_t messages_coalesced = 0; // HAVE messages avoided by digests
+  std::uint64_t bytes_saved = 0;        // wire bytes avoided by digests
 };
 
 class Leecher final : public Peer {
@@ -129,6 +150,9 @@ class Leecher final : public Peer {
   [[nodiscard]] Bytes in_flight_bytes() const;
   [[nodiscard]] const SchedulerStats& scheduler_stats() const {
     return sched_;
+  }
+  [[nodiscard]] const ControlPlaneStats& control_stats() const {
+    return control_stats_;
   }
 
   /// Bytes held by the scheduling structures: dense availability slots,
@@ -167,6 +191,8 @@ class Leecher final : public Peer {
   void on_metadata(const std::string& playlist_text);
   void connect_control(net::NodeId peer);
   void broadcast_have(std::size_t segment);
+  /// Sends the accumulated HAVE digest (batched mode's epoch flush).
+  void flush_pending_haves();
 
   void schedule_downloads();
   void start_download(std::size_t segment);
@@ -197,6 +223,9 @@ class Leecher final : public Peer {
                                 std::size_t segment) const;
 
   /// Dense availability bookkeeping (see the member comments below).
+  /// 1 + the slots_ index of a known peer, 0 when unknown: one binary
+  /// search over known_peers_ (see the member doc below).
+  [[nodiscard]] std::uint32_t slot_plus_one(net::NodeId peer) const;
   [[nodiscard]] const Bitfield* known_have(net::NodeId peer) const;
   [[nodiscard]] Bitfield* known_have(net::NodeId peer);
   Bitfield& ensure_known(net::NodeId peer);
@@ -206,9 +235,15 @@ class Leecher final : public Peer {
   void add_holder_bits(net::NodeId peer, const Bitfield& have);
   void drop_holder_bits(net::NodeId peer, const Bitfield& have);
 
+  /// One HAVE update from `from` for `segment`: availability bookkeeping
+  /// plus the in-flight rebalance coin flip. Shared by the per-message
+  /// and batched receive paths; the caller runs schedule_downloads().
+  void apply_have_update(net::NodeId from, std::uint32_t segment);
+
   void on_bitfield(net::NodeId from, net::Connection& conn,
                    const BitfieldMsg& msg) override;
   void on_have(net::NodeId from, const HaveMsg& msg) override;
+  void on_have_batch(net::NodeId from, const HaveBatchMsg& msg) override;
   void on_choke(net::NodeId from, net::Connection& conn) override;
 
   LeecherConfig config_;
@@ -232,18 +267,32 @@ class Leecher final : public Peer {
   std::vector<std::pair<net::NodeId, std::unique_ptr<net::Connection>>>
       control_;
 
-  /// Availability learned from BITFIELD/HAVE messages, in dense
-  /// node-indexed storage: peer_slot_[node.value] is 1 + an index into
-  /// slots_ (0 = peer unknown). Slots are compact — a departed peer's
-  /// slot goes on the free list — so memory tracks peers we actually
-  /// know, not the swarm-wide node-id range.
-  std::vector<std::uint32_t> peer_slot_;
+  /// Availability learned from BITFIELD/HAVE messages. The node → slot
+  /// index lives in known_peer_slots_, parallel to the sorted
+  /// known_peers_ below: known_peer_slots_[i] is 1 + an index into
+  /// slots_ for known_peers_[i]. An O(log k) search over the ~dozens of
+  /// peers we actually know replaces the dense node-indexed vector this
+  /// evolved from, whose length grew with the highest node id ever
+  /// announced — O(swarm) bytes per leecher, the term that pushed
+  /// bytes_per_peer from 53 kB at 2,000 peers to 117 kB at 10,000.
+  /// Slots are compact — a departed peer's slot goes on the free list —
+  /// so slots_ memory tracks peers we actually know. slot_choked_at_ /
+  /// slot_choked_ are struct-of-arrays companions to slots_ (the choke
+  /// cooldown the scheduler consults per candidate), so the classify
+  /// sweep reads parallel arrays instead of probing a node-based map.
+  /// Slot state resets on reuse, which matches the map it replaced:
+  /// node ids are never recycled, so a stale cooldown for a departed
+  /// peer could never be read again anyway.
   std::vector<Bitfield> slots_;
+  std::vector<TimePoint> slot_choked_at_;
+  std::vector<std::uint8_t> slot_choked_;
   std::vector<std::uint32_t> free_slots_;
   /// Known peers in ascending node order — the iteration order the old
   /// map-based scheduler had, which the brute-force oracle and the
   /// holder lists both preserve so RNG draws are identical.
   std::vector<net::NodeId> known_peers_;
+  /// Parallel to known_peers_: 1 + the slots_ index of that peer.
+  std::vector<std::uint32_t> known_peer_slots_;
   /// holders_[segment]: known peers holding that segment, ascending.
   /// Valid once the playlist is parsed (rebuilt in on_metadata from any
   /// bitfields that arrived earlier).
@@ -254,10 +303,15 @@ class Leecher final : public Peer {
   /// the next-segment scan is a word scan over have_ | in_flight_.
   Bitfield in_flight_;
   mutable SchedulerStats sched_;
-  /// Holders that recently choked us; skipped while cooling down.
-  std::map<net::NodeId, TimePoint> choked_at_;
   /// Most recent holder to complete a transfer for us (slot known free).
   std::optional<net::NodeId> last_server_;
+
+  /// Batched control plane: segments completed since the last digest
+  /// flush (unsorted; sorted at flush), and the arm-once epoch timer.
+  /// Unused (and never armed) when control_epoch is zero.
+  std::vector<std::uint32_t> pending_have_;
+  std::unique_ptr<sim::CoalescingFlush> have_flush_;
+  ControlPlaneStats control_stats_;
 
   std::map<std::size_t, Download> downloads_;
   std::unique_ptr<sim::PeriodicTask> tick_;

@@ -61,6 +61,8 @@ void Swarm::register_peer_node(Peer* peer) {
   const std::size_t slot = peer->node().value;
   if (slot >= by_node_.size()) by_node_.resize(slot + 1, nullptr);
   by_node_[slot] = peer;
+  if (slot >= online_.size()) online_.resize(slot + 1, 0);
+  online_[slot] = 1;  // peers are constructed online
 }
 
 Seeder& Swarm::add_seeder(net::NodeId node, PeerConfig config) {
@@ -83,6 +85,7 @@ Leecher& Swarm::add_leecher(net::NodeId node, PeerConfig peer_config,
   Leecher& ref = *leecher;
   peers_.push_back(std::move(leecher));
   register_peer_node(&ref);
+  leecher_list_.push_back(&ref);
   return ref;
 }
 
@@ -125,16 +128,6 @@ std::size_t Swarm::min_replicas() const {
   return lo;
 }
 
-std::vector<Leecher*> Swarm::leechers() {
-  std::vector<Leecher*> out;
-  for (auto& peer : peers_) {
-    if (auto* leecher = dynamic_cast<Leecher*>(peer.get())) {
-      out.push_back(leecher);
-    }
-  }
-  return out;
-}
-
 net::NodeId Swarm::seeder_node() const {
   require(seeder_ != nullptr, "swarm has no seeder");
   return seeder_->node();
@@ -142,9 +135,8 @@ net::NodeId Swarm::seeder_node() const {
 
 bool Swarm::all_finished() const {
   bool any = false;
-  for (const auto& peer : peers_) {
-    const auto* leecher = dynamic_cast<const Leecher*>(peer.get());
-    if (leecher == nullptr || !leecher->online()) continue;
+  for (const Leecher* leecher : leecher_list_) {
+    if (!leecher->online()) continue;
     any = true;
     if (!leecher->finished()) return false;
   }
@@ -161,12 +153,17 @@ obs::MemoryBreakdown Swarm::memory_breakdown() const {
       static_cast<std::uint64_t>(peers_.capacity()) *
           sizeof(std::unique_ptr<Peer>) +
       static_cast<std::uint64_t>(by_node_.capacity()) * sizeof(Peer*) +
+      static_cast<std::uint64_t>(online_.capacity()) *
+          sizeof(std::uint8_t) +
+      static_cast<std::uint64_t>(leecher_list_.capacity()) *
+          sizeof(Leecher*) +
       static_cast<std::uint64_t>(replicas_.capacity()) *
           sizeof(std::uint32_t);
   for (const auto& peer : peers_) {
     swarm_tables += peer->have().memory_bytes();
-    const auto* leecher = dynamic_cast<const Leecher*>(peer.get());
-    if (leecher != nullptr) sched += leecher->scheduler_memory_bytes();
+  }
+  for (const Leecher* leecher : leecher_list_) {
+    sched += leecher->scheduler_memory_bytes();
   }
   out.add("p2p.sched", sched);
   out.add("p2p.swarm", swarm_tables);
@@ -205,8 +202,8 @@ obs::SwarmObservation Swarm::observe() const {
       out.seeder_uploaded_bytes = peer->stats().bytes_uploaded;
       continue;
     }
-    const auto* leecher = dynamic_cast<const Leecher*>(peer.get());
-    if (leecher == nullptr) continue;
+    // Only seeders and leechers exist; the branch above peeled seeders.
+    const auto* leecher = static_cast<const Leecher*>(peer.get());
     obs::PeerObservation p;
     p.node = static_cast<std::int64_t>(leecher->node().value);
     p.online = leecher->online();
@@ -299,8 +296,8 @@ void Swarm::notify_piece_outcome(net::NodeId client, net::NodeId server,
   }
   Peer* target = find(client);
   if (target == nullptr || !target->online()) return;
-  if (auto* leecher = dynamic_cast<Leecher*>(target)) {
-    leecher->on_piece_outcome(segment, server, result);
+  if (!target->is_seeder()) {
+    static_cast<Leecher*>(target)->on_piece_outcome(segment, server, result);
   }
 }
 
@@ -313,6 +310,7 @@ void Swarm::broadcast_peer_left(net::NodeId who) {
       --replicas_[segment];
     });
   }
+  if (who.value < online_.size()) online_[who.value] = 0;
   VSPLICE_INFO("swarm") << who.to_string() << " left the swarm";
   obs::emit(simulator().now(),
             obs::PeerLeft{static_cast<std::int64_t>(who.value)});

@@ -57,6 +57,13 @@ class Swarm {
   [[nodiscard]] Peer* find(net::NodeId node);
   [[nodiscard]] const Peer* find(net::NodeId node) const;
 
+  /// Struct-of-arrays liveness probe: one dense byte per node id, no
+  /// peer-object dereference. The scheduler's candidate sweeps use this
+  /// on the fast path (the brute-force oracle keeps find()->online()).
+  [[nodiscard]] bool node_online(net::NodeId node) const {
+    return node.value < online_.size() && online_[node.value] != 0;
+  }
+
   [[nodiscard]] Tracker& tracker() { return tracker_; }
   [[nodiscard]] const core::SegmentIndex& index() const { return *index_; }
   [[nodiscard]] const std::string& playlist_text() const {
@@ -74,7 +81,11 @@ class Swarm {
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const SwarmStats& stats() const { return stats_; }
 
-  [[nodiscard]] std::vector<Leecher*> leechers();
+  /// All leechers in add order (maintained incrementally — no
+  /// per-call scan over the peer registry).
+  [[nodiscard]] const std::vector<Leecher*>& leechers() const {
+    return leecher_list_;
+  }
   [[nodiscard]] net::NodeId seeder_node() const;
   [[nodiscard]] bool has_seeder() const { return seeder_ != nullptr; }
 
@@ -163,6 +174,12 @@ class Swarm {
   std::vector<std::unique_ptr<Peer>> peers_;
   /// Dense node.value -> Peer* table behind find().
   std::vector<Peer*> by_node_;
+  /// Dense node.value -> liveness byte behind node_online(); cleared by
+  /// broadcast_peer_left (the single per-departure notification).
+  std::vector<std::uint8_t> online_;
+  /// Leechers in add order, behind leechers()/all_finished() — replaces
+  /// the dynamic_cast scan over peers_.
+  std::vector<Leecher*> leecher_list_;
   /// Online replicas per segment, maintained incrementally.
   std::vector<std::uint32_t> replicas_;
   bool brute_force_ = false;

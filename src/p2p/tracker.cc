@@ -1,6 +1,7 @@
 #include "p2p/tracker.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace vsplice::p2p {
 
@@ -40,25 +41,37 @@ std::vector<net::NodeId> Tracker::peers_for(net::NodeId requester, Rng& rng,
     if (out.size() > max_peers) out.resize(max_peers);
     return out;
   }
-  // Large swarm: reservoir-sample max_peers members in one pass with
-  // O(max_peers) memory instead of copying and shuffling the entire
-  // registry per announce.
+  // Large swarm: sparse partial Fisher-Yates over candidate positions —
+  // O(max_peers) time, memory, and RNG draws per announce, independent
+  // of the registry size. (The reservoir this replaces walked the whole
+  // registry with an RNG draw per element, which made a join wave of n
+  // peers cost O(n²) announce work in aggregate.) The first k steps of
+  // a Fisher-Yates shuffle are a uniformly random ordered k-sample, so
+  // no trailing shuffle is needed either.
   std::vector<net::NodeId> out;
   out.reserve(max_peers);
-  std::size_t seen = 0;
-  for (net::NodeId id : peers_) {
-    if (id == requester) continue;
-    if (out.size() < max_peers) {
-      out.push_back(id);
-    } else {
-      const std::size_t j = rng.index(seen + 1);
-      if (j < max_peers) out[j] = id;
-    }
-    ++seen;
+  // Candidate position c maps to a registry index that skips the
+  // requester's sorted position (when registered): c, or c + 1 past it.
+  const auto req_it =
+      std::lower_bound(peers_.begin(), peers_.end(), requester);
+  const std::size_t req_pos =
+      (req_it != peers_.end() && *req_it == requester)
+          ? static_cast<std::size_t>(req_it - peers_.begin())
+          : candidates;  // unregistered requester: identity mapping
+  // Sparse view of the virtual candidate array: only displaced
+  // positions are stored, everything else still holds its own index.
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  displaced.reserve(max_peers * 2);
+  const auto value_at = [&](std::size_t pos) {
+    const auto found = displaced.find(pos);
+    return found != displaced.end() ? found->second : pos;
+  };
+  for (std::size_t i = 0; i < max_peers; ++i) {
+    const std::size_t j = i + rng.index(candidates - i);
+    const std::size_t pick = value_at(j);
+    displaced[j] = value_at(i);  // position i is never revisited
+    out.push_back(peers_[pick < req_pos ? pick : pick + 1]);
   }
-  // The reservoir preserves registry (ascending-id) bias in the slot
-  // order; shuffle so callers contacting a prefix see a uniform subset.
-  rng.shuffle(out);
   return out;
 }
 

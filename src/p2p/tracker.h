@@ -28,8 +28,10 @@ class Tracker {
 
   /// Announce response: up to `max_peers` other members, shuffled so that
   /// no peer is systematically preferred. When the swarm outgrows the
-  /// response size the sample is drawn by one-pass reservoir sampling
-  /// (O(max_peers) memory) rather than shuffling the full registry.
+  /// response size the sample is drawn by a sparse partial Fisher-Yates
+  /// over candidate positions — O(max_peers) time, memory, and RNG draws
+  /// per announce regardless of registry size, so a join wave of n peers
+  /// costs O(n·max_peers) announce work, not O(n²).
   [[nodiscard]] std::vector<net::NodeId> peers_for(net::NodeId requester,
                                                    Rng& rng,
                                                    std::size_t max_peers =

@@ -1,0 +1,242 @@
+// Epoch-batched control plane (DESIGN.md §15): the batched-vs-unbatched
+// oracle differential on the paper configs with its documented
+// tolerance, HAVE-digest wire hardening (truncation and mutation fail
+// closed), the exact bytes-saved arithmetic, and epoch-boundary edge
+// cases — joins land mid-epoch by construction, churned peers leave
+// with a pending digest armed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "experiments/paper_setup.h"
+#include "p2p/wire.h"
+
+namespace vsplice {
+namespace {
+
+using experiments::RepeatedResult;
+using experiments::ScenarioConfig;
+using experiments::ScenarioResult;
+using experiments::run_repeated;
+using experiments::run_scenario;
+
+// ------------------------------------------ batched-vs-unbatched oracle
+
+double relative_gap(double batched, double unbatched) {
+  if (unbatched == 0.0) return std::abs(batched);
+  return std::abs(batched - unbatched) / std::abs(unbatched);
+}
+
+/// THE documented tolerance (DESIGN.md §15): over the paper's
+/// three-repetition rounded average, a 500 ms control epoch must keep
+/// stall count and stall seconds within 25 % of the unbatched oracle
+/// and mean startup within 15 %, at both the constrained (256 kB/s)
+/// and comfortable (1024 kB/s) figure bandwidths. Measured gaps are
+/// ≤ 7 % on all three metrics (see the table in DESIGN.md §15); the
+/// headroom absorbs legitimate scheduler changes without letting a
+/// real control-plane regression through. Batching shifts HAVE arrival
+/// times by up to one epoch, so bit-identity is impossible by design —
+/// this statistical envelope is the contract instead.
+TEST(ControlPlane, BatchedTracksUnbatchedOracleOnPaperConfigs) {
+  for (const double kbps : {256.0, 1024.0}) {
+    ScenarioConfig config;
+    config.bandwidth = Rate::kilobytes_per_second(kbps);
+
+    config.control_epoch = Duration::zero();
+    const RepeatedResult oracle = run_repeated(config, 3);
+    config.control_epoch = Duration::millis(500);
+    const RepeatedResult batched = run_repeated(config, 3);
+
+    EXPECT_LE(relative_gap(batched.stalls, oracle.stalls), 0.25)
+        << kbps << " kB/s: stalls " << batched.stalls << " vs oracle "
+        << oracle.stalls;
+    EXPECT_LE(relative_gap(batched.stall_seconds, oracle.stall_seconds),
+              0.25)
+        << kbps << " kB/s: stall seconds " << batched.stall_seconds
+        << " vs oracle " << oracle.stall_seconds;
+    EXPECT_LE(relative_gap(batched.startup_seconds, oracle.startup_seconds),
+              0.15)
+        << kbps << " kB/s: startup " << batched.startup_seconds
+        << " vs oracle " << oracle.startup_seconds;
+
+    // Batching is control-plane only: every repetition still finishes
+    // every viewer and streams the identical spliced video.
+    for (std::size_t i = 0; i < oracle.runs.size(); ++i) {
+      EXPECT_EQ(batched.runs[i].finished_viewers,
+                oracle.runs[i].finished_viewers);
+      EXPECT_EQ(batched.runs[i].segment_count, oracle.runs[i].segment_count);
+      EXPECT_EQ(batched.runs[i].media_bytes, oracle.runs[i].media_bytes);
+    }
+  }
+}
+
+TEST(ControlPlane, UnbatchedDefaultReportsZeroCoalescing) {
+  ScenarioConfig config;
+  const ScenarioResult r = run_scenario(config);
+  EXPECT_GT(r.control_have_updates, 0u);
+  EXPECT_EQ(r.control_digests_sent, 0u);
+  EXPECT_EQ(r.control_messages_coalesced, 0u);
+  EXPECT_EQ(r.control_bytes_saved, 0u);
+  EXPECT_EQ(r.control_coalescing_ratio, 0.0);
+}
+
+TEST(ControlPlane, BatchedAccountingIsExactAndDeterministic) {
+  ScenarioConfig config;
+  config.control_epoch = Duration::millis(500);
+  const ScenarioResult a = run_scenario(config);
+  EXPECT_GT(a.control_digests_sent, 0u);
+  EXPECT_GT(a.control_messages_coalesced, 0u);
+  EXPECT_LT(a.control_messages_coalesced, a.control_have_updates);
+  // A k-segment digest costs 5 + 4k bytes against k nine-byte HAVEs:
+  // 5(k-1) bytes saved, i.e. exactly five per coalesced message.
+  EXPECT_EQ(a.control_bytes_saved, 5 * a.control_messages_coalesced);
+  EXPECT_NEAR(a.control_coalescing_ratio,
+              static_cast<double>(a.control_messages_coalesced) /
+                  static_cast<double>(a.control_have_updates),
+              1e-12);
+  EXPECT_GT(a.control_coalescing_ratio, 0.0);
+  EXPECT_LT(a.control_coalescing_ratio, 1.0);
+
+  // Batched runs stay deterministic in the seed, counters included.
+  const ScenarioResult b = run_scenario(config);
+  EXPECT_EQ(a.total_stalls, b.total_stalls);
+  EXPECT_EQ(a.total_stall_seconds, b.total_stall_seconds);
+  EXPECT_EQ(a.mean_startup_seconds, b.mean_startup_seconds);
+  EXPECT_EQ(a.control_digests_sent, b.control_digests_sent);
+  EXPECT_EQ(a.control_messages_coalesced, b.control_messages_coalesced);
+  EXPECT_EQ(a.control_bytes_saved, b.control_bytes_saved);
+}
+
+TEST(ControlPlane, RejectsNegativeEpoch) {
+  ScenarioConfig config;
+  config.nodes = 6;
+  config.control_epoch = Duration::seconds(-1.0);
+  EXPECT_THROW((void)run_scenario(config), InvalidArgument);
+}
+
+// ------------------------------------------- epoch-boundary edge cases
+
+/// Joins are spread across the window, so with a 500 ms epoch every
+/// join lands mid-epoch of some established peer's digest window; with
+/// churn on, departing peers leave while their coalescing flush is
+/// armed (Leecher::leave cancels it and drops the pending digest). The
+/// run must complete, count departures, and stay deterministic.
+TEST(ControlPlane, ChurnedPeerWithPendingDigestIsSafe) {
+  ScenarioConfig config;
+  config.nodes = 12;
+  config.bandwidth = Rate::kilobytes_per_second(512);
+  config.churn = true;
+  config.churn_mean_lifetime = Duration::seconds(30);
+  config.control_epoch = Duration::millis(500);
+  const ScenarioResult a = run_scenario(config);
+  EXPECT_GT(a.churn_departures, 0u);
+  EXPECT_GT(a.control_digests_sent, 0u);
+  const ScenarioResult b = run_scenario(config);
+  EXPECT_EQ(a.churn_departures, b.churn_departures);
+  EXPECT_EQ(a.total_stalls, b.total_stalls);
+  EXPECT_EQ(a.control_digests_sent, b.control_digests_sent);
+  EXPECT_EQ(a.control_messages_coalesced, b.control_messages_coalesced);
+}
+
+// ----------------------------------------------- HAVE-digest hardening
+
+/// Rewrites the big-endian length prefix after surgery on a frame.
+std::vector<std::uint8_t> with_frame_length(std::vector<std::uint8_t> frame,
+                                            std::uint32_t length) {
+  frame[0] = static_cast<std::uint8_t>(length >> 24);
+  frame[1] = static_cast<std::uint8_t>(length >> 16);
+  frame[2] = static_cast<std::uint8_t>(length >> 8);
+  frame[3] = static_cast<std::uint8_t>(length);
+  return frame;
+}
+
+TEST(HaveDigest, RoundTripsAcrossSizes) {
+  Rng rng{11};
+  for (std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                            std::size_t{64}, std::size_t{500}}) {
+    p2p::HaveBatchMsg msg;
+    std::uint32_t next = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      next += 1 + static_cast<std::uint32_t>(rng.index(9));
+      msg.segments.push_back(next);
+    }
+    const p2p::Message message{msg};
+    const std::vector<std::uint8_t> bytes = p2p::encode(message);
+    // Framing is 5 bytes + 4 per segment, with no count field.
+    EXPECT_EQ(bytes.size(), 5 + 4 * count);
+    EXPECT_EQ(p2p::encoded_size(message), bytes.size());
+    const p2p::Message decoded = p2p::decode(bytes);
+    EXPECT_EQ(decoded, message);
+  }
+}
+
+TEST(HaveDigest, TruncationAndMutationFailClosed) {
+  p2p::HaveBatchMsg msg;
+  msg.segments = {3, 9, 10, 200, 4096};
+  const std::vector<std::uint8_t> bytes = p2p::encode(p2p::Message{msg});
+
+  // Plain truncation breaks the framing equality at every length.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut{
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(len)};
+    EXPECT_THROW((void)p2p::decode(cut), ParseError);
+  }
+  // Truncation with a consistent length field: a payload that is no
+  // longer a whole number of segment ids must still fail.
+  for (std::ptrdiff_t drop = 1; drop <= 3; ++drop) {
+    std::vector<std::uint8_t> cut{bytes.begin(), bytes.end() - drop};
+    cut = with_frame_length(std::move(cut),
+                            static_cast<std::uint32_t>(cut.size() - 4));
+    EXPECT_THROW((void)p2p::decode(cut), ParseError) << "drop " << drop;
+  }
+  // An empty digest frame (type byte only) carries no information a
+  // HAVE could not; the decoder rejects it outright.
+  std::vector<std::uint8_t> empty{bytes.begin(), bytes.begin() + 5};
+  empty = with_frame_length(std::move(empty), 1);
+  EXPECT_THROW((void)p2p::decode(empty), ParseError);
+
+  // Out-of-order and duplicate segment ids violate the strictly
+  // ascending contract the sender's sort guarantees.
+  const auto swap_words = [&](std::size_t a, std::size_t b) {
+    std::vector<std::uint8_t> frame = bytes;
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::swap(frame[5 + 4 * a + i], frame[5 + 4 * b + i]);
+    }
+    return frame;
+  };
+  EXPECT_THROW((void)p2p::decode(swap_words(0, 4)), ParseError);
+  std::vector<std::uint8_t> duplicated = bytes;
+  for (std::size_t i = 0; i < 4; ++i) {
+    duplicated[5 + 4 * 2 + i] = duplicated[5 + 4 * 1 + i];
+  }
+  EXPECT_THROW((void)p2p::decode(duplicated), ParseError);
+
+  // Arbitrary byte flips: a valid message of some type or ParseError,
+  // never a crash or an out-of-contract digest.
+  Rng rng{23};
+  for (int round = 0; round < 400; ++round) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const std::size_t flips = 1 + rng.index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.index(255));
+    }
+    try {
+      const p2p::Message decoded = p2p::decode(mutated);
+      if (const auto* digest = std::get_if<p2p::HaveBatchMsg>(&decoded)) {
+        ASSERT_FALSE(digest->segments.empty());
+        EXPECT_TRUE(std::is_sorted(digest->segments.begin(),
+                                   digest->segments.end()));
+      }
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsplice

@@ -247,6 +247,44 @@ TEST(Tracker, ReservoirSampleClampsToSwarmSize) {
   EXPECT_EQ(outsider.size(), 12u);
 }
 
+// The sparse Fisher-Yates sampler exists for announce waves at
+// bench_scale swarm sizes, so pin its contract where it matters: a
+// 10k-member registry. Each announce touches O(max_peers) state, so
+// this whole test is cheap despite the swarm size.
+TEST(Tracker, SampleStressAtTenThousandPeers) {
+  Tracker tracker;
+  const std::uint32_t members = 10'000;
+  for (std::uint32_t i = 0; i < members; ++i) {
+    tracker.register_peer(net::NodeId{i});
+  }
+  ASSERT_EQ(tracker.peer_count(), members);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const net::NodeId requester{static_cast<std::uint32_t>(seed) * 997};
+    Rng rng_a{seed};
+    Rng rng_b{seed};
+    const auto a = tracker.peers_for(requester, rng_a, 50);
+    const auto b = tracker.peers_for(requester, rng_b, 50);
+    EXPECT_EQ(a, b);  // deterministic per seed at scale
+    ASSERT_EQ(a.size(), 50u);
+    auto sorted = a;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end());  // no duplicates
+    for (net::NodeId id : a) {
+      EXPECT_NE(id, requester);  // requester never sampled
+      EXPECT_LT(id.value, members);
+    }
+  }
+  // The sampler must keep excluding the requester when its sorted
+  // position sits at either edge of the registry.
+  for (const std::uint32_t edge : {std::uint32_t{0}, members - 1}) {
+    Rng rng{9};
+    for (net::NodeId id : tracker.peers_for(net::NodeId{edge}, rng, 200)) {
+      EXPECT_NE(id, net::NodeId{edge});
+    }
+  }
+}
+
 TEST(Tracker, ReservoirReachesEveryPeerAcrossSeeds) {
   Tracker tracker;
   const std::uint32_t members = 200;

@@ -19,7 +19,8 @@
 //   - a metric present in the baseline but missing from the current run
 //     is a regression (a silently dropped check is the worst kind),
 //     unless it is machine-shaped (jobs / loop_threads /
-//     hardware_concurrency), which is only a note;
+//     hardware_concurrency / parallel_loop_speedup), which is only a
+//     note;
 //     new metrics are listed as notes. Added and removed keys also get
 //     their own sections in the markdown table so a renamed metric is
 //     impossible to miss.
@@ -311,6 +312,15 @@ MetricKind classify(const std::string& path) {
   if (contains(path, "startup") || contains(path, "stall")) {
     return MetricKind::Exact;
   }
+  // parallel_loop_speedup is serial-time / parallel-time on THIS
+  // machine: a 1-core runner records ~0.67x (lane overhead, no
+  // parallelism) while a multi-core runner's genuine 4x+ would read as
+  // a spurious six-fold "regression" against that baseline. It
+  // describes the machine, not the code — never compare it. Must come
+  // before the generic "speedup" rate rule below.
+  if (contains(path, "parallel_loop_speedup")) {
+    return MetricKind::Environment;
+  }
   // Throughput first: "mops_per_sec" would otherwise match the "_s"
   // timing suffix via substrings.
   if (contains(path, "per_sec") || contains(path, "speedup") ||
@@ -322,9 +332,11 @@ MetricKind classify(const std::string& path) {
   if (contains(path, "overhead_ratio")) {
     return MetricKind::LowerBetterTime;
   }
+  // "_ns_per" catches normalized wall-clock costs whose key does not
+  // *end* in a time suffix (codec_ns_per_msg, fast_ns_per_msg).
   if (ends_with(path, "_s") || ends_with(path, "_ns") ||
       ends_with(path, "_seconds") || contains(path, "wall_s") ||
-      contains(path, "elapsed")) {
+      contains(path, "elapsed") || contains(path, "_ns_per")) {
     return MetricKind::LowerBetterTime;
   }
   if (ends_with(path, "_bytes") || contains(path, "bytes_per_peer")) {
@@ -596,8 +608,16 @@ int self_test() {
   EXPECT(classify("values.parallel_loop_parallel_s") ==
          MetricKind::LowerBetterTime);
   EXPECT(classify("values.parallel_loop_speedup") ==
-         MetricKind::HigherBetterRate);
+         MetricKind::Environment);
   EXPECT(classify("values.parallel_loop_adopted") == MetricKind::Exact);
+  EXPECT(classify("values.micro.codec_ns_per_msg") ==
+         MetricKind::LowerBetterTime);
+  EXPECT(classify("values.frontier.n50000.control_bytes_saved") ==
+         MetricKind::Exact);
+  EXPECT(classify("values.control.n200.coalescing_ratio") ==
+         MetricKind::Exact);
+  EXPECT(classify("values.control.n200.batched_wall_s") ==
+         MetricKind::LowerBetterTime);
   EXPECT(classify("values.n20.4s.mean_startup_s") == MetricKind::Exact);
   EXPECT(classify("values.profiler_disabled_overhead_ratio") ==
          MetricKind::LowerBetterTime);

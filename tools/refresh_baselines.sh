@@ -11,6 +11,10 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
+# Absolutize: the benches run from a scratch directory below, so a
+# relative BUILD_DIR would stop resolving after the cd.
+mkdir -p "$build"
+build="$(cd "$build" && pwd)"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j"$(nproc)" \
@@ -36,3 +40,11 @@ for name in core scale wire; do
     "$repo/bench/baselines/BENCH_$name.json" > /dev/null
 done
 echo "baselines self-compare clean"
+
+# The baselines deliberately carry machine-shaped environment keys
+# (bench_compare classifies them as Environment and never gates on
+# them); list what this refresh recorded so a reviewer can see the
+# machine the numbers came from at a glance.
+echo "environment keys carried over (recorded, never compared):"
+grep -ho '"[^"]*\(jobs\|loop_threads\|hardware_concurrency\|parallel_loop_speedup\)"[^,}]*' \
+    "$repo"/bench/baselines/BENCH_*.json | sort -u | sed 's/^/  /'
