@@ -256,21 +256,27 @@ int run_bench(bool quick) {
 
   // --- Join-wave frontier (DESIGN.md §15): tens of thousands of peers
   // under the epoch-batched control plane. The binding constraint at
-  // this scale is Network::reallocate — a join wave piles metadata
-  // fetches onto the seeder's uplink and every flow start/finish
-  // rescans all concurrent flows — so the arrival rate is pinned just
-  // below the seeder's metadata service rate (~125 joins/s at
-  // 256 kB/s) by scaling join_spread with the swarm, and the point
-  // measures a fixed 75-simulated-second slice of the wave: the cost
-  // of *hosting* n registered peers (tracker, registry, SoA arrays,
-  // digest buffers) at a production-shaped constant arrival rate.
+  // this scale used to be Network::reallocate — a join wave piles
+  // metadata fetches onto the seeder's uplink, and before scoped
+  // reallocation (DESIGN.md §16) every flow start/finish rescanned all
+  // concurrent flows. The arrival rate is pinned just below the
+  // seeder's metadata service rate (~125 joins/s at 256 kB/s) by
+  // scaling join_spread with the swarm, and the point measures a fixed
+  // 75-simulated-second slice of the wave: the cost of *hosting* n
+  // registered peers (tracker, registry, SoA arrays, digest buffers)
+  // at a production-shaped constant arrival rate.
   {
+    // The 100k point rides in the quick slice too: it only became
+    // affordable once reallocation went scoped (the full-rescan wave
+    // was O(n^2) in concurrent flows), so it doubles as the regression
+    // canary for exactly that optimization.
     const std::vector<std::size_t> frontier_sizes =
-        quick ? std::vector<std::size_t>{50000}
-              : std::vector<std::size_t>{10000, 20000, 50000};
+        quick ? std::vector<std::size_t>{50000, 100000}
+              : std::vector<std::size_t>{10000, 20000, 50000, 100000};
     bool streams = true;
     bool control_ok = true;
     bool memory_ok = true;
+    bool scoped_ok = true;
     for (const std::size_t nodes : frontier_sizes) {
       experiments::ScenarioConfig config = scale_config(nodes, "4s");
       config.join_spread =
@@ -322,8 +328,19 @@ int run_bench(bool quick) {
                         r.control_coalescing_ratio);
       results.add_value(fkey("control_bytes_saved"),
                         static_cast<double>(r.control_bytes_saved));
+      results.add_value(fkey("realloc_touched_ratio"),
+                        r.reallocate_touched_flows_ratio);
+      results.add_value(fkey("heap_compactions"),
+                        static_cast<double>(r.heap_compactions));
       streams = streams && r.segment_picks > 0 && r.holder_picks > 0 &&
                 started > 0;
+      // The whole point of scoped reallocation: a join wave must not
+      // retouch every concurrent flow on every flow event. Ratio 1.0
+      // means every reallocation was forced full — the coupling graph
+      // degenerated (e.g. a finite hub) and the O(n^2) wall is back.
+      scoped_ok = scoped_ok && r.reallocations_scoped > 0 &&
+                  r.reallocate_touched_flows_ratio > 0 &&
+                  r.reallocate_touched_flows_ratio < 1.0;
       // The slice is sparse on purpose (the wave front is still
       // ramping), so coalescing may legitimately round to zero here —
       // the 200-peer section below gates coalescing > 0 — but digests
@@ -345,6 +362,9 @@ int run_bench(bool quick) {
                   "== 5 x messages_coalesced exactly");
     results.check("frontier_memory_bounded", memory_ok,
                   "frontier points stay <= 48 kB per registered peer");
+    results.check("frontier_scoped_realloc", scoped_ok,
+                  "frontier points keep reallocate_touched_flows_ratio "
+                  "strictly below 1 (no full-rescan collapse)");
   }
 
   // --- Batched-vs-unbatched control plane at 200 peers, 1024 kB/s:

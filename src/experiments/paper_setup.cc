@@ -46,6 +46,14 @@ bool spans_env_enabled() {
          !(env[0] == '0' && env[1] == '\0');
 }
 
+/// Same convention for VSPLICE_FULL_REALLOC (the full-rescan
+/// reallocation oracle, DESIGN.md §16).
+bool full_realloc_env_enabled() {
+  const char* env = std::getenv("VSPLICE_FULL_REALLOC");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 /// VSPLICE_LOOP_THREADS, or 1 when absent/empty/unparseable.
 int loop_threads_env() {
   const char* env = std::getenv("VSPLICE_LOOP_THREADS");
@@ -159,6 +167,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // --- Network: star topology, per-node loss contribution chosen so the
   // end-to-end loss between any two peers matches the configured value.
   net::Network network{sim};
+  network.set_full_reallocation(config.full_reallocation ||
+                                full_realloc_env_enabled());
   const double node_loss = 1.0 - std::sqrt(1.0 - config.pair_loss);
 
   net::NodeSpec seeder_spec;
@@ -317,7 +327,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.messages_routed = swarm.stats().messages_routed;
   result.messages_dropped = swarm.stats().messages_dropped;
   result.messages_verified = swarm.stats().messages_verified;
-  result.network_bytes_delivered = network.stats().bytes_delivered;
+  // Virtual read: folds in each still-active flow's accrued-but-
+  // unsettled progress (lazy settlement, DESIGN.md §16).
+  result.network_bytes_delivered = network.bytes_delivered();
   if (observability && config.timeline_summary) {
     result.timeline = observability->timeline();
   }
@@ -325,6 +337,21 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // --- Resource accounting (always; capacity-based, deterministic).
   result.events_fired = sim.fired_count();
   result.heap_high_water = sim.heap_high_water();
+  result.heap_compactions = sim.heap_compactions();
+  const net::NetworkStats& net_stats = network.stats();
+  result.reallocations = net_stats.reallocations;
+  result.reallocations_scoped = net_stats.reallocations_scoped;
+  result.flows_retouched = net_stats.flows_retouched;
+  result.reallocate_touched_flows_ratio =
+      net_stats.flows_active_integral > 0
+          ? static_cast<double>(net_stats.flows_retouched) /
+                static_cast<double>(net_stats.flows_active_integral)
+          : 0.0;
+  result.settled_flows_per_event =
+      result.events_fired > 0
+          ? static_cast<double>(net_stats.flows_settled) /
+                static_cast<double>(result.events_fired)
+          : 0.0;
   result.memory = swarm.memory_breakdown();
   if (series_store) {
     result.memory.add("obs.timeseries", series_store->memory_bytes());

@@ -62,6 +62,12 @@ struct ScenarioConfig {
   /// tests and the scaling benchmark use it as the oracle: for any size
   /// the two paths must produce identical results, only slower.
   bool brute_force_scheduling = false;
+  /// Run the retained full-rescan reallocation oracle (every flow's rate
+  /// recomputed on every flow event) instead of the scoped dirty-set
+  /// path (DESIGN.md §16). Byte-identical to the scoped path — the
+  /// differential tests pin that — only slower. Also enabled by
+  /// VSPLICE_FULL_REALLOC=1.
+  bool full_reallocation = false;
   /// LeecherConfig::rarest_window passthrough (0 = the paper's strictly
   /// sequential fetch order, used by every figure).
   std::size_t rarest_window = 0;
@@ -224,6 +230,17 @@ struct ScenarioResult {
   /// Event-loop health at end of run (deterministic counters).
   std::uint64_t events_fired = 0;
   std::size_t heap_high_water = 0;
+  /// Garbage-triggered event-heap rebuilds (DESIGN.md §16).
+  std::uint64_t heap_compactions = 0;
+  /// Scoped-reallocation health (DESIGN.md §16): scoped recomputes, the
+  /// flows they touched vs the full-rescan equivalent
+  /// (reallocate_touched_flows_ratio = retouched / active integral; 1.0
+  /// under the full-rescan oracle), and lazy settlements per event.
+  std::uint64_t reallocations = 0;
+  std::uint64_t reallocations_scoped = 0;
+  std::uint64_t flows_retouched = 0;
+  double reallocate_touched_flows_ratio = 0;
+  double settled_flows_per_event = 0;
 
   /// Per-subsystem byte gauges at end of run (always filled;
   /// capacity-based and deterministic — see obs/resource.h).

@@ -24,6 +24,11 @@ Network::Network(sim::Simulator& sim, TcpParams tcp)
     : sim_{sim}, tcp_{tcp} {
   // Link 0 is the hub trunk; infinite = non-blocking switch.
   link_capacity_.push_back(Rate::infinity());
+  effective_capacity_.push_back(Rate::infinity());
+  link_flows_.emplace_back();
+  link_mark_.push_back(0);
+  link_remap_mark_.push_back(0);
+  link_compact_.push_back(0);
 }
 
 NodeId Network::add_node(const NodeSpec& spec) {
@@ -33,8 +38,14 @@ NodeId Network::add_node(const NodeSpec& spec) {
           "node delay must be non-negative");
   const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
   nodes_.push_back(spec);
-  link_capacity_.push_back(spec.uplink);
-  link_capacity_.push_back(spec.downlink);
+  for (const Rate capacity : {spec.uplink, spec.downlink}) {
+    link_capacity_.push_back(capacity);
+    effective_capacity_.push_back(capacity);
+    link_flows_.emplace_back();
+    link_mark_.push_back(0);
+    link_remap_mark_.push_back(0);
+    link_compact_.push_back(0);
+  }
   uploaded_.push_back(0.0);
   downloaded_.push_back(0.0);
   return id;
@@ -63,21 +74,41 @@ LinkId Network::downlink_of(NodeId id) const {
   return LinkId{2 + 2 * id.value};
 }
 
+Rate Network::derated_capacity(LinkId link, std::size_t flows) const {
+  const Rate raw = link_capacity_[link.value];
+  if (tcp_.parallel_loss_factor <= 0.0 || flows <= 1 || raw.is_infinite())
+    return raw;
+  const double factor =
+      1.0 + tcp_.parallel_loss_factor * static_cast<double>(flows - 1);
+  return raw / factor;
+}
+
 void Network::set_hub_capacity(Rate capacity) {
   require(capacity >= Rate::zero(), "hub capacity must be non-negative");
-  advance_progress();
   link_capacity_[0] = capacity;
+  effective_capacity_[0] = capacity;
+  // The old constraint may have throttled any flow (and while finite,
+  // the trunk couples every flow into one component anyway): rescan all.
+  pending_full_ = true;
   reallocate();
 }
 
 void Network::set_node_bandwidth(NodeId id, Rate uplink, Rate downlink) {
   require(uplink >= Rate::zero() && downlink >= Rate::zero(),
           "bandwidth must be non-negative");
-  advance_progress();
   nodes_[id.value].uplink = uplink;
   nodes_[id.value].downlink = downlink;
-  link_capacity_[uplink_of(id).value] = uplink;
-  link_capacity_[downlink_of(id).value] = downlink;
+  const LinkId up = uplink_of(id);
+  const LinkId down = downlink_of(id);
+  link_capacity_[up.value] = uplink;
+  link_capacity_[down.value] = downlink;
+  effective_capacity_[up.value] = uplink;  // uplinks are never derated
+  effective_capacity_[down.value] =
+      derated_capacity(down, link_flows_[down.value].size());
+  // Capacity changed: flows on these links must be recomputed even if
+  // the new capacity is infinite (the old one may have throttled them).
+  seed_force_links_.push_back(up.value);
+  seed_force_links_.push_back(down.value);
   reallocate();
 }
 
@@ -93,6 +124,40 @@ double Network::path_loss(NodeId a, NodeId b) const {
   return 1.0 - (1.0 - node(a).loss) * (1.0 - node(b).loss);
 }
 
+void Network::link_flow(FlowId id, Flow& flow) {
+  const LinkId up = uplink_of(flow.src);
+  const LinkId down = downlink_of(flow.dst);
+  auto& up_list = link_flows_[up.value];
+  flow.up_pos = static_cast<std::uint32_t>(up_list.size());
+  up_list.emplace_back(id, &flow);
+  auto& down_list = link_flows_[down.value];
+  flow.down_pos = static_cast<std::uint32_t>(down_list.size());
+  down_list.emplace_back(id, &flow);
+  effective_capacity_[down.value] =
+      derated_capacity(down, down_list.size());
+  seed_links_.push_back(up.value);
+  seed_links_.push_back(down.value);
+}
+
+void Network::unlink_flow(Flow& flow) {
+  const LinkId up = uplink_of(flow.src);
+  const LinkId down = downlink_of(flow.dst);
+  auto& up_list = link_flows_[up.value];
+  up_list[flow.up_pos] = up_list.back();
+  up_list.pop_back();
+  if (flow.up_pos < up_list.size())
+    up_list[flow.up_pos].second->up_pos = flow.up_pos;
+  auto& down_list = link_flows_[down.value];
+  down_list[flow.down_pos] = down_list.back();
+  down_list.pop_back();
+  if (flow.down_pos < down_list.size())
+    down_list[flow.down_pos].second->down_pos = flow.down_pos;
+  effective_capacity_[down.value] =
+      derated_capacity(down, down_list.size());
+  seed_links_.push_back(up.value);
+  seed_links_.push_back(down.value);
+}
+
 FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size, Rate cap,
                            FlowCallbacks callbacks) {
   require(src != dst, "flow endpoints must differ");
@@ -106,16 +171,18 @@ FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size, Rate cap,
   ++stats_.flows_started;
   obs::count("net.flows_started");
 
-  advance_progress();
   Flow flow;
   flow.src = src;
   flow.dst = dst;
   flow.started = sim_.now();
+  flow.last_advanced = sim_.now();
   flow.total = static_cast<double>(size);
   flow.remaining = static_cast<double>(size);
   flow.cap = cap;
   flow.callbacks = std::move(callbacks);
-  flows_.emplace(id, std::move(flow));
+  const auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  link_flow(id, it->second);
+  seed_flows_.push_back(id);
   reallocate();
   return id;
 }
@@ -123,13 +190,17 @@ FlowId Network::start_flow(NodeId src, NodeId dst, Bytes size, Rate cap,
 void Network::set_flow_cap(FlowId id, Rate cap) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return;
-  advance_progress();
   it->second.cap = cap;
+  // The flow itself is always in the component (its links may both be
+  // infinite, in which case nobody else is affected).
+  seed_flows_.push_back(id);
   reallocate();
 }
 
 Network::AbortedFlow Network::remove_aborted(
     std::map<FlowId, Flow>::iterator it) {
+  settle_flow(it->second);
+  unlink_flow(it->second);
   Flow flow = std::move(it->second);
   if (flow.completion_event != sim::kInvalidEventId)
     sim_.cancel(flow.completion_event);
@@ -145,7 +216,6 @@ Network::AbortedFlow Network::remove_aborted(
 bool Network::abort_flow(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
-  advance_progress();
   AbortedFlow aborted = remove_aborted(it);
   // Rates are recomputed before the callback runs: on_abort must never
   // observe the departed flow's share still allocated to nobody.
@@ -155,7 +225,6 @@ bool Network::abort_flow(FlowId id) {
 }
 
 void Network::abort_flows_for(NodeId nodeid) {
-  advance_progress();
   // Remove every matching flow first, then reallocate ONCE; the owed
   // callbacks run last (in FlowId order) against the updated table.
   std::vector<AbortedFlow> aborted;
@@ -183,17 +252,53 @@ Rate Network::flow_rate(FlowId id) const {
 Bytes Network::flow_remaining(FlowId id) const {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return 0;
-  return static_cast<Bytes>(std::max(0.0, it->second.remaining));
+  const Flow& flow = it->second;
+  return static_cast<Bytes>(
+      std::max(0.0, flow.remaining - accrued_bytes(flow)));
+}
+
+double Network::accrued_bytes(const Flow& flow) const {
+  if (flow.rate.is_zero()) return 0.0;
+  // An infinite rate delivers everything the instant it is granted —
+  // even at dt = 0, or the zero-delay completion event would find the
+  // bytes still in flight and reschedule itself forever.
+  if (flow.rate.is_infinite()) return flow.remaining;
+  const Duration dt = sim_.now() - flow.last_advanced;
+  if (dt.is_zero()) return 0.0;
+  return std::min(flow.remaining,
+                  flow.rate.bytes_per_second() * dt.as_seconds());
+}
+
+double Network::accrued_on_link(LinkId link) const {
+  const auto& list = link_flows_[link.value];
+  if (list.empty()) return 0.0;
+  // Sum in FlowId order: the per-link index is swap-remove-unordered,
+  // and the accumulation order must not depend on it.
+  query_scratch_.clear();
+  for (const auto& [id, flow] : list) query_scratch_.emplace_back(id, flow);
+  std::sort(query_scratch_.begin(), query_scratch_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double sum = 0.0;
+  for (const auto& [id, flow] : query_scratch_) sum += accrued_bytes(*flow);
+  return sum;
 }
 
 Bytes Network::uploaded_by(NodeId id) const {
   require(id.value < uploaded_.size(), "unknown node");
-  return static_cast<Bytes>(uploaded_[id.value]);
+  return static_cast<Bytes>(uploaded_[id.value] +
+                            accrued_on_link(uplink_of(id)));
 }
 
 Bytes Network::downloaded_by(NodeId id) const {
   require(id.value < downloaded_.size(), "unknown node");
-  return static_cast<Bytes>(downloaded_[id.value]);
+  return static_cast<Bytes>(downloaded_[id.value] +
+                            accrued_on_link(downlink_of(id)));
+}
+
+double Network::bytes_delivered() const {
+  double total = stats_.bytes_delivered;
+  for (const auto& [id, flow] : flows_) total += accrued_bytes(flow);
+  return total;
 }
 
 void Network::credit_transfer(const Flow& flow, double bytes) {
@@ -202,50 +307,25 @@ void Network::credit_transfer(const Flow& flow, double bytes) {
   stats_.bytes_delivered += bytes;
 }
 
-void Network::advance_progress() {
+void Network::settle_flow(Flow& flow) {
   const TimePoint now = sim_.now();
-  const Duration dt = now - last_update_;
-  last_update_ = now;
-  if (dt.is_zero() || flows_.empty()) return;
-  sim::TaskPool* pool = sim_.task_pool();
-  if (pool != nullptr && pool->lanes() > 1 &&
-      flows_.size() >= StarAllocator::kParallelFlows) {
-    // Sharded integration (DESIGN.md §14): each flow's byte movement —
-    // and its own `remaining`, per-flow state — is computed in parallel
-    // over a deterministic partition; the cross-flow accumulators
-    // (uploaded_/downloaded_/bytes_delivered) are then credited serially
-    // in FlowId order, reproducing the serial loop's floating-point
-    // accumulation order exactly.
-    scratch_progress_.clear();
-    for (auto& [id, flow] : flows_) scratch_progress_.push_back(&flow);
-    const std::size_t count = scratch_progress_.size();
-    scratch_moved_.resize(count);
-    const double seconds = dt.as_seconds();
-    pool->parallel_for(
-        count, [&](std::size_t, std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            Flow& flow = *scratch_progress_[i];
-            if (flow.rate.is_zero()) continue;
-            const double moved = std::min(
-                flow.remaining, flow.rate.bytes_per_second() * seconds);
-            flow.remaining -= moved;
-            scratch_moved_[i] = moved;
-          }
-        });
-    for (std::size_t i = 0; i < count; ++i) {
-      const Flow& flow = *scratch_progress_[i];
-      if (flow.rate.is_zero()) continue;
-      credit_transfer(flow, scratch_moved_[i]);
-    }
-    return;
+  const Duration dt = now - flow.last_advanced;
+  flow.last_advanced = now;
+  if (flow.rate.is_zero()) return;
+  double moved;
+  if (flow.rate.is_infinite()) {
+    // Mirrors accrued_bytes: delivered the instant the rate was
+    // granted, even when no simulated time has passed since.
+    moved = flow.remaining;
+  } else {
+    if (dt.is_zero()) return;
+    moved = std::min(flow.remaining,
+                     flow.rate.bytes_per_second() * dt.as_seconds());
   }
-  for (auto& [id, flow] : flows_) {
-    if (flow.rate.is_zero()) continue;
-    const double moved = std::min(
-        flow.remaining, flow.rate.bytes_per_second() * dt.as_seconds());
-    flow.remaining -= moved;
-    credit_transfer(flow, moved);
-  }
+  if (moved == 0.0) return;
+  flow.remaining -= moved;
+  credit_transfer(flow, moved);
+  ++stats_.flows_settled;
 }
 
 void Network::compute_effective_capacities() {
@@ -272,21 +352,119 @@ void Network::reallocate() {
   check_invariant(!in_reallocate_, "reallocate is not reentrant");
   in_reallocate_ = true;
   ++stats_.reallocations;
+  stats_.flows_active_integral += flows_.size();
 
-  compute_effective_capacities();
+  // A finite hub trunk couples every flow into one component, so the
+  // scoped walk would visit everything anyway: force the full path in
+  // BOTH modes (this keeps the diagnostic counters mode-independent).
+  const bool forced_full =
+      pending_full_ || !effective_capacity_[0].is_infinite();
+  pending_full_ = false;
 
   scratch_specs_.clear();
   scratch_flows_.clear();
-  for (auto& [id, flow] : flows_) {  // FlowId order: map is sorted
-    scratch_specs_.push_back(StarFlowSpec{uplink_of(flow.src).value,
-                                          downlink_of(flow.dst).value,
-                                          flow.cap});
-    scratch_flows_.emplace_back(id, &flow);
+  bool solved = false;  // a compact subproblem was already allocated
+  if (!forced_full) {
+    ++stats_.reallocations_scoped;
+    // Dirty-set closure (DESIGN.md §16): flows couple only through
+    // finite-capacity links, so walk link -> flows -> other links,
+    // expanding finite links (plus the force-seeded ones whose raw
+    // capacity just changed) until the component is closed.
+    const std::uint64_t epoch = ++component_epoch_;
+    link_stack_.clear();
+    const auto couples = [&](std::uint32_t l) {
+      return !effective_capacity_[l].is_infinite();
+    };
+    const auto push_link = [&](std::uint32_t l) {
+      if (link_mark_[l] == epoch) return;
+      link_mark_[l] = epoch;
+      link_stack_.push_back(l);
+    };
+    const auto add_flow = [&](FlowId id, Flow* flow) {
+      if (flow->mark == epoch) return;
+      flow->mark = epoch;
+      scratch_flows_.emplace_back(id, flow);
+      const std::uint32_t up = uplink_of(flow->src).value;
+      const std::uint32_t down = downlink_of(flow->dst).value;
+      if (couples(up)) push_link(up);
+      if (couples(down)) push_link(down);
+    };
+    for (const std::uint32_t l : seed_force_links_) push_link(l);
+    for (const std::uint32_t l : seed_links_)
+      if (couples(l)) push_link(l);
+    seed_force_links_.clear();
+    seed_links_.clear();
+    for (const FlowId id : seed_flows_) {
+      const auto it = flows_.find(id);
+      if (it != flows_.end()) add_flow(id, &it->second);
+    }
+    seed_flows_.clear();
+    while (!link_stack_.empty()) {
+      const std::uint32_t l = link_stack_.back();
+      link_stack_.pop_back();
+      for (const auto& [id, flow] : link_flows_[l]) add_flow(id, flow);
+    }
+    // The allocator iterates flows in index order when fixing rates;
+    // sort so that order is FlowId order, exactly like the full path.
+    std::sort(scratch_flows_.begin(), scratch_flows_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    stats_.flows_retouched += scratch_flows_.size();
+    if (!full_reallocation_) {
+      if (!scratch_flows_.empty()) {
+        // Compact subproblem: remap the component's links to dense ids
+        // (hub stays 0) and allocate over those alone. Link order is
+        // irrelevant to the result — per-round levels are value-mins and
+        // the fix order is the (sorted) flow order.
+        scratch_capacity_.clear();
+        scratch_capacity_.push_back(effective_capacity_[0]);
+        const auto compact_of = [&](std::uint32_t l) {
+          if (link_remap_mark_[l] != epoch) {
+            link_remap_mark_[l] = epoch;
+            link_compact_[l] =
+                static_cast<std::uint32_t>(scratch_capacity_.size());
+            scratch_capacity_.push_back(effective_capacity_[l]);
+          }
+          return link_compact_[l];
+        };
+        for (const auto& [id, flow] : scratch_flows_) {
+          scratch_specs_.push_back(
+              StarFlowSpec{compact_of(uplink_of(flow->src).value),
+                           compact_of(downlink_of(flow->dst).value),
+                           flow->cap});
+        }
+        // The simulator's worker pool (if any) is idle between barrier
+        // windows, so the allocator may borrow it for its per-round scans.
+        allocator_.set_task_pool(sim_.task_pool());
+        allocator_.allocate(scratch_specs_, scratch_capacity_,
+                            scratch_rates_);
+      }
+      solved = true;
+    } else {
+      // Oracle mode: the dirty-set walk above ran for its counters only
+      // — flipping VSPLICE_FULL_REALLOC on must change nothing
+      // observable but wall time. Discard the component and rescan.
+      scratch_flows_.clear();
+    }
+  } else {
+    seed_links_.clear();
+    seed_force_links_.clear();
+    seed_flows_.clear();
+    stats_.flows_retouched += flows_.size();
   }
-  // The simulator's worker pool (if any) is idle between barrier windows,
-  // so the allocator may borrow it to shard its per-round scans.
-  allocator_.set_task_pool(sim_.task_pool());
-  allocator_.allocate(scratch_specs_, scratch_capacity_, scratch_rates_);
+  if (!solved) {
+    // Independent recomputation of the derated capacities — the scoped
+    // path's incrementally-maintained effective_capacity_ must agree
+    // (the differential suite compares the resulting rates).
+    compute_effective_capacities();
+    for (auto& [id, flow] : flows_) {  // FlowId order: map is sorted
+      scratch_specs_.push_back(StarFlowSpec{uplink_of(flow.src).value,
+                                            downlink_of(flow.dst).value,
+                                            flow.cap});
+      scratch_flows_.emplace_back(id, &flow);
+    }
+    allocator_.set_task_pool(sim_.task_pool());
+    allocator_.allocate(scratch_specs_, scratch_capacity_, scratch_rates_);
+  }
 
   for (std::size_t i = 0; i < scratch_flows_.size(); ++i) {
     Flow& flow = *scratch_flows_[i].second;
@@ -294,11 +472,14 @@ void Network::reallocate() {
     // A completion event stays valid while the rate it was derived from
     // holds: the event time is absolute, and progress accrues at exactly
     // that rate until the next reallocation. Only a rate change (or a
-    // flow that needs an event and has none) forces a reschedule.
+    // flow that needs an event and has none) forces a reschedule — and
+    // only then does the flow settle, so both reallocation modes settle
+    // the same flows at the same events in the same (FlowId) order.
     const bool needs_event =
         flow.completion_event == sim::kInvalidEventId &&
         (flow.remaining <= kDoneTolerance || !new_rate.is_zero());
     if (new_rate != flow.rate || needs_event) {
+      settle_flow(flow);
       flow.rate = new_rate;
       schedule_completion(scratch_flows_[i].first, flow);
     }
@@ -337,31 +518,56 @@ void Network::schedule_completion(FlowId id, Flow& flow) {
 }
 
 std::uint64_t Network::register_connection(Connection* conn) {
-  const std::uint64_t id = next_connection_id_++;
-  connections_.push_back(conn);
-  return id;
+  std::uint32_t slot;
+  if (!free_connection_slots_.empty()) {
+    slot = free_connection_slots_.back();
+    free_connection_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(connections_.size());
+    connections_.push_back(nullptr);
+    // Generation starts at 1, so an id is never 0 and a default/zero id
+    // never resolves.
+    connection_generation_.push_back(1);
+  }
+  connections_[slot] = conn;
+  return (static_cast<std::uint64_t>(slot) << 32) |
+         connection_generation_[slot];
 }
 
 void Network::unregister_connection(std::uint64_t id) {
-  connections_[id - 1] = nullptr;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= connections_.size() ||
+      connection_generation_[slot] != static_cast<std::uint32_t>(id)) {
+    return;  // stale or unknown id: already recycled
+  }
+  connections_[slot] = nullptr;
+  // Bump the generation so the outstanding id goes stale, then recycle
+  // the slot (MessagePool-style freelist).
+  ++connection_generation_[slot];
+  free_connection_slots_.push_back(slot);
 }
 
 Connection* Network::find_connection(std::uint64_t id) const {
-  if (id == 0 || id > connections_.size()) return nullptr;
-  return connections_[id - 1];
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= connections_.size() ||
+      connection_generation_[slot] != static_cast<std::uint32_t>(id)) {
+    return nullptr;
+  }
+  return connections_[slot];
 }
 
 void Network::finish_flow(FlowId id) {
-  advance_progress();
   const auto it = flows_.find(id);
   check_invariant(it != flows_.end(), "completion event for unknown flow");
   Flow& flow = it->second;
   flow.completion_event = sim::kInvalidEventId;
+  settle_flow(flow);
   if (flow.remaining > kDoneTolerance) {
     // Rates changed since this event was scheduled; re-derive the ETA.
     schedule_completion(id, flow);
     return;
   }
+  unlink_flow(flow);
   Flow done = std::move(flow);
   flows_.erase(it);
   ++stats_.flows_completed;

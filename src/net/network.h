@@ -4,16 +4,26 @@
 // access link (uplink + downlink) to a central hub node, with per-host
 // one-way delay and loss probability configured RSpec-style. Transfers are
 // fluid flows; whenever the flow set or a rate cap changes, the engine
-// advances every flow's byte progress and recomputes the max-min fair
-// allocation, then schedules the next completion event.
+// recomputes the max-min fair allocation and schedules the next
+// completion event.
 //
-// Hot-path design (see DESIGN.md §9): the allocation runs through the
-// star-specialized StarAllocator over scratch buffers owned by this
+// Hot-path design (see DESIGN.md §9 and §16): the allocation runs through
+// the star-specialized StarAllocator over scratch buffers owned by this
 // Network, so a reallocation performs no heap allocations in steady
-// state. Reallocation is incremental at the event-queue level — only
-// flows whose rate actually changed have their completion event
-// cancelled and rescheduled. abort_flows_for removes every matching flow
-// first and reallocates once.
+// state. Reallocation is *scoped*: per-link flow indexes let each flow
+// event propagate a dirty set through the water-filling coupling graph
+// (flows couple only through finite-capacity links) and recompute rates
+// for the affected connected component alone — untouched flows keep
+// their rates and completion events. Progress accounting is *lazy*: each
+// flow carries its own last_advanced timestamp and accrues bytes at its
+// constant rate; bytes are settled into the ledgers exactly when a
+// flow's rate changes, at completion/abort, and virtually (without
+// mutating) in queries. The pre-PR-10 full-rescan path is retained as a
+// runtime-selectable oracle (set_full_reallocation /
+// VSPLICE_FULL_REALLOC=1) and is byte-identical to the scoped path by
+// construction: both settle the same flows at the same events in FlowId
+// order, and a component's progressive-filling rounds reproduce the
+// global rounds' arithmetic exactly (DESIGN.md §16).
 //
 // Callback contract: on_complete/on_abort are ALWAYS invoked after the
 // rate table has been fully recomputed for the post-completion/post-abort
@@ -62,9 +72,29 @@ struct NetworkStats {
   std::uint64_t flows_completed = 0;
   std::uint64_t flows_aborted = 0;
   std::uint64_t reallocations = 0;
+  /// Reallocations whose dirty-set walk produced a scoped component,
+  /// i.e. not forced full by a finite hub. The walk (and this counter)
+  /// runs identically under the full-rescan oracle, so flipping the
+  /// oracle on changes nothing observable but wall time.
+  std::uint64_t reallocations_scoped = 0;
+  /// Size of the dirty component, summed over all reallocations
+  /// (forced-full reallocations contribute the whole table).
+  /// flows_retouched / flows_active_integral is the touched-flows
+  /// ratio: < 1 when scoping pays. Mode-independent, like above.
+  std::uint64_t flows_retouched = 0;
+  /// Active flows at each reallocation, summed — the work a full rescan
+  /// would have done.
+  std::uint64_t flows_active_integral = 0;
+  /// Lazy settlements that actually moved bytes (a flow's accrued
+  /// progress folded into the ledgers because its rate was about to
+  /// change, or it completed/aborted).
+  std::uint64_t flows_settled = 0;
   /// Completion events actually (re)scheduled; with the incremental
   /// reallocator this is far below reallocations × flows.
   std::uint64_t completion_reschedules = 0;
+  /// Bytes settled into the ledgers so far; in-flight accrual since each
+  /// flow's last settlement is NOT included — use
+  /// Network::bytes_delivered() for the externally consistent total.
   double bytes_delivered = 0.0;
 };
 
@@ -81,12 +111,21 @@ class Network {
   [[nodiscard]] const NodeSpec& node(NodeId id) const;
 
   /// Capacity of the shared hub trunk every flow crosses (infinite by
-  /// default, matching a non-blocking switch).
+  /// default, matching a non-blocking switch). A finite hub couples every
+  /// flow into one component, so reallocation falls back to full rescans
+  /// while it is set.
   void set_hub_capacity(Rate capacity);
 
   /// Reshapes a host's access link mid-run (variable-bandwidth
   /// experiments); in-flight flows are re-allocated immediately.
   void set_node_bandwidth(NodeId id, Rate uplink, Rate downlink);
+
+  /// Selects the full-rescan reallocation oracle (every flow recomputed
+  /// on every flow event, as before PR 10). The scoped path is
+  /// byte-identical; the oracle exists so differential tests and
+  /// VSPLICE_FULL_REALLOC=1 runs can prove it.
+  void set_full_reallocation(bool full) { full_reallocation_ = full; }
+  [[nodiscard]] bool full_reallocation() const { return full_reallocation_; }
 
   [[nodiscard]] Duration one_way_delay(NodeId a, NodeId b) const;
   [[nodiscard]] Duration rtt(NodeId a, NodeId b) const;
@@ -119,44 +158,66 @@ class Network {
   }
 
   /// Bytes this node has sent / received over completed+partial flows.
+  /// Includes each active flow's accrued-but-unsettled progress (a
+  /// virtual read; nothing is mutated).
   [[nodiscard]] Bytes uploaded_by(NodeId id) const;
   [[nodiscard]] Bytes downloaded_by(NodeId id) const;
+
+  /// Total bytes delivered across all flows, including in-flight accrual
+  /// since each flow's last settlement (stats().bytes_delivered holds
+  /// only the settled part).
+  [[nodiscard]] double bytes_delivered() const;
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const TcpParams& tcp() const { return tcp_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
-  /// Bytes held by the flow table, per-node accounting, connection
-  /// registry, and reallocation scratch (capacity-based; see
-  /// obs/resource.h). The ordered flow map is approximated as one
-  /// red-black node (3 pointers + color word) per entry.
+  /// Bytes held by the flow table, per-node accounting, per-link flow
+  /// indexes, connection registry and effective-capacity slab
+  /// (capacity-based; see obs/resource.h). The ordered flow map is
+  /// approximated as one red-black node (3 pointers + color word) per
+  /// entry. Reallocation/query scratch is deliberately excluded: its
+  /// high-water mark depends on whether the scoped path or the
+  /// full-rescan oracle ran, and accounting it would break the
+  /// scoped/full byte-identity of ScenarioResult (same rule as the
+  /// pool-only scratch, DESIGN.md §14).
   [[nodiscard]] std::uint64_t memory_bytes() const {
     const std::uint64_t map_node =
         sizeof(std::pair<FlowId, Flow>) + 4 * sizeof(void*);
+    std::uint64_t link_lists = 0;
+    for (const auto& list : link_flows_) {
+      link_lists += static_cast<std::uint64_t>(list.capacity()) *
+                    sizeof(std::pair<FlowId, Flow*>);
+    }
     return static_cast<std::uint64_t>(flows_.size()) * map_node +
            static_cast<std::uint64_t>(nodes_.capacity()) * sizeof(NodeSpec) +
-           static_cast<std::uint64_t>(link_capacity_.capacity()) *
+           static_cast<std::uint64_t>(link_capacity_.capacity() +
+                                      effective_capacity_.capacity()) *
                sizeof(Rate) +
            static_cast<std::uint64_t>(uploaded_.capacity() +
                                       downloaded_.capacity()) *
                sizeof(double) +
            static_cast<std::uint64_t>(connections_.capacity()) *
                sizeof(void*) +
-           allocator_.memory_bytes() +
-           static_cast<std::uint64_t>(scratch_capacity_.capacity() +
-                                      scratch_rates_.capacity()) *
-               sizeof(Rate) +
-           static_cast<std::uint64_t>(downlink_flows_.capacity()) *
+           static_cast<std::uint64_t>(connection_generation_.capacity() +
+                                      free_connection_slots_.capacity()) *
                sizeof(std::uint32_t) +
-           static_cast<std::uint64_t>(scratch_specs_.capacity()) *
-               sizeof(StarFlowSpec) +
-           static_cast<std::uint64_t>(scratch_flows_.capacity()) *
-               sizeof(std::pair<FlowId, Flow*>);
+           static_cast<std::uint64_t>(link_flows_.capacity()) *
+               sizeof(std::vector<std::pair<FlowId, Flow*>>) +
+           link_lists +
+           static_cast<std::uint64_t>(link_mark_.capacity() +
+                                      link_remap_mark_.capacity()) *
+               sizeof(std::uint64_t) +
+           static_cast<std::uint64_t>(link_compact_.capacity()) *
+               sizeof(std::uint32_t);
   }
 
   /// Connection registry: lets protocol code hold a connection by id and
   /// find out later whether it still exists (e.g. queued requests whose
-  /// requester may have hung up in the meantime).
+  /// requester may have hung up in the meantime). Ids are
+  /// generation-tagged (slot << 32 | generation, like sim::EventId) so
+  /// slots recycle through a freelist while a stale id keeps resolving
+  /// to nullptr.
   [[nodiscard]] std::uint64_t register_connection(class Connection* conn);
   void unregister_connection(std::uint64_t id);
   [[nodiscard]] class Connection* find_connection(std::uint64_t id) const;
@@ -166,12 +227,23 @@ class Network {
     NodeId src;
     NodeId dst;
     TimePoint started;
+    /// Lazy progress (DESIGN.md §16): `remaining` is exact as of
+    /// last_advanced; since then the flow accrues at `rate`. settle_flow
+    /// folds the accrual in; accrued_bytes reads it without mutating.
+    TimePoint last_advanced;
     double total = 0.0;      // bytes requested at start
     double remaining = 0.0;  // bytes; fractional to avoid rounding drift
     Rate cap = Rate::infinity();
     Rate rate = Rate::zero();
     FlowCallbacks callbacks;
     sim::EventId completion_event = sim::kInvalidEventId;
+    /// Position inside link_flows_[uplink] / link_flows_[downlink]
+    /// (swap-remove bookkeeping).
+    std::uint32_t up_pos = 0;
+    std::uint32_t down_pos = 0;
+    /// Dirty-component epoch stamp (matches component_epoch_ while the
+    /// flow is in the component being rebuilt).
+    std::uint64_t mark = 0;
   };
 
   /// A flow removed from the table whose on_abort is still owed.
@@ -183,19 +255,42 @@ class Network {
   [[nodiscard]] LinkId uplink_of(NodeId id) const;
   [[nodiscard]] LinkId downlink_of(NodeId id) const;
 
-  /// Integrates every active flow's progress from last_update_ to now.
-  void advance_progress();
+  /// Folds a flow's accrued bytes since last_advanced into remaining and
+  /// the uploaded/downloaded/bytes_delivered ledgers. Called exactly
+  /// when the flow's rate is about to change and at completion/abort —
+  /// in FlowId order when several settle at once — so the accumulation
+  /// order is identical for the scoped path and the full-rescan oracle.
+  void settle_flow(Flow& flow);
+  /// Bytes the flow has accrued since last_advanced (virtual read).
+  [[nodiscard]] double accrued_bytes(const Flow& flow) const;
+  /// Sum of accrued bytes over the flows on one access link, in FlowId
+  /// order (deterministic FP accumulation for the query paths).
+  [[nodiscard]] double accrued_on_link(LinkId link) const;
+
+  /// Derated goodput of a link given its concurrent-flow count (the
+  /// parallel-TCP penalty applies to finite downlinks only).
+  [[nodiscard]] Rate derated_capacity(LinkId link, std::size_t flows) const;
+  /// Inserts the flow into its two link lists, refreshes the
+  /// destination downlink's derated capacity, and seeds the dirty set.
+  void link_flow(FlowId id, Flow& flow);
+  /// Swap-removes the flow from its two link lists; otherwise as above.
+  void unlink_flow(Flow& flow);
+
   /// Fills scratch_capacity_ with link capacities, derating
-  /// oversubscribed downlinks by the parallel-TCP goodput penalty.
-  /// Downlink flow counts are tallied in a flat per-link vector.
+  /// oversubscribed downlinks by the parallel-TCP goodput penalty —
+  /// the full-rescan oracle's independent recomputation (the scoped
+  /// path maintains effective_capacity_ incrementally instead; the
+  /// differential suite proves they agree).
   void compute_effective_capacities();
-  /// Recomputes fair shares; reschedules completion events only for
-  /// flows whose rate changed (or that lack a needed event).
+  /// Recomputes fair shares for the dirty component (or every flow, in
+  /// full-rescan mode / while the hub trunk is finite); settles and
+  /// reschedules completion events only for flows whose rate changed
+  /// (or that lack a needed event). Consumes the pending dirty seeds.
   void reallocate();
   void schedule_completion(FlowId id, Flow& flow);
-  /// Removes the flow (cancelling its event) and records the abort; the
-  /// owed on_abort callback is returned for the caller to run after
-  /// reallocation.
+  /// Removes the flow (settling it and cancelling its event) and records
+  /// the abort; the owed on_abort callback is returned for the caller to
+  /// run after reallocation.
   AbortedFlow remove_aborted(std::map<FlowId, Flow>::iterator it);
   void finish_flow(FlowId id);
   void credit_transfer(const Flow& flow, double bytes);
@@ -205,35 +300,56 @@ class Network {
   std::vector<NodeSpec> nodes_;
   /// link 0 = hub trunk; node i has uplink 1+2i, downlink 2+2i.
   std::vector<Rate> link_capacity_;
+  /// link_capacity_ with the parallel-TCP downlink derate applied,
+  /// maintained incrementally as flows come and go (DESIGN.md §16).
+  std::vector<Rate> effective_capacity_;
   /// Ordered: reallocation iterates flows in FlowId order directly, so
-  /// determinism needs no per-call id sort.
+  /// determinism needs no per-call id sort. Map nodes are stable, so
+  /// link_flows_ may hold Flow pointers.
   std::map<FlowId, Flow> flows_;
   std::uint64_t next_flow_ = 1;
-  TimePoint last_update_ = TimePoint::origin();
   std::vector<double> uploaded_;
   std::vector<double> downloaded_;
   NetworkStats stats_;
   bool in_reallocate_ = false;
-  /// Live connections indexed by id - 1. Ids are never recycled (a
-  /// stale id must keep resolving to nullptr, see find_connection), so
-  /// this grows with the total connections ever opened — 8 bytes each,
-  /// cheaper than a hash table probed on every delivered message.
-  std::uint64_t next_connection_id_ = 1;
+  bool full_reallocation_ = false;
+  /// One full rescan owed (hub capacity changed: the old constraint may
+  /// have throttled any flow).
+  bool pending_full_ = false;
+
+  /// Connection registry: pointer per slot, generation per slot, free
+  /// slots (MessagePool-style freelist; see register_connection).
   std::vector<class Connection*> connections_;
+  std::vector<std::uint32_t> connection_generation_;
+  std::vector<std::uint32_t> free_connection_slots_;
+
+  /// Per-link flow index: the flows crossing each access link
+  /// (unordered; swap-remove keeps removal O(1), up_pos/down_pos track
+  /// positions). The hub trunk's entry (link 0) stays empty — a finite
+  /// hub couples everything and forces the full-rescan path instead.
+  std::vector<std::vector<std::pair<FlowId, Flow*>>> link_flows_;
+
+  // Dirty-set seeds, consumed by the next reallocate().
+  std::vector<std::uint32_t> seed_links_;        // expand iff coupling
+  std::vector<std::uint32_t> seed_force_links_;  // capacity changed: always
+  std::vector<FlowId> seed_flows_;               // always in the component
+
+  // Component-closure scratch (epoch-stamped marks: no per-event clears).
+  std::uint64_t component_epoch_ = 0;
+  std::vector<std::uint64_t> link_mark_;    // BFS visited, per link
+  std::vector<std::uint64_t> link_remap_mark_;  // compact-id valid, per link
+  std::vector<std::uint32_t> link_compact_;     // compact link id, per link
+  std::vector<std::uint32_t> link_stack_;       // BFS worklist
 
   // Reallocation scratch (steady-state: zero allocations per call).
   StarAllocator allocator_;
   std::vector<Rate> scratch_capacity_;
-  std::vector<std::uint32_t> downlink_flows_;   // per link id
+  std::vector<std::uint32_t> downlink_flows_;   // full-rescan tally, per link
   std::vector<StarFlowSpec> scratch_specs_;
   std::vector<Rate> scratch_rates_;
   std::vector<std::pair<FlowId, Flow*>> scratch_flows_;
-  // Sharded-progress scratch, used only when the simulator runs a worker
-  // pool and the flow table is large (DESIGN.md §14). Excluded from
-  // memory_bytes(): accounting pool-only scratch would make reported
-  // memory depend on loop_threads and break serial/parallel identity.
-  std::vector<Flow*> scratch_progress_;
-  std::vector<double> scratch_moved_;
+  // Query scratch: FlowId-sorted accrual reads (see accrued_on_link).
+  mutable std::vector<std::pair<FlowId, const Flow*>> query_scratch_;
 };
 
 }  // namespace vsplice::net

@@ -845,6 +845,37 @@ std::string render_html_report(const ReportData& data) {
             "</td><td class=\"num\">100.0%</td></tr></table>\n";
   }
 
+  // Event-loop health: queue pressure, garbage share, scoped
+  // reallocation and lazy settlement (see DESIGN.md §16). Only rendered
+  // when the run sampled the sim.* series.
+  if (store.find("sim.queue_depth") != nullptr) {
+    html += "<h2>Event loop</h2>\n<p class=\"sub\">";
+    const Series* compactions = store.find("sim.heap_compactions");
+    const Series* touched = store.find("net.realloc_touched_ratio");
+    const Series* settled = store.find("net.settled_flows_per_event");
+    html += "Heap compactions: " +
+            (compactions != nullptr && !compactions->empty()
+                 ? fmt_compact(compactions->last_value())
+                 : std::string{"0"});
+    if (touched != nullptr && !touched->empty()) {
+      html += "; reallocation touched-flows ratio " +
+              fmt_fixed(touched->last_value(), 3) +
+              " (1.000 = full rescans)";
+    }
+    if (settled != nullptr && !settled->empty()) {
+      html += "; " + fmt_fixed(settled->last_value(), 2) +
+              " flows settled per fired event";
+    }
+    html += ".</p>\n<div class=\"grid\">";
+    overview_chart("sim.queue_depth", "Live pending events", 1.0, true);
+    overview_chart("sim.events_per_sec", "Events fired per second", 1.0,
+                   false);
+    overview_chart("sim.garbage_ratio", "Heap garbage ratio", 1.0, false);
+    overview_chart("net.realloc_touched_ratio",
+                   "Realloc touched-flows ratio", 1.0, false);
+    html += "</div>\n";
+  }
+
   // Per-viewer cards: buffer timeline with stall shading + pool steps.
   html += "<h2>Viewers</h2>\n<div class=\"grid\">";
   for (const auto& [node, stall_spans] : viewers) {

@@ -149,6 +149,24 @@ void SwarmSampler::sample(TimePoint now) {
   }
   store_.series("sim.events_per_sec").append(now, events_per_sec);
   previous_events_fired_ = obs.events_fired;
+  store_.series("sim.heap_compactions")
+      .append(now, static_cast<double>(obs.heap_compactions));
+
+  // Scoped-reallocation health (cumulative ratios; see DESIGN.md §16):
+  // recomputed flows as a share of what full rescans would have touched,
+  // and lazy settlements per fired event.
+  const double touched_ratio =
+      obs.flows_active_integral == 0
+          ? 0.0
+          : static_cast<double>(obs.flows_retouched) /
+                static_cast<double>(obs.flows_active_integral);
+  store_.series("net.realloc_touched_ratio").append(now, touched_ratio);
+  const double settled_per_event =
+      obs.events_fired == 0
+          ? 0.0
+          : static_cast<double>(obs.flows_settled) /
+                static_cast<double>(obs.events_fired);
+  store_.series("net.settled_flows_per_event").append(now, settled_per_event);
 
   // Per-subsystem memory gauges plus the ROADMAP's bytes-per-peer
   // budget figure (total over the leechers the probe reported).

@@ -14,7 +14,8 @@
 // Availability:      avail.seg<NNNN> (replica count per segment,
 //                    zero-padded so lexicographic order == index order)
 // Event-loop health: sim.queue_depth | heap_high_water | garbage_ratio |
-//                    events_per_sec
+//                    events_per_sec | heap_compactions
+//                    net.realloc_touched_ratio | settled_flows_per_event
 // Memory gauges:     mem.<subsystem> | mem.total | mem.bytes_per_peer
 //                    (see obs/resource.h)
 #pragma once
@@ -68,6 +69,14 @@ struct SwarmObservation {
   std::size_t queue_depth = 0;     ///< live (non-cancelled) pending events
   std::size_t heap_entries = 0;    ///< raw entries incl. cancelled garbage
   std::size_t heap_high_water = 0;
+  std::uint64_t heap_compactions = 0;  ///< garbage-triggered heap rebuilds
+  /// Scoped-reallocation health, read from the run's Network (see
+  /// DESIGN.md §16): recomputed flows vs the full-rescan equivalent, and
+  /// lazy settlements vs events fired.
+  std::uint64_t reallocations_scoped = 0;
+  std::uint64_t flows_retouched = 0;
+  std::uint64_t flows_active_integral = 0;
+  std::uint64_t flows_settled = 0;
   /// Per-subsystem byte gauges (see obs/resource.h); empty when the
   /// probe does not supply them.
   MemoryBreakdown memory;

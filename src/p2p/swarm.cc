@@ -221,12 +221,20 @@ obs::SwarmObservation Swarm::observe() const {
     p.bytes_downloaded = network_.downloaded_by(leecher->node());
     out.peers.push_back(p);
   }
-  out.network_bytes_delivered = network_.stats().bytes_delivered;
+  // Virtual read: includes each active flow's accrued-but-unsettled
+  // progress, so sampled goodput stays smooth under lazy settlement.
+  out.network_bytes_delivered = network_.bytes_delivered();
+  const net::NetworkStats& net_stats = network_.stats();
+  out.reallocations_scoped = net_stats.reallocations_scoped;
+  out.flows_retouched = net_stats.flows_retouched;
+  out.flows_active_integral = net_stats.flows_active_integral;
+  out.flows_settled = net_stats.flows_settled;
   const sim::Simulator& sim = network_.simulator();
   out.events_fired = sim.fired_count();
   out.queue_depth = sim.pending_events();
   out.heap_entries = sim.heap_entries();
   out.heap_high_water = sim.heap_high_water();
+  out.heap_compactions = sim.heap_compactions();
   out.memory = memory_breakdown();
   return out;
 }

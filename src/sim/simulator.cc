@@ -138,7 +138,20 @@ bool Simulator::cancel(EventId id) {
   retire(id);  // the heap entry goes stale and is dropped when it surfaces
   --live_;
   events_cancelled_.add();
+  maybe_compact();
   return true;
+}
+
+void Simulator::maybe_compact() {
+  if (heap_.size() < kCompactMinEntries) return;
+  if (heap_.size() - live_ <= live_) return;  // garbage ratio <= 0.5
+  std::size_t keep = 0;
+  for (const Entry& entry : heap_) {
+    if (live(entry.id)) heap_[keep++] = entry;
+  }
+  heap_.resize(keep);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  ++heap_compactions_;
 }
 
 bool Simulator::is_pending(EventId id) const {

@@ -115,8 +115,18 @@ class Simulator {
   [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
   /// Deepest the heap has ever been (entries, including garbage).
+  /// Records the pre-compaction peak: compaction shrinks the live size
+  /// but never rewrites history.
   [[nodiscard]] std::size_t heap_high_water() const {
     return heap_high_water_;
+  }
+
+  /// Heap rebuilds performed because lazily-cancelled garbage crossed
+  /// the compaction threshold (see the event_queue_garbage anomaly
+  /// scanner; compaction keeps the steady-state ratio at or below the
+  /// scanner's 0.5 alarm line).
+  [[nodiscard]] std::uint64_t heap_compactions() const {
+    return heap_compactions_;
   }
 
   /// Fraction of current heap entries that are lazily-cancelled
@@ -211,6 +221,13 @@ class Simulator {
   void retire(EventId id);
   /// Pops stale (cancelled) entries off the heap top.
   void drop_stale() const;
+  /// Rebuilds the heap without its stale entries once garbage outweighs
+  /// live events (and the heap is big enough to matter). Pop order is
+  /// unchanged — it is the total order (time, sequence), independent of
+  /// heap layout — and generation tags live in the slot vector, which a
+  /// rebuild never touches. Runs only from cancel(), never while an
+  /// entry is being popped or the window planner is peeking.
+  void maybe_compact();
   /// Moves the top entry out of the heap, retires it, and runs it.
   void fire();
   /// Parallel loop: peeks the next barrier window (up to kWindowCap
@@ -225,6 +242,9 @@ class Simulator {
   std::uint64_t event_limit_ = 0;
   std::size_t live_ = 0;
   std::size_t heap_high_water_ = 0;
+  std::uint64_t heap_compactions_ = 0;
+  /// Below this many entries a rebuild saves less than it costs.
+  static constexpr std::size_t kCompactMinEntries = 1024;
 
   // Lazy deletion: cancelled entries stay in the heap (their slot's
   // generation no longer matches) and are dropped when they surface.

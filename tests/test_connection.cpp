@@ -215,6 +215,40 @@ TEST(Connection, RegistryFindsLiveConnections) {
   EXPECT_EQ(f.net.find_connection(id), nullptr);
 }
 
+TEST(Connection, RegistryRecyclesSlotsWithoutResurrectingStaleIds) {
+  Fixture f;
+  auto first = std::make_unique<Connection>(f.net, f.rng, f.client, f.server);
+  const std::uint64_t stale = first->id();
+  first.reset();
+  // The freed slot is reused, but under a bumped generation: the new
+  // connection gets a different id and the old id stays dead.
+  auto second =
+      std::make_unique<Connection>(f.net, f.rng, f.client, f.server);
+  EXPECT_NE(second->id(), stale);
+  EXPECT_EQ(f.net.find_connection(stale), nullptr);
+  EXPECT_EQ(f.net.find_connection(second->id()), second.get());
+  EXPECT_FALSE(f.net.find_connection(0));  // a zero id never resolves
+}
+
+TEST(Connection, RegistryStaysBoundedUnderConnectionChurn) {
+  Fixture f;
+  // Warm up one slot, then churn 1000 sequential connections through
+  // the registry: every one should land in the recycled slot, so the
+  // slab (visible through the capacity-based memory accounting) must
+  // not grow at all — the old code leaked a nullptr tombstone per
+  // departed connection.
+  std::make_unique<Connection>(f.net, f.rng, f.client, f.server).reset();
+  const std::uint64_t warm = f.net.memory_bytes();
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto conn =
+        std::make_unique<Connection>(f.net, f.rng, f.client, f.server);
+    EXPECT_NE(conn->id(), previous);
+    previous = conn->id();
+  }
+  EXPECT_EQ(f.net.memory_bytes(), warm);
+}
+
 TEST(Connection, LossMakesHandshakeSlowerOnAverage) {
   Fixture f;
   NodeSpec lossy;

@@ -42,6 +42,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -297,51 +298,111 @@ enum class MetricKind {
   Environment,       // machine-shaped (worker counts); never compared
 };
 
+/// The last '.'-separated component of a flattened path
+/// ("values.n100.4s.loop_threads" -> "loop_threads").
+std::string_view last_segment(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return std::string_view{path}.substr(
+      dot == std::string::npos ? 0 : dot + 1);
+}
+
+/// One classification rule. Segment rules compare the last path
+/// component exactly; Suffix/Substr rules look at the whole path.
+struct ClassRule {
+  enum class Match { Segment, Suffix, Substr };
+  Match match;
+  const char* pattern;
+  MetricKind kind;
+};
+
+/// THE gating table — every classification decision lives here, applied
+/// first-match-wins, pinned row by row by the self-test.
+///
+/// The rules used to be a pile of ad-hoc contains() checks appended as
+/// flakes surfaced: a wall-clock key with no recognized suffix fell
+/// through to the exact comparator (1e-9 relative on a *measured* time
+/// is a guaranteed flake — how codec_ns_per_msg got its "_ns_per"
+/// patch), while over-broad substrings cut the other way — a blanket
+/// contains("threads") would silently classify a future
+/// threads_sweep_wall_s as never-compared Environment. Hence the
+/// convention, enforced in one place: wall-clock-derived keys carry a
+/// unit suffix (_s/_ns/_us/_ms/_seconds) or a wall_s / _ns_per /
+/// elapsed / overhead_ratio marker and gate at the 4x time tolerance;
+/// rates carry per_sec / speedup / ops_per and gate at 1/4x; memory
+/// gauges end in _bytes (or bytes_per_peer) and gate at 1.5x;
+/// machine-shaped keys are matched as exact segments so they cannot
+/// swallow anything else; what remains is deterministic output,
+/// compared exactly.
+constexpr ClassRule kClassification[] = {
+    // Machine-shaped keys: worker counts (e2e_jobs = one per hardware
+    // thread), lane counts, and the machine itself. Exact-segment
+    // matches only — listed before the unit-suffix rules so
+    // loop_threads-style keys never read as timings.
+    {ClassRule::Match::Segment, "e2e_jobs", MetricKind::Environment},
+    {ClassRule::Match::Segment, "jobs", MetricKind::Environment},
+    {ClassRule::Match::Segment, "loop_threads", MetricKind::Environment},
+    {ClassRule::Match::Segment, "hardware_concurrency",
+     MetricKind::Environment},
+    // parallel_loop_speedup is serial-time / parallel-time on THIS
+    // machine: a 1-core runner records ~0.67x (lane overhead, no
+    // parallelism) while a multi-core runner's genuine 4x+ would read
+    // as a spurious six-fold "regression" against that baseline. The
+    // _2x check is likewise only emitted on machines with >= 8 hardware
+    // threads, so its *absence* must not gate (a recorded bool flip
+    // still does — the bool path runs before classification).
+    {ClassRule::Match::Segment, "parallel_loop_speedup",
+     MetricKind::Environment},
+    {ClassRule::Match::Segment, "parallel_loop_speedup_2x",
+     MetricKind::Environment},
+    // Simulated-time figures (mean_startup_s, stall seconds) look like
+    // timing metrics but are deterministic simulation output — compare
+    // them exactly, before the unit-suffix rules can claim them.
+    {ClassRule::Match::Segment, "mean_startup_s", MetricKind::Exact},
+    {ClassRule::Match::Substr, "stall", MetricKind::Exact},
+    // Throughput and speedups: before the time suffixes ("mops_per_sec"
+    // would otherwise match "_s"-style substrings).
+    {ClassRule::Match::Substr, "per_sec", MetricKind::HigherBetterRate},
+    {ClassRule::Match::Substr, "speedup", MetricKind::HigherBetterRate},
+    {ClassRule::Match::Substr, "ops_per", MetricKind::HigherBetterRate},
+    // Wall-clock-derived keys, by unit suffix; wall_s / elapsed /
+    // "_ns_per" catch normalized costs whose key does not *end* in a
+    // unit (wall_s_per_sim_min, codec_ns_per_msg), and a ratio of two
+    // measured times (overhead_ratio) is as noisy as the times
+    // themselves.
+    {ClassRule::Match::Suffix, "_s", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Suffix, "_ns", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Suffix, "_us", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Suffix, "_ms", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Suffix, "_seconds", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Substr, "wall_s", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Substr, "elapsed", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Substr, "_ns_per", MetricKind::LowerBetterTime},
+    {ClassRule::Match::Substr, "overhead_ratio",
+     MetricKind::LowerBetterTime},
+    // Memory gauges.
+    {ClassRule::Match::Suffix, "_bytes", MetricKind::LowerBetterBytes},
+    {ClassRule::Match::Substr, "bytes_per_peer",
+     MetricKind::LowerBetterBytes},
+};
+
 MetricKind classify(const std::string& path) {
-  // Worker counts (e2e_jobs = one per hardware thread), lane counts
-  // (loop_threads) and hardware_concurrency describe the machine or the
-  // bench setup, not the code. This must come first: it also keeps the
-  // "_s" suffix rule off loop_threads-style keys.
-  if (contains(path, "jobs") || contains(path, "threads") ||
-      contains(path, "hardware_concurrency")) {
-    return MetricKind::Environment;
+  const std::string_view segment = last_segment(path);
+  for (const ClassRule& rule : kClassification) {
+    switch (rule.match) {
+      case ClassRule::Match::Segment:
+        if (segment == rule.pattern) return rule.kind;
+        break;
+      case ClassRule::Match::Suffix:
+        if (ends_with(path, rule.pattern)) return rule.kind;
+        break;
+      case ClassRule::Match::Substr:
+        if (contains(path, rule.pattern)) return rule.kind;
+        break;
+    }
   }
-  // Simulated-time figures (mean_startup_s, stall seconds) look like
-  // timing metrics but are deterministic simulation output — compare
-  // them exactly, before the "_s" suffix rule can claim them.
-  if (contains(path, "startup") || contains(path, "stall")) {
-    return MetricKind::Exact;
-  }
-  // parallel_loop_speedup is serial-time / parallel-time on THIS
-  // machine: a 1-core runner records ~0.67x (lane overhead, no
-  // parallelism) while a multi-core runner's genuine 4x+ would read as
-  // a spurious six-fold "regression" against that baseline. It
-  // describes the machine, not the code — never compare it. Must come
-  // before the generic "speedup" rate rule below.
-  if (contains(path, "parallel_loop_speedup")) {
-    return MetricKind::Environment;
-  }
-  // Throughput first: "mops_per_sec" would otherwise match the "_s"
-  // timing suffix via substrings.
-  if (contains(path, "per_sec") || contains(path, "speedup") ||
-      contains(path, "ops_per")) {
-    return MetricKind::HigherBetterRate;
-  }
-  // A ratio of two measured times (the profiler's disabled-overhead
-  // share) is as noisy as the times themselves.
-  if (contains(path, "overhead_ratio")) {
-    return MetricKind::LowerBetterTime;
-  }
-  // "_ns_per" catches normalized wall-clock costs whose key does not
-  // *end* in a time suffix (codec_ns_per_msg, fast_ns_per_msg).
-  if (ends_with(path, "_s") || ends_with(path, "_ns") ||
-      ends_with(path, "_seconds") || contains(path, "wall_s") ||
-      contains(path, "elapsed") || contains(path, "_ns_per")) {
-    return MetricKind::LowerBetterTime;
-  }
-  if (ends_with(path, "_bytes") || contains(path, "bytes_per_peer")) {
-    return MetricKind::LowerBetterBytes;
-  }
+  // Deterministic counts and figures (picks, events_fired, ratios of
+  // counts): exact. A *measured* key landing here is a classification
+  // bug — add its suffix to the table and pin it in the self-test.
   return MetricKind::Exact;
 }
 
@@ -581,46 +642,115 @@ int self_test() {
     EXPECT(!trailing.parse(v));
   }
 
-  // Classification.
-  EXPECT(classify("values.alloc_star_ns") == MetricKind::LowerBetterTime);
-  EXPECT(classify("values.e2e_serial_seconds") ==
-         MetricKind::LowerBetterTime);
-  EXPECT(classify("values.n500.4s.wall_s") == MetricKind::LowerBetterTime);
-  EXPECT(classify("values.event_loop_mops_per_sec") ==
-         MetricKind::HigherBetterRate);
-  EXPECT(classify("values.speedup.n500.scheduling") ==
-         MetricKind::HigherBetterRate);
-  EXPECT(classify("values.n500.4s.bytes_per_peer") ==
-         MetricKind::LowerBetterBytes);
-  EXPECT(classify("values.n500.4s.memory_total_bytes") ==
-         MetricKind::LowerBetterBytes);
-  EXPECT(classify("checks.speedup_10x") == MetricKind::HigherBetterRate);
-  EXPECT(classify("values.n20.4s.segment_picks") == MetricKind::Exact);
-  EXPECT(classify("tables.stalls.series.4 sec[0]") == MetricKind::Exact);
-  EXPECT(classify("values.e2e_jobs") == MetricKind::Environment);
-  EXPECT(classify("values.loop_threads") == MetricKind::Environment);
-  EXPECT(classify("values.n10000.4s.loop_threads") ==
-         MetricKind::Environment);
-  EXPECT(classify("values.hardware_concurrency") ==
-         MetricKind::Environment);
-  EXPECT(classify("values.parallel_loop_serial_s") ==
-         MetricKind::LowerBetterTime);
-  EXPECT(classify("values.parallel_loop_parallel_s") ==
-         MetricKind::LowerBetterTime);
-  EXPECT(classify("values.parallel_loop_speedup") ==
-         MetricKind::Environment);
-  EXPECT(classify("values.parallel_loop_adopted") == MetricKind::Exact);
-  EXPECT(classify("values.micro.codec_ns_per_msg") ==
-         MetricKind::LowerBetterTime);
-  EXPECT(classify("values.frontier.n50000.control_bytes_saved") ==
-         MetricKind::Exact);
-  EXPECT(classify("values.control.n200.coalescing_ratio") ==
-         MetricKind::Exact);
-  EXPECT(classify("values.control.n200.batched_wall_s") ==
-         MetricKind::LowerBetterTime);
-  EXPECT(classify("values.n20.4s.mean_startup_s") == MetricKind::Exact);
-  EXPECT(classify("values.profiler_disabled_overhead_ratio") ==
-         MetricKind::LowerBetterTime);
+  // The classification table, pinned: one row per key family the bench
+  // binaries emit (plus structural edge cases), so any table edit shows
+  // up here as an explicit, reviewable diff.
+  struct Pin {
+    const char* path;
+    MetricKind kind;
+  };
+  static constexpr MetricKind kTime = MetricKind::LowerBetterTime;
+  static constexpr MetricKind kRate = MetricKind::HigherBetterRate;
+  static constexpr MetricKind kBytes = MetricKind::LowerBetterBytes;
+  static constexpr MetricKind kExact = MetricKind::Exact;
+  static constexpr MetricKind kEnv = MetricKind::Environment;
+  static constexpr Pin kPins[] = {
+      // machine-shaped: never compared, removal is only a note
+      {"values.e2e_jobs", kEnv},
+      {"values.loop_threads", kEnv},
+      {"values.n10000.4s.loop_threads", kEnv},
+      {"values.hardware_concurrency", kEnv},
+      {"values.parallel_loop_speedup", kEnv},
+      {"checks.parallel_loop_speedup_2x", kEnv},  // emitted only on >=8 hw
+      // wall-clock measurements: gate at the 4x time tolerance
+      {"values.alloc_star_ns", kTime},
+      {"values.alloc_generic_ns", kTime},
+      {"values.event_loop_seconds", kTime},
+      {"values.e2e_serial_seconds", kTime},
+      {"values.e2e_parallel_seconds", kTime},
+      {"values.parallel_loop_serial_s", kTime},
+      {"values.parallel_loop_parallel_s", kTime},
+      {"values.n500.4s.wall_s", kTime},
+      {"values.n500.4s.sched_wall_s", kTime},
+      {"values.n500.4s.wall_s_per_sim_min", kTime},
+      {"values.frontier.n50000.wall_s", kTime},
+      {"values.frontier.n100000.wall_s", kTime},
+      {"values.oracle.n500.wall_s", kTime},
+      {"values.incremental.n500.sched_wall_s", kTime},
+      {"values.control.n200.batched_wall_s", kTime},
+      {"values.control.n200.unbatched_wall_s", kTime},
+      {"values.cache.fresh_s", kTime},
+      {"values.cache.cached_s", kTime},
+      {"values.fanout.batched_s", kTime},
+      {"values.fanout.encode_per_peer_s", kTime},
+      {"values.e2e.n500.fast_s", kTime},
+      {"values.e2e.n500.roundtrip_s", kTime},
+      {"values.micro.codec_ns_per_msg", kTime},
+      {"values.micro.fast_ns_per_msg", kTime},
+      {"values.profiler_scope_enabled_ns", kTime},
+      {"values.profiler_scope_disabled_ns", kTime},
+      {"values.span_enabled_ns", kTime},
+      {"values.profiler_disabled_overhead_ratio", kTime},
+      {"values.span_disabled_overhead_ratio", kTime},
+      // rates and speedups: gate at 1/4x
+      {"values.event_loop_mops_per_sec", kRate},
+      {"values.alloc_speedup", kRate},
+      {"values.cache.speedup", kRate},
+      {"values.micro.speedup", kRate},
+      {"values.fanout.speedup", kRate},
+      {"values.e2e.n500.speedup", kRate},
+      {"values.e2e_speedup", kRate},
+      {"values.speedup.n500.scheduling", kRate},
+      {"values.speedup.n500.total", kRate},
+      {"checks.speedup_10x", kRate},  // bool path still decides flips
+      // memory gauges: gate at 1.5x
+      {"values.n500.4s.bytes_per_peer", kBytes},
+      {"values.n500.4s.memory_total_bytes", kBytes},
+      {"values.frontier.n100000.bytes_per_peer", kBytes},
+      {"values.frontier.n100000.memory_total_bytes", kBytes},
+      // deterministic figures: exact
+      {"values.n20.4s.segment_picks", kExact},
+      {"values.n20.4s.mean_startup_s", kExact},
+      {"tables.stalls.series.4 sec[0]", kExact},
+      {"values.alloc_flows", kExact},
+      {"values.event_loop_ops", kExact},
+      {"values.cache.computations", kExact},
+      {"values.parallel_loop_adopted", kExact},
+      {"values.parallel_loop_recomputed", kExact},
+      {"values.control.n200.coalescing_ratio", kExact},
+      {"values.control.n200.bytes_saved", kExact},
+      {"values.frontier.n50000.control_bytes_saved", kExact},
+      {"values.frontier.n100000.events_fired", kExact},
+      {"values.frontier.n100000.heap_compactions", kExact},
+      {"values.frontier.n100000.realloc_touched_ratio", kExact},
+      {"values.incremental.n500.candidates_scanned", kExact},
+      // structural: hypothetical keys must land on the gated side. Under
+      // the old contains("threads") rule the first of these would have
+      // silently become never-compared Environment.
+      {"values.threads_sweep_wall_s", kTime},
+      {"values.warmup_elapsed", kTime},
+      {"values.decode_us", kTime},
+      {"values.frame_ms", kTime},
+  };
+  const auto kind_name = [](MetricKind kind) {
+    switch (kind) {
+      case MetricKind::LowerBetterTime: return "LowerBetterTime";
+      case MetricKind::HigherBetterRate: return "HigherBetterRate";
+      case MetricKind::LowerBetterBytes: return "LowerBetterBytes";
+      case MetricKind::Exact: return "Exact";
+      case MetricKind::Environment: return "Environment";
+    }
+    return "?";
+  };
+  for (const Pin& pin : kPins) {
+    if (classify(pin.path) != pin.kind) {
+      std::fprintf(stderr,
+                   "self-test FAILED: classify(\"%s\") != %s (got %s)\n",
+                   pin.path, kind_name(pin.kind),
+                   kind_name(classify(pin.path)));
+      return 1;
+    }
+  }
 
   // Comparison verdicts.
   const Options options;
@@ -638,7 +768,7 @@ int self_test() {
   cur["values.count"] = Leaf{Leaf::Kind::Number, false, 43.0};
   base["values.gone_wall_s"] = Leaf{Leaf::Kind::Number, false, 1.0};
   base["values.gone_count"] = Leaf{Leaf::Kind::Number, false, 11.0};
-  base["values.gone_jobs"] = Leaf{Leaf::Kind::Number, false, 8.0};
+  base["values.gone.loop_threads"] = Leaf{Leaf::Kind::Number, false, 8.0};
   base["values.skipped_s"] = Leaf{Leaf::Kind::Null, false, 0};
   cur["values.skipped_s"] = Leaf{Leaf::Kind::Number, false, 9.0};
   cur["values.brand_new"] = Leaf{Leaf::Kind::Number, false, 7.0};
@@ -647,8 +777,8 @@ int self_test() {
   const std::vector<Row> rows = compare(base, cur, options, regressions);
   // check flipped, b_wall_s over limit, rate collapsed, count drifted,
   // gone_wall_s + gone_count (deterministic key removed) = 6
-  // regressions; a_wall_s ok; gone_jobs (machine-shaped removal),
-  // skipped_s, and brand_new are notes.
+  // regressions; a_wall_s ok; gone.loop_threads (machine-shaped
+  // removal), skipped_s, and brand_new are notes.
   EXPECT(regressions == 6);
   int notes = 0;
   int oks = 0;
@@ -661,7 +791,8 @@ int self_test() {
       EXPECT(row.verdict == "REGRESSION");
     if (row.path == "values.gone_count")
       EXPECT(row.verdict == "REGRESSION");
-    if (row.path == "values.gone_jobs") EXPECT(row.verdict == "note");
+    if (row.path == "values.gone.loop_threads")
+      EXPECT(row.verdict == "note");
   }
   EXPECT(notes == 3);
   EXPECT(oks == 1);
@@ -672,7 +803,7 @@ int self_test() {
   EXPECT(table.find("## Removed keys") != std::string::npos);
   EXPECT(table.find("## Added keys") != std::string::npos);
   EXPECT(table.find("- `values.gone_wall_s` (was 1)") != std::string::npos);
-  EXPECT(table.find("- `values.gone_jobs` (was 8) — note") !=
+  EXPECT(table.find("- `values.gone.loop_threads` (was 8) — note") !=
          std::string::npos);
   EXPECT(table.find("- `values.brand_new` = 7") != std::string::npos);
 
